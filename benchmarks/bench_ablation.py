@@ -1,0 +1,24 @@
+"""Benchmark: the ablation studies (Sections 7.1 / 7.3 and the Figure 6
+speedup decomposition)."""
+
+from repro.experiments import ablations
+
+
+def test_spike_transmission_ablation(experiment):
+    result = experiment(ablations.run_spike_transmission)
+    rows = {row["scheme"]: row for row in result.rows}
+    train = rows["spike train (FPSA)"]
+    count = rows["spike count (PipeLayer-style)"]
+    assert train["streaming_handoff_cycles"] < count["streaming_handoff_cycles"]
+    assert train["comm_latency_ns"] > count["comm_latency_ns"]
+
+
+def test_pooling_synthesis_ablation(experiment):
+    result = experiment(ablations.run_pooling_synthesis)
+    assert result.rows[0]["pooling_share"] > 0.3
+
+
+def test_speedup_decomposition_ablation(experiment):
+    result = experiment(ablations.run_speedup_decomposition)
+    rows = {row["architecture"]: row for row in result.rows}
+    assert rows["FPSA"]["speedup_over_PRIME"] > rows["FP-PRIME"]["speedup_over_PRIME"] > 1

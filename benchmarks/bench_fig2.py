@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 2 (PRIME peak/ideal/real vs area, VGG16)."""
+
+from repro.experiments import fig2
+
+
+def test_fig2(experiment):
+    result = experiment(fig2.run)
+    mapped = [row for row in result.rows if row["mapped"]]
+    assert mapped, "no mappable area point"
+    last = mapped[-1]
+    # the communication bound leaves a large ideal-vs-real gap at large areas
+    assert last["ideal_ops"] / last["real_ops"] > 100
+    assert all(row["peak_ops"] >= row["ideal_ops"] >= row["real_ops"] for row in mapped)

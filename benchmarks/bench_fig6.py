@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 6 (PRIME vs FP-PRIME vs FPSA, up to ~1000x)."""
+
+from repro.experiments import fig6
+
+
+def test_fig6(experiment):
+    result = experiment(fig6.run)
+    speedups = [
+        row["speedup_FPSA"] for row in result.rows
+        if row["PRIME_real_ops"] > 0 and row["speedup_FPSA"] == row["speedup_FPSA"]
+    ]
+    assert max(speedups) > 300
+    for row in result.rows:
+        if row["PRIME_real_ops"] > 0:
+            assert row["FPSA_real_ops"] > row["PRIME_real_ops"]
+            assert row["FP-PRIME_real_ops"] > row["PRIME_real_ops"]

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 7 (per-PE latency breakdown)."""
+
+from repro.experiments import fig7
+
+
+def test_fig7(experiment):
+    result = experiment(fig7.run)
+    rows = {row["architecture"]: row for row in result.rows}
+    assert rows["PRIME"]["communication_ns"] > rows["PRIME"]["computation_ns"]
+    assert rows["FP-PRIME"]["communication_ns"] < rows["FP-PRIME"]["computation_ns"]
+    assert rows["FPSA"]["communication_ns"] > rows["FPSA"]["computation_ns"]
+    assert rows["FPSA"]["total_ns"] < rows["FP-PRIME"]["total_ns"] < rows["PRIME"]["total_ns"]

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 8 (scalability over duplication degrees)."""
+
+from repro.experiments import fig8
+
+
+def test_fig8(experiment):
+    result = experiment(fig8.run)
+    by_model: dict[str, list] = {}
+    for row in result.rows:
+        by_model.setdefault(row["model"], []).append(row)
+    for model, rows in by_model.items():
+        perf_gain = rows[-1]["real_ops"] / rows[0]["real_ops"]
+        area_gain = rows[-1]["area_mm2"] / rows[0]["area_mm2"]
+        assert perf_gain >= area_gain, f"{model} should scale super-linearly"
+    assert any("geometric-mean" in note for note in result.notes)

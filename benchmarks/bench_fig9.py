@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 9 (splice vs add normalized accuracy)."""
+
+import pytest
+
+from repro.experiments import fig9
+
+
+def test_fig9(experiment):
+    result = experiment(fig9.run)
+    add = {r["n_cells"]: r["normalized_accuracy"] for r in result.rows if r["method"] == "add"}
+    splice = {r["n_cells"]: r["normalized_accuracy"] for r in result.rows if r["method"] == "splice"}
+    # PRIME configuration (2-cell splice) ~0.70; FPSA configuration (16-cell add) ~full precision
+    assert splice[2] == pytest.approx(0.70, abs=0.06)
+    assert add[16] > 0.95
+    assert all(add[n] > splice[n] for n in add if n > 1)

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate the Section 3 motivation analysis (VGG16 imbalance)."""
+
+import pytest
+
+from repro.experiments import motivation
+
+
+def test_motivation(experiment):
+    result = experiment(motivation.run)
+    by_layer = {row["layer"]: row for row in result.rows}
+    # the paper's headline imbalance: tiny-weight early convs do a large
+    # share of the work, huge-weight FC layers do almost none.
+    first_two_weights = by_layer["conv1"]["weight_share"] + by_layer["conv2"]["weight_share"]
+    first_two_ops = by_layer["conv1"]["ops_share"] + by_layer["conv2"]["ops_share"]
+    fc_weights = sum(by_layer[n]["weight_share"] for n in ("fc1", "fc2", "fc3"))
+    fc_ops = sum(by_layer[n]["ops_share"] for n in ("fc1", "fc2", "fc3"))
+    assert first_two_weights == pytest.approx(0.00028, rel=0.25)
+    assert first_two_ops == pytest.approx(0.125, rel=0.2)
+    assert fc_weights == pytest.approx(0.893, rel=0.03)
+    assert fc_ops == pytest.approx(0.008, rel=0.4)

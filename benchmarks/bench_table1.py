@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Table 1 (function-block parameters)."""
+
+from repro.experiments import table1
+
+
+def test_table1(experiment):
+    result = experiment(table1.run)
+    blocks = result.column("block")
+    assert any("PE" in block for block in blocks)

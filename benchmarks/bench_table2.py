@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table 2 (PE comparison, ~31x density improvement)."""
+
+import pytest
+
+from repro.experiments import table2
+
+
+def test_table2(experiment):
+    result = experiment(table2.run)
+    rows = {row["architecture"]: row for row in result.rows}
+    improvement = rows["FPSA"]["density_TOPS_per_mm2"] / rows["PRIME"]["density_TOPS_per_mm2"]
+    assert improvement == pytest.approx(30.92, rel=0.05)

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table 3 (overall FPSA performance per model)."""
+
+from repro.experiments import table3
+
+
+def test_table3(experiment):
+    result = experiment(table3.run)
+    by_model = {row["model"]: row for row in result.rows}
+    # ordering: small MNIST models are orders of magnitude faster than ImageNet CNNs,
+    # and VGG16 is the slowest of the suite (as in the paper's Table 3).
+    assert by_model["MLP-500-100"]["throughput_samples_s"] > by_model["AlexNet"]["throughput_samples_s"]
+    assert by_model["VGG16"]["throughput_samples_s"] == min(
+        row["throughput_samples_s"] for row in result.rows
+    )
+    for row in result.rows:
+        if row["model"] in ("AlexNet", "VGG16", "GoogLeNet", "ResNet152"):
+            assert 0.3 < row["area_mm2"] / row["paper_area_mm2"] < 3.0

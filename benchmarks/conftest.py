@@ -1,0 +1,31 @@
+"""Benchmark-harness configuration.
+
+Every benchmark regenerates one table or figure of the paper through the
+experiment harnesses in :mod:`repro.experiments` and prints the resulting
+rows, so running ``pytest benchmarks/ --benchmark-only`` reproduces the
+full evaluation section in one go.  Heavy experiments run a single round
+(`pedantic`) — the interesting output is the regenerated data, not
+sub-millisecond timing noise.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_experiment(benchmark, runner, *args, **kwargs):
+    """Run one experiment under pytest-benchmark (single round) and print it."""
+    result = benchmark.pedantic(lambda: runner(*args, **kwargs), rounds=1, iterations=1)
+    print()
+    print(result.format())
+    return result
+
+
+@pytest.fixture
+def experiment(benchmark):
+    """Fixture exposing the single-round experiment runner."""
+
+    def _run(runner, *args, **kwargs):
+        return run_experiment(benchmark, runner, *args, **kwargs)
+
+    return _run

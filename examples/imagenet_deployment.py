@@ -1,0 +1,76 @@
+"""Deploy the ImageNet-scale benchmark networks and explore the design space.
+
+This reproduces the workflow behind Table 3 and Figure 8 of the paper: for
+each large CNN the script sweeps the duplication degree, reports
+throughput / latency / area / computational density, and then answers the
+practical question a system designer asks — "what is the best configuration
+that fits a given chip-area budget?"
+
+Run with::
+
+    python examples/imagenet_deployment.py
+"""
+
+from __future__ import annotations
+
+from repro.core.compiler import FPSACompiler
+from repro.mapper.allocation import allocate_for_pe_budget
+from repro.models import PAPER_TABLE3, build_model
+from repro.perf.analytic import FPSAArchitecture, evaluate_design_point
+from repro.synthesizer import synthesize
+
+MODELS = ("AlexNet", "VGG16", "GoogLeNet", "ResNet152")
+DUPLICATION_DEGREES = (1, 4, 16, 64)
+AREA_BUDGET_MM2 = 50.0
+
+
+def sweep_duplication(compiler: FPSACompiler) -> None:
+    print(f"{'model':<12} {'dup':>4} {'samples/s':>12} {'latency us':>12} "
+          f"{'area mm^2':>10} {'TOPS/mm^2':>10}")
+    print("-" * 66)
+    for name in MODELS:
+        graph = build_model(name)
+        for duplication in DUPLICATION_DEGREES:
+            result = compiler.compile(graph, duplication_degree=duplication)
+            density = result.performance.computational_density_ops_per_mm2 / 1e12
+            print(
+                f"{name:<12} {duplication:>4} {result.throughput_samples_per_s:>12,.0f} "
+                f"{result.latency_us:>12,.1f} {result.area_mm2:>10.2f} {density:>10.2f}"
+            )
+        reference = PAPER_TABLE3[name]
+        print(
+            f"{'  paper(64x)':<12} {'':>4} {reference.throughput_samples_per_s:>12,.0f} "
+            f"{reference.latency_us:>12,.1f} {reference.area_mm2:>10.2f}"
+        )
+        print()
+
+
+def best_fit_for_budget(area_budget_mm2: float) -> None:
+    """Pick the largest duplication degree that fits a chip-area budget."""
+    arch = FPSAArchitecture()
+    print(f"best configurations within a {area_budget_mm2:.0f} mm^2 budget")
+    print("-" * 66)
+    for name in MODELS:
+        graph = build_model(name)
+        coreops = synthesize(graph)
+        pe_budget = int(area_budget_mm2 / arch.effective_area_per_pe_mm2)
+        allocation = allocate_for_pe_budget(coreops, pe_budget)
+        if allocation is None:
+            print(f"{name:<12} does not fit: needs more than {pe_budget} PEs of storage")
+            continue
+        report = evaluate_design_point(coreops, allocation, graph.total_ops(), arch)
+        print(
+            f"{name:<12} duplication {allocation.duplication_degree:>5} -> "
+            f"{report.throughput_samples_per_s:>12,.0f} samples/s on "
+            f"{report.area_mm2:6.2f} mm^2"
+        )
+
+
+def main() -> None:
+    compiler = FPSACompiler()
+    sweep_duplication(compiler)
+    best_fit_for_budget(AREA_BUDGET_MM2)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Quickstart: deploy a benchmark network onto FPSA in a few lines.
+
+Run with::
+
+    python examples/quickstart.py
+
+The example deploys LeNet with a 4x duplication degree, runs the detailed
+Algorithm-1 scheduler and the cycle-level pipeline simulator, and prints
+the resulting throughput, latency, area and utilization bounds.
+"""
+
+from __future__ import annotations
+
+import repro
+
+
+def main() -> None:
+    print("FPSA quickstart: deploying LeNet")
+    print("=" * 60)
+
+    result = repro.deploy_model(
+        "LeNet",
+        duplication_degree=4,
+        detailed_schedule=True,
+    )
+
+    print(result.summary())
+    print()
+
+    netlist = result.mapping.netlist
+    print("function-block netlist:", netlist.summary())
+    print(f"scheduled core-ops: {len(result.mapping.schedule.ops)}")
+    print(f"SMB buffers inserted by the scheduler: {result.mapping.schedule.n_buffers}")
+    print(
+        "pipeline initiation interval: "
+        f"{result.pipeline.initiation_interval_cycles} spike cycles"
+    )
+    print()
+
+    print("scaling up: the same network at higher duplication degrees")
+    for duplication in (1, 4, 16, 64):
+        scaled = repro.deploy_model("LeNet", duplication_degree=duplication)
+        print(
+            f"  {duplication:>3}x duplication: "
+            f"{scaled.throughput_samples_per_s:>12,.0f} samples/s on "
+            f"{scaled.area_mm2:6.2f} mm^2 "
+            f"({scaled.performance.computational_density_ops_per_mm2 / 1e12:.2f} TOPS/mm^2)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Functional demo of the spiking processing element (Equation 6).
+
+The script programs a small signed weight matrix into the ReRAM crossbar
+model, runs the cycle-level spiking simulation (charging units,
+integrate-and-fire neurons, spike subtracters) and compares the output
+spike counts against the ideal fixed-point ReLU(Wx) — demonstrating that
+the simplified PE still computes a vector-matrix multiplication followed by
+ReLU, which is the key circuit-level claim of Section 4.2.
+
+Run with::
+
+    python examples/spiking_pe_demo.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.params import PEParams
+from repro.arch.pe import ProcessingElement
+from repro.arch.reram import ReRAMCellModel
+from repro.arch.spiking import encode_to_counts
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    params = PEParams(rows=64, physical_cols=64, logical_cols=32, io_bits=6)
+    window = params.sampling_window
+
+    weights = rng.uniform(-0.15, 0.15, size=(16, 8))
+    inputs = rng.uniform(0.0, 1.0, size=16)
+
+    print("spiking PE demo")
+    print(f"  crossbar tile: {weights.shape[0]} x {weights.shape[1]} signed weights")
+    print(f"  sampling window: {window} cycles ({params.io_bits}-bit I/O)")
+    print(f"  per-VMM latency: {params.vmm_latency_ns:.1f} ns")
+    print()
+
+    ideal_pe = ProcessingElement(weights, params=params, cell=ReRAMCellModel(sigma=0.0))
+    noisy_pe = ProcessingElement(
+        weights,
+        params=params,
+        cell=ReRAMCellModel(sigma=0.04),
+        variation_rng=rng,
+    )
+
+    counts_in = encode_to_counts(inputs, window)
+    ideal_counts = ideal_pe.run_counts(counts_in)
+    noisy_counts = noisy_pe.run_counts(counts_in)
+    reference = np.minimum(np.floor(np.clip(weights.T @ counts_in, 0, None)), window)
+
+    print(f"{'column':>6} {'ReLU(Wx) ref':>14} {'ideal device':>14} {'with variation':>15}")
+    for j in range(weights.shape[1]):
+        print(f"{j:>6} {int(reference[j]):>14} {int(ideal_counts[j]):>14} "
+              f"{int(noisy_counts[j]):>15}")
+
+    error = np.abs(ideal_counts - reference)
+    print()
+    print(f"max |ideal device - reference| = {int(error.max())} spike(s) "
+          f"(quantisation of the {window}-cycle window)")
+    print("the spike-train output of the crossbar is the ReLU'd product, "
+          "as Equation 6 derives.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy setup shim so `pip install -e .` works in offline environments
+that lack the `wheel` package required by PEP 517 editable builds."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,30 @@
+"""repro — a full-stack Python reproduction of FPSA (ASPLOS 2019).
+
+FPSA (Field Programmable Synapse Array) is a reconfigurable ReRAM-based
+neural-network accelerator together with the software system that deploys
+deep neural networks onto it: a neural synthesizer, a spatial-to-temporal
+mapper and a placement & routing tool.
+
+The package is organised the same way as the paper's system stack:
+
+* :mod:`repro.arch` — hardware models (PE / SMB / CLB / routing, Table 1).
+* :mod:`repro.graph` — the computational-graph programming model.
+* :mod:`repro.models` — the benchmark network zoo (Table 3).
+* :mod:`repro.synthesizer` — the neural synthesizer (CG -> core-op graph).
+* :mod:`repro.mapper` — the spatial-to-temporal mapper (core-ops -> netlist).
+* :mod:`repro.pnr` — placement & routing on the island-style fabric.
+* :mod:`repro.perf` — performance bounds, the analytic model and the
+  pipeline simulator.
+* :mod:`repro.baselines` — PRIME, FP-PRIME, ISAAC and PipeLayer models.
+* :mod:`repro.variation` — device variation and the splice/add study.
+* :mod:`repro.experiments` — one module per paper figure/table.
+* :mod:`repro.core` — the public end-to-end compiler API.
+"""
+
+from __future__ import annotations
+
+__version__ = "1.0.0"
+
+from .core import DeploymentResult, FPSACompiler, deploy, deploy_model
+
+__all__ = ["FPSACompiler", "DeploymentResult", "deploy", "deploy_model", "__version__"]

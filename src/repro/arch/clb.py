@@ -1,0 +1,141 @@
+"""Configurable logic block (CLB): LUT-based control logic.
+
+CLBs generate the control signals (sampling-window resets, buffer
+read/write enables, iteration counters) for the PEs and SMBs.  Each CLB
+packs 128 SRAM-based 6-input LUTs plus flip-flops, sized so that one CLB's
+area and pin count roughly match one PE.
+
+This module provides a small behavioural LUT/counter model — enough to
+implement and verify the control sequencers emitted by the mapper
+(:mod:`repro.mapper.control`) — plus the LUT-count cost helpers the mapper
+uses when sizing the control plane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .params import CLBParams
+
+__all__ = ["LookUpTable", "IterationCounter", "ConfigurableLogicBlock"]
+
+
+@dataclass
+class LookUpTable:
+    """A k-input LUT holding an arbitrary truth table."""
+
+    n_inputs: int
+    table: list[bool] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.n_inputs <= 0:
+            raise ValueError("n_inputs must be positive")
+        size = 1 << self.n_inputs
+        if not self.table:
+            self.table = [False] * size
+        if len(self.table) != size:
+            raise ValueError(f"truth table must have {size} entries")
+
+    @classmethod
+    def from_function(cls, n_inputs: int, fn) -> "LookUpTable":
+        """Build a LUT from a boolean function of ``n_inputs`` bits."""
+        size = 1 << n_inputs
+        table = []
+        for idx in range(size):
+            bits = tuple(bool((idx >> b) & 1) for b in range(n_inputs))
+            table.append(bool(fn(*bits)))
+        return cls(n_inputs, table)
+
+    def evaluate(self, *inputs: bool) -> bool:
+        if len(inputs) != self.n_inputs:
+            raise ValueError(f"expected {self.n_inputs} inputs, got {len(inputs)}")
+        idx = 0
+        for bit, value in enumerate(inputs):
+            if value:
+                idx |= 1 << bit
+        return self.table[idx]
+
+
+@dataclass
+class IterationCounter:
+    """A modulo counter built from LUTs + flip-flops.
+
+    The mapper uses these to sequence time-division-multiplexed reuse of a
+    PE's weights (one count per reuse iteration) and to generate the
+    sampling-window reset pulse.
+    """
+
+    period: int
+    value: int = 0
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+        if not 0 <= self.value < self.period:
+            raise ValueError("initial value outside [0, period)")
+
+    def step(self) -> bool:
+        """Advance one cycle; returns True on wrap-around (terminal count)."""
+        self.value += 1
+        if self.value >= self.period:
+            self.value = 0
+            return True
+        return False
+
+    def reset(self) -> None:
+        self.value = 0
+
+    @property
+    def width_bits(self) -> int:
+        """Number of state bits (flip-flops) required."""
+        return max(1, (self.period - 1).bit_length())
+
+    def lut_cost(self, lut_inputs: int = 6) -> int:
+        """Approximate number of k-input LUTs to implement the counter.
+
+        One LUT per state bit covers the increment logic as long as the bit
+        index and carry chain fit in the LUT inputs; wider counters need an
+        extra LUT per ``lut_inputs``-bit group for the carry.
+        """
+        bits = self.width_bits
+        carry_luts = -(-bits // lut_inputs)
+        return bits + carry_luts
+
+
+@dataclass
+class ConfigurableLogicBlock:
+    """A CLB instance: a bounded pool of LUTs and flip-flops."""
+
+    params: CLBParams = field(default_factory=CLBParams)
+    _luts: list[LookUpTable] = field(default_factory=list, init=False)
+    _counters: list[IterationCounter] = field(default_factory=list, init=False)
+
+    @property
+    def luts_used(self) -> int:
+        counter_luts = sum(c.lut_cost(self.params.lut_inputs) for c in self._counters)
+        return len(self._luts) + counter_luts
+
+    @property
+    def luts_free(self) -> int:
+        return self.params.luts_per_clb - self.luts_used
+
+    def add_lut(self, lut: LookUpTable) -> LookUpTable:
+        if lut.n_inputs > self.params.lut_inputs:
+            raise ValueError(
+                f"LUT has {lut.n_inputs} inputs; CLB supports {self.params.lut_inputs}"
+            )
+        if self.luts_free < 1:
+            raise RuntimeError("CLB is full")
+        self._luts.append(lut)
+        return lut
+
+    def add_counter(self, period: int) -> IterationCounter:
+        counter = IterationCounter(period)
+        if counter.lut_cost(self.params.lut_inputs) > self.luts_free:
+            raise RuntimeError("CLB does not have room for the counter")
+        self._counters.append(counter)
+        return counter
+
+    def step(self) -> list[bool]:
+        """Advance all counters one control cycle; returns terminal counts."""
+        return [counter.step() for counter in self._counters]

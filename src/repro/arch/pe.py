@@ -1,0 +1,158 @@
+"""The FPSA processing element: cost model + functional behaviour.
+
+A :class:`ProcessingElement` combines
+
+* the Table-1 cost parameters (:class:`repro.arch.params.PEParams`),
+* the ReRAM crossbar device model (:class:`repro.arch.reram.ReRAMCrossbar`),
+* and the cycle-level spiking behaviour
+  (:class:`repro.arch.spiking.SpikingCrossbarPE`),
+
+so that a mapped core-op can be both *costed* (area / latency / energy) and
+*executed* functionally (spike counts in, spike counts out).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .params import PEParams
+from .reram import ReRAMCellModel, ReRAMCrossbar
+from .spiking import SpikingCrossbarPE, decode_from_counts, encode_to_counts
+
+__all__ = ["PECost", "ProcessingElement"]
+
+
+@dataclass(frozen=True)
+class PECost:
+    """Cost of executing one vector-matrix multiplication on one PE."""
+
+    area_mm2: float
+    latency_ns: float
+    energy_pj: float
+    ops: int
+
+    @property
+    def computational_density_ops_per_mm2(self) -> float:
+        """OPS per mm^2 when the PE is kept busy back to back."""
+        if self.area_mm2 <= 0 or self.latency_ns <= 0:
+            return 0.0
+        return self.ops / (self.latency_ns * 1e-9) / self.area_mm2
+
+    @property
+    def tops_per_mm2(self) -> float:
+        return self.computational_density_ops_per_mm2 / 1e12
+
+
+class ProcessingElement:
+    """One FPSA PE programmed with a (possibly partial) weight tile.
+
+    Parameters
+    ----------
+    weights:
+        Signed weight tile of shape ``(rows, cols)`` with
+        ``rows <= params.rows`` and ``cols <= params.logical_cols``.
+        The tile is zero-padded to the physical crossbar size.
+    params:
+        PE cost/geometry parameters.
+    cell / variation_rng:
+        Device model and RNG for programming variation; when omitted the
+        weights are programmed ideally (quantisation only).
+    """
+
+    def __init__(
+        self,
+        weights: np.ndarray,
+        params: PEParams | None = None,
+        cell: ReRAMCellModel | None = None,
+        variation_rng: np.random.Generator | None = None,
+        functional: bool = True,
+    ):
+        self.params = params if params is not None else PEParams()
+        weights = np.asarray(weights, dtype=float)
+        if weights.ndim != 2:
+            raise ValueError("weights must be a 2-D tile")
+        rows, cols = weights.shape
+        if rows > self.params.rows or cols > self.params.logical_cols:
+            raise ValueError(
+                f"tile {weights.shape} exceeds crossbar "
+                f"({self.params.rows} x {self.params.logical_cols})"
+            )
+        self.tile_rows = rows
+        self.tile_cols = cols
+
+        padded = np.zeros((self.params.rows, self.params.logical_cols))
+        padded[:rows, :cols] = weights
+        self._requested_weights = padded
+
+        self.crossbar = ReRAMCrossbar(
+            padded,
+            cell=cell,
+            composition="add",
+            cells_per_weight=self.params.cells_per_weight,
+            rng=variation_rng,
+        )
+        self._spiking: SpikingCrossbarPE | None = None
+        if functional:
+            # The spiking model operates on the realised (quantised + noisy)
+            # weights in their original scale: output spike counts follow
+            # ReLU(W^T X) and saturate at the sampling window.
+            self._spiking = SpikingCrossbarPE(
+                self.crossbar.effective_weights,
+                window=self.params.sampling_window,
+            )
+
+    # ------------------------------------------------------------------ cost
+    def cost(self) -> PECost:
+        """Cost of one full VMM on this PE (the whole crossbar is activated
+        regardless of how much of the tile is used)."""
+        useful_ops = 2 * self.tile_rows * self.tile_cols
+        return PECost(
+            area_mm2=self.params.area_mm2,
+            latency_ns=self.params.vmm_latency_ns,
+            energy_pj=self.params.energy_per_vmm_pj,
+            ops=useful_ops,
+        )
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the crossbar's weight capacity used by the tile."""
+        return (self.tile_rows * self.tile_cols) / self.params.weights_per_pe
+
+    # ------------------------------------------------------------ functional
+    def run_counts(self, input_counts: np.ndarray) -> np.ndarray:
+        """Run the spiking simulation on input spike counts for the tile rows.
+
+        Returns the output spike counts for the tile columns.
+        """
+        if self._spiking is None:
+            raise RuntimeError("PE constructed with functional=False")
+        input_counts = np.asarray(input_counts, dtype=np.int64)
+        if input_counts.shape != (self.tile_rows,):
+            raise ValueError(
+                f"expected {self.tile_rows} input counts, got {input_counts.shape}"
+            )
+        full = np.zeros(self.params.rows, dtype=np.int64)
+        full[: self.tile_rows] = input_counts
+        out = self._spiking.run(full)
+        return out[: self.tile_cols]
+
+    def run_values(self, inputs: np.ndarray) -> np.ndarray:
+        """Run the PE on real-valued inputs in [0, 1].
+
+        The inputs are rate-encoded into the sampling window, the spiking
+        simulation is run, and the output counts are decoded back to values
+        in [0, 1].  The result approximates ``min(ReLU(weights.T @ inputs), 1)``
+        with fixed-point error bounded by the window resolution.
+        """
+        window = self.params.sampling_window
+        counts = encode_to_counts(inputs, window)
+        out_counts = self.run_counts(counts)
+        return decode_from_counts(out_counts, window)
+
+    def ideal_output(self, inputs: np.ndarray) -> np.ndarray:
+        """Ideal (full-precision) ReLU(W^T x) for the tile, for comparison."""
+        inputs = np.asarray(inputs, dtype=float)
+        tile = self._requested_weights[: self.tile_rows, : self.tile_cols]
+        return np.clip(tile.T @ inputs, 0.0, None)

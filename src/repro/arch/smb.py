@@ -1,0 +1,126 @@
+"""Spiking memory block (SMB): on-chip buffering of intermediate data.
+
+SMBs store *spike counts* (not spike trains) in a 16 Kbit SRAM.  Embedded
+counters turn incoming spike trains into counts; embedded spike generators
+regenerate trains when the data is read.  The internal memory is
+bit-indexed so it can store counts of any sampling-window size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .params import SMBParams
+from .spiking import SpikeTrain
+
+__all__ = ["SMBFullError", "SpikingMemoryBlock", "BufferRequirement"]
+
+
+class SMBFullError(RuntimeError):
+    """Raised when a write would exceed the SMB capacity."""
+
+
+@dataclass(frozen=True)
+class BufferRequirement:
+    """Buffering requirement of one scheduled edge of the netlist."""
+
+    values: int
+    value_bits: int
+
+    @property
+    def bits(self) -> int:
+        return self.values * self.value_bits
+
+    def smb_count(self, params: SMBParams | None = None) -> int:
+        """Number of SMBs needed to hold this requirement."""
+        params = params if params is not None else SMBParams()
+        return params.blocks_for_values(self.values, self.value_bits)
+
+
+@dataclass
+class SpikingMemoryBlock:
+    """Behavioural model of one SMB.
+
+    The block exposes a small named-slot interface: each slot stores a
+    vector of spike counts for one scheduled buffer edge.  Capacity is
+    enforced in bits, exactly as the bit-indexed SRAM would.
+    """
+
+    params: SMBParams = field(default_factory=SMBParams)
+    value_bits: int = 6
+    _slots: dict[str, np.ndarray] = field(default_factory=dict, init=False)
+
+    def __post_init__(self) -> None:
+        if self.value_bits <= 0:
+            raise ValueError("value_bits must be positive")
+
+    @property
+    def capacity_values(self) -> int:
+        return self.params.values_capacity(self.value_bits)
+
+    @property
+    def used_values(self) -> int:
+        return int(sum(v.size for v in self._slots.values()))
+
+    @property
+    def free_values(self) -> int:
+        return self.capacity_values - self.used_values
+
+    @property
+    def max_count(self) -> int:
+        """Largest spike count storable per value (sampling window size)."""
+        return (1 << self.value_bits)
+
+    def write_counts(self, name: str, counts: np.ndarray) -> None:
+        """Store a vector of spike counts under ``name``.
+
+        Overwriting an existing slot of the same name reuses its space.
+        """
+        counts = np.asarray(counts, dtype=np.int64)
+        if counts.ndim != 1:
+            raise ValueError("counts must be a 1-D vector")
+        if np.any(counts < 0) or np.any(counts > self.max_count):
+            raise ValueError(
+                f"counts must lie in [0, {self.max_count}] for {self.value_bits}-bit storage"
+            )
+        existing = self._slots.get(name)
+        freed = existing.size if existing is not None else 0
+        if counts.size - freed > self.free_values:
+            raise SMBFullError(
+                f"writing {counts.size} values to SMB with {self.free_values + freed} free"
+            )
+        self._slots[name] = counts.copy()
+
+    def write_train(self, name: str, train: SpikeTrain) -> None:
+        """Count the spikes of an incoming train bundle and store the counts."""
+        counts = np.atleast_1d(np.asarray(train.count(), dtype=np.int64))
+        self.write_counts(name, counts)
+
+    def read_counts(self, name: str) -> np.ndarray:
+        """Read back the stored spike counts."""
+        try:
+            return self._slots[name].copy()
+        except KeyError:
+            raise KeyError(f"no slot named {name!r} in SMB") from None
+
+    def read_train(self, name: str, window: int | None = None) -> SpikeTrain:
+        """Regenerate a spike-train bundle for a stored slot."""
+        window = window if window is not None else self.max_count
+        counts = self.read_counts(name)
+        if np.any(counts > window):
+            raise ValueError("stored counts exceed the requested window")
+        return SpikeTrain.from_counts(counts, window)
+
+    def release(self, name: str) -> None:
+        """Free a slot once its consumer has read it."""
+        self._slots.pop(name, None)
+
+    def access_latency_ns(self) -> float:
+        """Latency of one read or write burst."""
+        return self.params.block.latency_ns
+
+    def access_energy_pj(self) -> float:
+        """Energy of one read or write burst."""
+        return self.params.block.energy_pj

@@ -1,0 +1,259 @@
+"""Cycle-level functional model of the FPSA spiking processing element.
+
+The PE encodes every value as a *spike count* inside a sampling window of
+``Gamma = 2**io_bits`` cycles.  Each row's charging unit injects charge into
+every column whose cell conductance is non-zero whenever the row receives a
+spike; each column's integrate-and-fire (IF) neuron emits a spike when the
+accumulated charge crosses the threshold ``eta``; the spike subtracter
+combines the positive and negative columns of a logical output.
+
+Equation 6 of the paper shows that this circuit computes
+
+    Y_j = ReLU( sum_i (g+_ji - g-_ji) / eta * X_i )
+
+where ``X_i``/``Y_j`` are input/output spike counts.  This module provides a
+faithful discrete-time simulation of that behaviour so the equivalence can
+be checked numerically (see ``tests/arch/test_spiking.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "SpikeTrain",
+    "IFNeuron",
+    "SpikeSubtracter",
+    "SpikingCrossbarPE",
+    "encode_to_counts",
+    "decode_from_counts",
+]
+
+
+def encode_to_counts(values: np.ndarray, window: int) -> np.ndarray:
+    """Encode real values in [0, 1] as spike counts in a window of ``window``."""
+    values = np.clip(np.asarray(values, dtype=float), 0.0, 1.0)
+    return np.round(values * window).astype(np.int64)
+
+def decode_from_counts(counts: np.ndarray, window: int) -> np.ndarray:
+    """Decode spike counts back to real values in [0, 1]."""
+    if window <= 0:
+        raise ValueError("window must be positive")
+    return np.asarray(counts, dtype=float) / window
+
+
+@dataclass
+class SpikeTrain:
+    """A binary spike train over one sampling window.
+
+    The train is stored as a boolean array of shape ``(window,)`` (or
+    ``(window, n)`` for a bundle of parallel trains).
+    """
+
+    spikes: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.spikes = np.asarray(self.spikes, dtype=bool)
+
+    @classmethod
+    def from_count(cls, count: int, window: int) -> "SpikeTrain":
+        """A train with ``count`` evenly spread spikes in ``window`` cycles."""
+        if not 0 <= count <= window:
+            raise ValueError(f"count {count} outside [0, {window}]")
+        spikes = np.zeros(window, dtype=bool)
+        if count:
+            positions = np.floor(np.arange(count) * window / count).astype(int)
+            spikes[positions] = True
+        return cls(spikes)
+
+    @classmethod
+    def from_counts(cls, counts: np.ndarray, window: int) -> "SpikeTrain":
+        """A bundle of trains, one column per element of ``counts``."""
+        counts = np.asarray(counts, dtype=np.int64)
+        if np.any(counts < 0) or np.any(counts > window):
+            raise ValueError("spike counts must lie in [0, window]")
+        spikes = np.zeros((window, counts.size), dtype=bool)
+        for idx, count in enumerate(counts.ravel()):
+            if count:
+                positions = np.floor(np.arange(count) * window / count).astype(int)
+                spikes[positions, idx] = True
+        return cls(spikes)
+
+    @property
+    def window(self) -> int:
+        return self.spikes.shape[0]
+
+    def count(self) -> np.ndarray | int:
+        """Total number of spikes (per train for bundles)."""
+        total = self.spikes.sum(axis=0)
+        if np.ndim(total) == 0:
+            return int(total)
+        return np.asarray(total, dtype=np.int64)
+
+
+@dataclass
+class IFNeuron:
+    """Integrate-and-fire neuron: accumulate charge, fire at the threshold.
+
+    The analog neuron integrates column current on a capacitor; crossing the
+    threshold voltage emits a spike and discharges back to the reset value.
+    In the discrete model the membrane state accumulates the per-cycle
+    charge ``sum_i s_i(t) * g_ji`` and a spike is emitted whenever the state
+    reaches ``threshold``; the threshold amount is then subtracted
+    (charge beyond the threshold is preserved, matching the RC-circuit
+    derivation where charging continues from the residual).
+    """
+
+    threshold: float
+    state: float = 0.0
+    spikes_emitted: int = 0
+
+    def __post_init__(self) -> None:
+        if self.threshold <= 0:
+            raise ValueError("threshold must be positive")
+
+    def reset(self) -> None:
+        """Clear internal state at the start of a new sampling window."""
+        self.state = 0.0
+        self.spikes_emitted = 0
+
+    def step(self, charge: float) -> bool:
+        """Advance one cycle with the given injected charge.
+
+        Returns True when a spike is emitted this cycle.  At most one spike
+        can be emitted per cycle (the discharging unit takes the rest of the
+        cycle), so excess charge carries over.
+        """
+        if charge < 0:
+            raise ValueError("injected charge must be non-negative")
+        self.state += charge
+        if self.state >= self.threshold:
+            self.state -= self.threshold
+            self.spikes_emitted += 1
+            return True
+        return False
+
+
+@dataclass
+class SpikeSubtracter:
+    """Blocking spike subtracter for a positive/negative column pair.
+
+    Every spike arriving from the negative column blocks the next spike from
+    the positive column, so the output count is
+    ``max(positive_count - negative_count, 0)``.
+    """
+
+    pending_blocks: int = 0
+    output_spikes: int = 0
+
+    def reset(self) -> None:
+        self.pending_blocks = 0
+        self.output_spikes = 0
+
+    def step(self, positive_spike: bool, negative_spike: bool) -> bool:
+        """Process one cycle; returns True when an output spike is emitted."""
+        if negative_spike:
+            self.pending_blocks += 1
+        if positive_spike:
+            if self.pending_blocks > 0:
+                self.pending_blocks -= 1
+                return False
+            self.output_spikes += 1
+            return True
+        return False
+
+
+@dataclass
+class SpikingCrossbarPE:
+    """Functional model of one FPSA PE: crossbar + IF neurons + subtracters.
+
+    Parameters
+    ----------
+    weights:
+        Signed logical weight matrix of shape ``(rows, logical_cols)`` with
+        entries expected in [-1, 1] (larger magnitudes are supported but may
+        saturate the output spike count at the window size).
+    window:
+        Sampling window size Gamma (2**io_bits).
+    conductance_noise:
+        Optional per-cell multiplicative noise already applied to the weight
+        matrix by the caller; this class treats ``weights`` as the realised
+        conductances divided by ``eta``.
+    """
+
+    weights: np.ndarray
+    window: int = 64
+    _positive: np.ndarray = field(init=False, repr=False)
+    _negative: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        weights = np.asarray(self.weights, dtype=float)
+        if weights.ndim != 2:
+            raise ValueError("weights must be 2-D")
+        if self.window <= 0:
+            raise ValueError("window must be positive")
+        self.weights = weights
+        self._positive = np.clip(weights, 0.0, None)
+        self._negative = np.clip(-weights, 0.0, None)
+
+    @property
+    def rows(self) -> int:
+        return self.weights.shape[0]
+
+    @property
+    def logical_cols(self) -> int:
+        return self.weights.shape[1]
+
+    def run(self, input_counts: np.ndarray) -> np.ndarray:
+        """Simulate one sampling window and return output spike counts.
+
+        ``input_counts`` are integer spike counts per row in [0, window].
+        The returned counts approximate ``window * ReLU(W @ (x / window))``
+        clipped to the window size, i.e. the fixed-point ReLU(Wx).
+        """
+        input_counts = np.asarray(input_counts, dtype=np.int64)
+        if input_counts.shape != (self.rows,):
+            raise ValueError(
+                f"expected input of shape ({self.rows},), got {input_counts.shape}"
+            )
+        trains = SpikeTrain.from_counts(input_counts, self.window)
+
+        # The threshold eta sets the weight scale: with eta = 1 the output
+        # count equals sum_i w_ji * X_i (Equation 5).
+        eta = 1.0
+        pos_neurons = [IFNeuron(eta) for _ in range(self.logical_cols)]
+        neg_neurons = [IFNeuron(eta) for _ in range(self.logical_cols)]
+        subtracters = [SpikeSubtracter() for _ in range(self.logical_cols)]
+
+        for cycle in range(self.window):
+            active = trains.spikes[cycle]
+            pos_charge = active @ self._positive
+            neg_charge = active @ self._negative
+            for j in range(self.logical_cols):
+                p = pos_neurons[j].step(float(pos_charge[j]))
+                n = neg_neurons[j].step(float(neg_charge[j]))
+                subtracters[j].step(p, n)
+
+        # Reset phase: residual charge that the neurons accumulated but could
+        # not emit within the window (at most one spike per cycle) is flushed
+        # and the subtracter resolves the remaining positive/negative balance.
+        counts = np.empty(self.logical_cols, dtype=np.int64)
+        for j in range(self.logical_cols):
+            pos_total = pos_neurons[j].spikes_emitted + int(
+                pos_neurons[j].state // pos_neurons[j].threshold
+            )
+            neg_total = neg_neurons[j].spikes_emitted + int(
+                neg_neurons[j].state // neg_neurons[j].threshold
+            )
+            counts[j] = min(max(pos_total - neg_total, 0), self.window)
+        return counts
+
+    def reference(self, input_counts: np.ndarray) -> np.ndarray:
+        """The ideal fixed-point result the circuit approximates:
+        ``min(window, floor(ReLU(W @ x_counts)))``."""
+        input_counts = np.asarray(input_counts, dtype=float)
+        out = self.weights.T @ input_counts
+        out = np.clip(out, 0.0, None)
+        return np.minimum(np.floor(out + 1e-9), self.window).astype(np.int64)

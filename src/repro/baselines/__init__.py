@@ -1,0 +1,20 @@
+"""Baseline accelerator models: PRIME, FP-PRIME, ISAAC, PipeLayer."""
+
+from .fp_prime import FPPrimeArchitecture
+from .prime import PRIME_PUBLISHED, PrimeArchitecture
+from .reference import (
+    AcceleratorReference,
+    EYERISS_REFERENCE,
+    ISAAC_REFERENCE,
+    PIPELAYER_REFERENCE,
+)
+
+__all__ = [
+    "PrimeArchitecture",
+    "PRIME_PUBLISHED",
+    "FPPrimeArchitecture",
+    "AcceleratorReference",
+    "ISAAC_REFERENCE",
+    "PIPELAYER_REFERENCE",
+    "EYERISS_REFERENCE",
+]

@@ -1,0 +1,48 @@
+"""Published reference points for the other ReRAM accelerators.
+
+ISAAC and PipeLayer are compared only by their published computational
+density in the paper (Section 6.2), so they are represented as reference
+records rather than full architecture models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AcceleratorReference", "ISAAC_REFERENCE", "PIPELAYER_REFERENCE", "EYERISS_REFERENCE"]
+
+
+@dataclass(frozen=True)
+class AcceleratorReference:
+    """Published headline numbers of a prior accelerator."""
+
+    name: str
+    computational_density_ops_per_mm2: float
+    technology_nm: int
+    notes: str = ""
+
+    @property
+    def tops_per_mm2(self) -> float:
+        return self.computational_density_ops_per_mm2 / 1e12
+
+
+ISAAC_REFERENCE = AcceleratorReference(
+    name="ISAAC",
+    computational_density_ops_per_mm2=0.479e12,
+    technology_nm=32,
+    notes="NoC-connected dedicated accelerator; 128 crossbar columns share one ADC.",
+)
+
+PIPELAYER_REFERENCE = AcceleratorReference(
+    name="PipeLayer",
+    computational_density_ops_per_mm2=1.485e12,
+    technology_nm=32,
+    notes="spiking-schema accelerator that transmits spike counts between PEs.",
+)
+
+EYERISS_REFERENCE = AcceleratorReference(
+    name="Eyeriss",
+    computational_density_ops_per_mm2=0.0,
+    technology_nm=65,
+    notes="digital CMOS baseline: 35 frame/s AlexNet on 12.25 mm^2 with off-chip DRAM.",
+)

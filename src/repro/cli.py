@@ -1,0 +1,122 @@
+"""Command-line interface for the FPSA toolchain.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro deploy VGG16 --duplication 64
+    python -m repro deploy LeNet --duplication 4 --detailed --pnr --bitstream out.json
+    python -m repro models
+    python -m repro experiments fig6 table3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.compiler import FPSACompiler
+from .experiments.runner import EXPERIMENTS, run_all
+from .models.zoo import MODEL_BUILDERS, PAPER_TABLE3, build_model, model_names
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FPSA (ASPLOS 2019) reproduction: deploy NNs onto the "
+        "reconfigurable ReRAM accelerator and regenerate the paper's evaluation.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    deploy = subparsers.add_parser("deploy", help="compile a model onto FPSA")
+    deploy.add_argument("model", choices=sorted(MODEL_BUILDERS), help="model zoo entry")
+    deploy.add_argument("--duplication", type=int, default=1, help="duplication degree")
+    deploy.add_argument(
+        "--pe-budget", type=int, default=None,
+        help="choose the largest duplication degree that fits this many PEs",
+    )
+    deploy.add_argument(
+        "--detailed", action="store_true",
+        help="run the instance-level scheduler and pipeline simulator (small models)",
+    )
+    deploy.add_argument(
+        "--pnr", action="store_true",
+        help="run placement & routing on the function-block netlist (small models)",
+    )
+    deploy.add_argument(
+        "--bitstream", metavar="FILE", default=None,
+        help="write the chip configuration as JSON to FILE ('-' for stdout)",
+    )
+
+    subparsers.add_parser("models", help="list the benchmark models and their Table 3 data")
+
+    experiments = subparsers.add_parser(
+        "experiments", help="regenerate the paper's tables and figures"
+    )
+    experiments.add_argument(
+        "names", nargs="*", metavar="NAME",
+        help=f"experiments to run (default: all). Known: {', '.join(sorted(EXPERIMENTS))}",
+    )
+    return parser
+
+
+def _command_deploy(args: argparse.Namespace) -> int:
+    compiler = FPSACompiler()
+    result = compiler.compile(
+        build_model(args.model),
+        duplication_degree=args.duplication,
+        pe_budget=args.pe_budget,
+        detailed_schedule=args.detailed,
+        run_pnr=args.pnr,
+        emit_bitstream=args.bitstream is not None,
+    )
+    print(result.summary())
+    if args.bitstream is not None and result.bitstream is not None:
+        payload = result.bitstream.to_json()
+        if args.bitstream == "-":
+            print(payload)
+        else:
+            with open(args.bitstream, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            print(f"bitstream written to {args.bitstream}")
+    return 0
+
+
+def _command_models(args: argparse.Namespace) -> int:
+    del args
+    header = (f"{'model':<14} {'dataset':<10} {'weights':>12} {'ops':>14} "
+              f"{'paper samples/s':>16} {'paper area mm^2':>16}")
+    print(header)
+    print("-" * len(header))
+    for name in model_names():
+        reference = PAPER_TABLE3[name]
+        print(
+            f"{name:<14} {reference.dataset:<10} {reference.weights:>12,.0f} "
+            f"{reference.ops:>14,.0f} {reference.throughput_samples_per_s:>16,.0f} "
+            f"{reference.area_mm2:>16.2f}"
+        )
+    return 0
+
+
+def _command_experiments(args: argparse.Namespace) -> int:
+    names = args.names or None
+    for result in run_all(names).values():
+        print(result.format())
+        print()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "deploy": _command_deploy,
+        "models": _command_models,
+        "experiments": _command_experiments,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

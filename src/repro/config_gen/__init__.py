@@ -1,0 +1,19 @@
+"""Chip-configuration (bitstream) generation — the final output of the flow."""
+
+from .bitstream import (
+    BufferConfig,
+    ControlConfig,
+    CrossbarConfig,
+    FPSABitstream,
+    RoutingSwitchConfig,
+    generate_bitstream,
+)
+
+__all__ = [
+    "CrossbarConfig",
+    "RoutingSwitchConfig",
+    "ControlConfig",
+    "BufferConfig",
+    "FPSABitstream",
+    "generate_bitstream",
+]

@@ -1,0 +1,7 @@
+"""Public end-to-end API: the FPSA compiler and its deployment result."""
+
+from .api import deploy, deploy_model
+from .compiler import FPSACompiler
+from .result import DeploymentResult
+
+__all__ = ["FPSACompiler", "DeploymentResult", "deploy", "deploy_model"]

@@ -1,0 +1,35 @@
+"""Convenience functions for the most common library entry points."""
+
+from __future__ import annotations
+
+from ..arch.params import FPSAConfig
+from ..graph.graph import ComputationalGraph
+from ..models.zoo import build_model
+from .compiler import FPSACompiler
+from .result import DeploymentResult
+
+__all__ = ["deploy", "deploy_model"]
+
+
+def deploy(
+    graph: ComputationalGraph,
+    duplication_degree: int = 1,
+    config: FPSAConfig | None = None,
+    **kwargs,
+) -> DeploymentResult:
+    """Deploy a computational graph onto FPSA with default settings.
+
+    Keyword arguments are forwarded to :meth:`FPSACompiler.compile`.
+    """
+    compiler = FPSACompiler(config)
+    return compiler.compile(graph, duplication_degree=duplication_degree, **kwargs)
+
+
+def deploy_model(
+    name: str,
+    duplication_degree: int = 1,
+    config: FPSAConfig | None = None,
+    **kwargs,
+) -> DeploymentResult:
+    """Deploy one of the benchmark models (see ``repro.models.model_names``)."""
+    return deploy(build_model(name), duplication_degree, config, **kwargs)

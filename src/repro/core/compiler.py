@@ -1,0 +1,136 @@
+"""The end-to-end FPSA compiler: the library's primary public entry point.
+
+``FPSACompiler`` chains the full software stack of Figure 5:
+
+    computational graph
+      -> neural synthesizer        (core-op graph)
+      -> spatial-to-temporal mapper (function-block netlist + schedule)
+      -> placement & routing        (chip configuration, optional)
+      -> performance model          (throughput / latency / area / bounds)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.params import FPSAConfig
+from ..config_gen.bitstream import generate_bitstream
+from ..graph.graph import ComputationalGraph
+from ..mapper.mapper import SpatialTemporalMapper
+from ..perf.analytic import FPSAArchitecture, evaluate_design_point
+from ..perf.bounds import compute_bounds
+from ..perf.pipeline_sim import PipelineSimulator
+from ..pnr.pnr import PlaceAndRoute
+from ..synthesizer.synthesizer import NeuralSynthesizer, SynthesisOptions
+from .result import DeploymentResult
+
+__all__ = ["FPSACompiler"]
+
+
+@dataclass(frozen=True)
+class _CompileRequest:
+    duplication_degree: int
+    pe_budget: int | None
+    detailed_schedule: bool
+    run_pnr: bool
+    max_schedule_reuse: int | None
+
+
+class FPSACompiler:
+    """Deploy computational graphs onto the FPSA architecture.
+
+    Parameters
+    ----------
+    config:
+        Hardware configuration (defaults to the paper's 45 nm parameters).
+    synthesis_options:
+        Options forwarded to the neural synthesizer.
+    """
+
+    def __init__(
+        self,
+        config: FPSAConfig | None = None,
+        synthesis_options: SynthesisOptions | None = None,
+    ):
+        self.config = config if config is not None else FPSAConfig()
+        self.synthesizer = NeuralSynthesizer(
+            synthesis_options
+            if synthesis_options is not None
+            else SynthesisOptions.from_pe(self.config.pe)
+        )
+        self.mapper = SpatialTemporalMapper(self.config)
+        self.architecture = FPSAArchitecture(self.config)
+
+    def compile(
+        self,
+        graph: ComputationalGraph,
+        duplication_degree: int = 1,
+        pe_budget: int | None = None,
+        detailed_schedule: bool = False,
+        run_pnr: bool = False,
+        emit_bitstream: bool = False,
+        max_schedule_reuse: int | None = None,
+        pnr_channel_width: int | None = None,
+        pnr_seed: int = 0,
+    ) -> DeploymentResult:
+        """Compile a model and evaluate the resulting deployment.
+
+        Parameters
+        ----------
+        graph:
+            The model's computational graph (see :mod:`repro.models`).
+        duplication_degree:
+            Extra copies of the bottleneck weight groups (Section 5.2);
+            higher values trade area for throughput.
+        pe_budget:
+            When given, the largest duplication degree that fits the budget
+            is chosen instead of ``duplication_degree``.
+        detailed_schedule:
+            Run the instance-level Algorithm-1 scheduler and the cycle-level
+            pipeline simulator (small models only).
+        run_pnr:
+            Run simulated-annealing placement and PathFinder routing on the
+            function-block netlist (small/medium netlists only).
+        emit_bitstream:
+            Assemble the chip configuration (crossbar programming, routing
+            switches, control plane, buffer map) from the mapping and, when
+            available, the P&R result.
+        """
+        coreops = self.synthesizer.synthesize(graph)
+        mapping = self.mapper.map(
+            coreops,
+            duplication_degree=duplication_degree,
+            pe_budget=pe_budget,
+            detailed_schedule=detailed_schedule,
+            max_schedule_reuse=max_schedule_reuse,
+        )
+        useful_ops = graph.total_ops()
+        performance = evaluate_design_point(
+            coreops, mapping.allocation, useful_ops, self.architecture, config=self.config
+        )
+        bounds = compute_bounds(coreops, mapping.allocation, useful_ops, self.config)
+
+        pnr_result = None
+        if run_pnr:
+            pnr_result = PlaceAndRoute(
+                self.config, channel_width=pnr_channel_width, seed=pnr_seed
+            ).run(mapping.netlist)
+
+        pipeline = None
+        if mapping.schedule is not None:
+            pipeline = PipelineSimulator(self.config.pe).run(mapping.schedule)
+
+        bitstream = None
+        if emit_bitstream:
+            bitstream = generate_bitstream(mapping, pnr_result, self.config)
+
+        return DeploymentResult(
+            graph=graph,
+            coreops=coreops,
+            mapping=mapping,
+            performance=performance,
+            bounds=bounds,
+            pnr=pnr_result,
+            pipeline=pipeline,
+            bitstream=bitstream,
+        )

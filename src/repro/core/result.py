@@ -1,0 +1,141 @@
+"""The deployment result: everything the end-to-end compiler produces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.energy import BlockMix, EnergyReport, estimate_energy
+from ..arch.params import FPSAConfig
+from ..config_gen.bitstream import FPSABitstream
+from ..graph.graph import ComputationalGraph
+from ..perf.analytic import traffic_values_per_sample
+from ..perf.comm import mean_route_segments
+from ..mapper.mapper import MappingResult
+from ..perf.bounds import UtilizationBounds
+from ..perf.metrics import PerformanceReport
+from ..perf.pipeline_sim import PipelineSimulationResult
+from ..pnr.pnr import PnRResult
+from ..synthesizer.coreop import CoreOpGraph
+
+__all__ = ["DeploymentResult"]
+
+
+@dataclass
+class DeploymentResult:
+    """The output of deploying one NN model onto FPSA.
+
+    Attributes
+    ----------
+    graph:
+        The input computational graph.
+    coreops:
+        The synthesized core-op graph.
+    mapping:
+        Allocation + netlist + control plan (+ detailed schedule when
+        requested).
+    performance:
+        The analytic performance report (throughput, latency, OPS, area).
+    bounds:
+        Peak / spatial / temporal computational-density bounds.
+    pnr:
+        Placement & routing result (``None`` unless the detailed flow ran).
+    pipeline:
+        Cycle-level pipeline simulation (``None`` unless a detailed schedule
+        was produced).
+    """
+
+    graph: ComputationalGraph
+    coreops: CoreOpGraph
+    mapping: MappingResult
+    performance: PerformanceReport
+    bounds: UtilizationBounds
+    pnr: PnRResult | None = None
+    pipeline: PipelineSimulationResult | None = None
+    bitstream: FPSABitstream | None = None
+
+    @property
+    def model(self) -> str:
+        return self.graph.name
+
+    @property
+    def throughput_samples_per_s(self) -> float:
+        return self.performance.throughput_samples_per_s
+
+    @property
+    def latency_us(self) -> float:
+        return self.performance.latency_us
+
+    @property
+    def area_mm2(self) -> float:
+        return self.performance.area_mm2
+
+    @property
+    def duplication_degree(self) -> int:
+        return self.mapping.duplication_degree
+
+    def energy(self, config: FPSAConfig | None = None) -> EnergyReport:
+        """Estimated dynamic energy of one inference.
+
+        Every core-op execution activates one PE for a full sampling window;
+        buffered intermediate values cost one SMB write and one read; the
+        control plane toggles once per VMM; routed spike traffic is charged
+        per bit-segment.
+        """
+        config = config if config is not None else FPSAConfig()
+        allocation = self.mapping.allocation
+        vmm_per_inference = allocation.replication * sum(
+            group.reuse * group.min_pes(config.pe.rows, config.pe.logical_cols)
+            for group in self.coreops.groups()
+        )
+        traffic = traffic_values_per_sample(self.coreops)
+        netlist = self.mapping.netlist
+        mix = BlockMix(
+            n_pe=netlist.n_pe,
+            n_smb=netlist.n_smb,
+            n_clb=netlist.n_clb,
+            pe_vmm_per_inference=float(vmm_per_inference),
+            smb_accesses_per_inference=2.0 * traffic,
+            clb_cycles_per_inference=float(vmm_per_inference),
+            routed_bits_per_inference=traffic * config.pe.sampling_window,
+            mean_route_segments=float(
+                mean_route_segments(netlist.n_pe + netlist.n_smb + netlist.n_clb)
+            ),
+        )
+        return estimate_energy(mix, config)
+
+    def energy_efficiency_tops_per_w(self, config: FPSAConfig | None = None) -> float:
+        """Achieved TOPS per watt (useful ops / inference energy)."""
+        report = self.energy(config)
+        if report.total_pj <= 0:
+            return 0.0
+        ops_per_pj = self.performance.ops_per_sample / report.total_pj
+        return ops_per_pj  # ops/pJ == TOPS/W
+
+    def summary(self) -> str:
+        """Human-readable deployment report."""
+        lines = [
+            f"deployment of {self.model!r} on FPSA "
+            f"(duplication degree {self.duplication_degree})",
+            f"  weights: {self.graph.total_params():,}   "
+            f"ops/inference: {self.graph.total_ops():,}",
+            f"  PEs: {self.mapping.netlist.n_pe}   SMBs: {self.mapping.netlist.n_smb}   "
+            f"CLBs: {self.mapping.netlist.n_clb}",
+            f"  chip area: {self.area_mm2:.2f} mm^2",
+            f"  throughput: {self.throughput_samples_per_s:,.1f} samples/s",
+            f"  latency: {self.latency_us:.2f} us",
+            f"  real performance: {self.performance.real_ops / 1e12:.3f} TOPS "
+            f"({self.performance.computational_density_ops_per_mm2 / 1e12:.3f} TOPS/mm^2)",
+            f"  bounds (TOPS/mm^2): peak {self.bounds.peak_density / 1e12:.2f}, "
+            f"spatial {self.bounds.spatial_bound / 1e12:.2f}, "
+            f"temporal {self.bounds.temporal_bound / 1e12:.2f}",
+        ]
+        if self.pnr is not None:
+            lines.append(f"  {self.pnr.summary()}")
+        if self.bitstream is not None:
+            lines.append(f"  {self.bitstream.summary()}")
+        if self.pipeline is not None:
+            lines.append(
+                f"  pipeline simulation: II {self.pipeline.initiation_interval_cycles} cycles, "
+                f"throughput {self.pipeline.throughput_samples_per_s:,.1f} samples/s"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""Figure 2: performance versus area for PRIME running VGG16.
+
+The figure plots three curves over chip area (log-log):
+
+* **peak** — the computation bound (PE count x per-PE throughput),
+* **ideal** — performance with an infinitely fast communication subsystem
+  (limited only by the temporal/spatial utilization of the mapping),
+* **real** — performance with PRIME's shared memory bus, which saturates
+  and leaves a ~2-order-of-magnitude gap at large areas.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines.prime import PrimeArchitecture
+from ..models.zoo import build_model
+from ..perf.analytic import sweep_area
+from ..synthesizer.synthesizer import synthesize
+from .common import ExperimentResult
+
+__all__ = ["run", "default_areas"]
+
+
+def default_areas(n_points: int = 13) -> list[float]:
+    """The paper's area axis: 10 to 10^4 mm^2, log spaced."""
+    return [float(a) for a in np.logspace(1, 4, n_points)]
+
+
+def run(
+    model: str = "VGG16",
+    areas_mm2: list[float] | None = None,
+    bus_bandwidth_bits_per_ns: float = 128.0,
+) -> ExperimentResult:
+    """Regenerate Figure 2 (PRIME peak / ideal / real performance vs area)."""
+    areas = areas_mm2 if areas_mm2 is not None else default_areas()
+    graph = build_model(model)
+    coreops = synthesize(graph)
+    useful_ops = graph.total_ops()
+    prime = PrimeArchitecture(bus_bandwidth_bits_per_ns=bus_bandwidth_bits_per_ns)
+
+    points = sweep_area(coreops, useful_ops, prime, areas)
+    result = ExperimentResult(
+        name="Figure 2",
+        description=f"Performance vs. area for {model} on PRIME (45nm): peak, ideal "
+        "(infinite bandwidth) and real (shared memory bus).",
+        columns=["area_mm2", "n_pe", "peak_ops", "ideal_ops", "real_ops", "mapped"],
+    )
+    for point in points:
+        result.add_row(
+            area_mm2=point.area_mm2,
+            n_pe=point.n_pe,
+            peak_ops=point.peak_ops,
+            ideal_ops=point.ideal_ops,
+            real_ops=point.real_ops,
+            mapped=point.mapped,
+        )
+
+    mapped = [p for p in points if p.mapped]
+    if mapped:
+        last = mapped[-1]
+        gap = last.ideal_ops / last.real_ops if last.real_ops else float("inf")
+        result.add_note(
+            f"at {last.area_mm2:.0f} mm^2 the real performance is {gap:.0f}x below the "
+            "ideal performance (the paper reports a ~2-order-of-magnitude communication gap)."
+        )
+        super_linear = mapped[min(len(mapped) - 1, 3)]
+        first = mapped[0]
+        area_ratio = super_linear.area_mm2 / first.area_mm2
+        perf_ratio = super_linear.ideal_ops / first.ideal_ops if first.ideal_ops else 0.0
+        result.add_note(
+            f"ideal performance grows {perf_ratio:.1f}x over a {area_ratio:.1f}x area increase "
+            "(super-linear scaling from improving temporal utilization)."
+        )
+    return result

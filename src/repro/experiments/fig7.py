@@ -1,0 +1,69 @@
+"""Figure 7: breakdown of the per-PE processing latency (VGG16).
+
+For one PE the figure splits the average processing latency into
+computation and communication:
+
+* PRIME — communication over the shared memory bus dominates (~2.1e4 ns
+  versus ~3.1e3 ns of computation in the paper).
+* FP-PRIME — the reconfigurable routing reduces communication to ~59 ns,
+  negligible next to PRIME's 3064.7 ns computation.
+* FPSA — computation drops to 156.4 ns, while communication rises to
+  ~634 ns because spike trains (2**n bits per value) are transmitted
+  directly.
+"""
+
+from __future__ import annotations
+
+from ..baselines.fp_prime import FPPrimeArchitecture
+from ..baselines.prime import PrimeArchitecture
+from ..mapper.allocation import allocate
+from ..models.zoo import build_model
+from ..perf.analytic import FPSAArchitecture, evaluate_design_point
+from ..synthesizer.synthesizer import synthesize
+from .common import ExperimentResult
+
+__all__ = ["run", "PAPER_FIG7"]
+
+#: published approximate values read from Figure 7 (computation ns, communication ns).
+PAPER_FIG7 = {
+    "PRIME": (3064.7, 21000.0),
+    "FP-PRIME": (3064.7, 59.4),
+    "FPSA": (156.4, 633.9),
+}
+
+
+def run(model: str = "VGG16", duplication_degree: int = 64) -> ExperimentResult:
+    """Regenerate Figure 7 (per-PE computation/communication latency)."""
+    graph = build_model(model)
+    coreops = synthesize(graph)
+    useful_ops = graph.total_ops()
+    allocation = allocate(coreops, duplication_degree)
+
+    architectures = [PrimeArchitecture(), FPPrimeArchitecture(), FPSAArchitecture()]
+    result = ExperimentResult(
+        name="Figure 7",
+        description=f"Per-PE latency breakdown for {model} "
+        f"(duplication degree {duplication_degree}).",
+        columns=[
+            "architecture", "computation_ns", "communication_ns", "total_ns",
+            "paper_computation_ns", "paper_communication_ns",
+        ],
+    )
+    for arch in architectures:
+        report = evaluate_design_point(coreops, allocation, useful_ops, arch)
+        breakdown = report.latency_breakdown
+        paper_comp, paper_comm = PAPER_FIG7[arch.name]
+        result.add_row(
+            architecture=arch.name,
+            computation_ns=breakdown.computation_ns,
+            communication_ns=breakdown.communication_ns,
+            total_ns=breakdown.total_ns,
+            paper_computation_ns=paper_comp,
+            paper_communication_ns=paper_comm,
+        )
+    result.add_note(
+        "orderings to check: PRIME is communication-dominated; FP-PRIME is "
+        "computation-dominated; FPSA's communication exceeds its computation "
+        "because spike trains carry 2**n bits per value."
+    )
+    return result

@@ -1,0 +1,97 @@
+"""Figure 8: scalability of FPSA with the duplication degree.
+
+For every benchmark model and duplication degrees 1x / 4x / 16x / 64x the
+figure reports (a) performance, (b) chip area and (c) computational density
+together with its peak / spatial-utilization / temporal-utilization bounds.
+The headline observations to reproduce:
+
+* performance grows super-linearly in area (geometric means of 3.06x,
+  10.88x and 38.65x for 4x/16x/64x duplication at only 1.25x/1.85x/3.73x
+  more area),
+* the spatial bound is independent of the duplication degree, while the
+  temporal bound rises towards it as more resources are added,
+* the MLP's two bounds coincide (no weight sharing).
+"""
+
+from __future__ import annotations
+
+from ..arch.params import FPSAConfig
+from ..mapper.allocation import allocate
+from ..models.zoo import BENCHMARK_MODELS, build_model
+from ..perf.analytic import FPSAArchitecture, evaluate_design_point
+from ..perf.bounds import compute_bounds
+from ..perf.metrics import geometric_mean
+from ..synthesizer.synthesizer import synthesize
+from .common import ExperimentResult
+
+__all__ = ["run", "DUPLICATION_DEGREES", "PAPER_GEOMEAN"]
+
+DUPLICATION_DEGREES = (1, 4, 16, 64)
+
+#: published geometric means over the benchmark suite (Section 6.3):
+#: duplication degree -> (performance improvement, area increase).
+PAPER_GEOMEAN = {4: (3.06, 1.25), 16: (10.88, 1.85), 64: (38.65, 3.73)}
+
+
+def run(
+    models: tuple[str, ...] = BENCHMARK_MODELS,
+    duplication_degrees: tuple[int, ...] = DUPLICATION_DEGREES,
+    config: FPSAConfig | None = None,
+) -> ExperimentResult:
+    """Regenerate Figure 8 (performance, area and density vs duplication)."""
+    config = config if config is not None else FPSAConfig()
+    arch = FPSAArchitecture(config)
+
+    result = ExperimentResult(
+        name="Figure 8",
+        description="FPSA scalability over duplication degrees "
+        f"{list(duplication_degrees)} for {len(models)} models.",
+        columns=[
+            "model", "duplication", "n_pe", "area_mm2", "real_ops",
+            "density_ops_mm2", "peak_density", "spatial_bound", "temporal_bound",
+        ],
+    )
+
+    baselines: dict[str, tuple[float, float]] = {}
+    per_dup_perf: dict[int, list[float]] = {d: [] for d in duplication_degrees}
+    per_dup_area: dict[int, list[float]] = {d: [] for d in duplication_degrees}
+
+    for model in models:
+        graph = build_model(model)
+        coreops = synthesize(graph)
+        useful_ops = graph.total_ops()
+        for dup in duplication_degrees:
+            allocation = allocate(coreops, dup, config.pe)
+            report = evaluate_design_point(coreops, allocation, useful_ops, arch, config=config)
+            bounds = compute_bounds(coreops, allocation, useful_ops, config)
+            result.add_row(
+                model=model,
+                duplication=dup,
+                n_pe=report.n_pe,
+                area_mm2=report.area_mm2,
+                real_ops=report.real_ops,
+                density_ops_mm2=report.computational_density_ops_per_mm2,
+                peak_density=bounds.peak_density,
+                spatial_bound=bounds.spatial_bound,
+                temporal_bound=bounds.temporal_bound,
+            )
+            if dup == duplication_degrees[0]:
+                baselines[model] = (report.real_ops, report.area_mm2)
+            base_perf, base_area = baselines[model]
+            if base_perf > 0 and base_area > 0:
+                per_dup_perf[dup].append(report.real_ops / base_perf)
+                per_dup_area[dup].append(report.area_mm2 / base_area)
+
+    for dup in duplication_degrees[1:]:
+        if per_dup_perf[dup]:
+            perf_geo = geometric_mean(per_dup_perf[dup])
+            area_geo = geometric_mean(per_dup_area[dup])
+            paper = PAPER_GEOMEAN.get(dup)
+            note = (
+                f"{dup}x duplication: geometric-mean performance improvement "
+                f"{perf_geo:.2f}x at {area_geo:.2f}x area"
+            )
+            if paper:
+                note += f" (paper: {paper[0]:.2f}x at {paper[1]:.2f}x area)"
+            result.add_note(note)
+    return result

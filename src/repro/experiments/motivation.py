@@ -1,0 +1,74 @@
+"""Section 3 motivation analysis: the storage/computation imbalance of CNNs.
+
+The paper motivates the temporal-utilization bound with VGG16's layer
+statistics: the first two convolutional layers hold only ~0.028 % of the
+weights but perform ~12.5 % of the computation, while the fully connected
+layers hold ~89.3 % of the weights but perform only ~0.8 % of the
+computation.  Because a ReRAM PE's compute capability is tied to the
+weights it stores, this imbalance caps the utilization of a
+minimum-storage mapping — the effect duplication degrees exist to fix.
+
+This harness regenerates those per-layer shares for any zoo model.
+"""
+
+from __future__ import annotations
+
+from ..graph.analysis import profile_graph
+from ..models.zoo import build_model
+from .common import ExperimentResult
+
+__all__ = ["run", "PAPER_VGG16_SHARES"]
+
+#: the Section 3 reference numbers for VGG16:
+#: (weight share, computation share) of the named layer sets.
+PAPER_VGG16_SHARES = {
+    "first two conv layers": (0.00028, 0.125),
+    "fully connected layers": (0.893, 0.008),
+}
+
+
+def run(model: str = "VGG16") -> ExperimentResult:
+    """Regenerate the Section 3 per-layer imbalance analysis."""
+    graph = build_model(model)
+    profile = profile_graph(graph)
+
+    result = ExperimentResult(
+        name="Section 3 motivation",
+        description=f"Per-layer weight/computation shares of {model} and the "
+        "resulting load imbalance.",
+        columns=["layer", "kind", "weight_share", "ops_share", "reuse_degree"],
+    )
+    for layer in profile.layers:
+        result.add_row(
+            layer=layer.name,
+            kind=layer.kind,
+            weight_share=profile.weight_fraction(layer),
+            ops_share=profile.ops_fraction(layer),
+            reuse_degree=layer.reuse_degree,
+        )
+
+    if model == "VGG16":
+        by_name = {layer.name: layer for layer in profile.layers}
+        first_two = [by_name["conv1"], by_name["conv2"]]
+        fc = [by_name[n] for n in ("fc1", "fc2", "fc3")]
+        measured = {
+            "first two conv layers": (
+                sum(profile.weight_fraction(l) for l in first_two),
+                sum(profile.ops_fraction(l) for l in first_two),
+            ),
+            "fully connected layers": (
+                sum(profile.weight_fraction(l) for l in fc),
+                sum(profile.ops_fraction(l) for l in fc),
+            ),
+        }
+        for key, (weight_share, ops_share) in measured.items():
+            paper_weight, paper_ops = PAPER_VGG16_SHARES[key]
+            result.add_note(
+                f"{key}: {weight_share * 100:.3f}% of weights, {ops_share * 100:.2f}% of "
+                f"computation (paper: {paper_weight * 100:.3f}% / {paper_ops * 100:.1f}%)"
+            )
+    result.add_note(
+        f"load imbalance (max computation-share / weight-share ratio): "
+        f"{profile.imbalance():.0f}x"
+    )
+    return result

@@ -1,0 +1,50 @@
+"""Run every experiment and collect the results (the EXPERIMENTS.md source)."""
+
+from __future__ import annotations
+
+from . import ablations, fig2, fig6, fig7, fig8, fig9, motivation, table1, table2, table3
+from .common import ExperimentResult
+
+__all__ = ["run_all", "EXPERIMENTS"]
+
+#: experiment id -> zero-argument callable producing an ExperimentResult.
+EXPERIMENTS = {
+    "motivation": motivation.run,
+    "table1": table1.run,
+    "table2": table2.run,
+    "fig2": fig2.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "fig8": fig8.run,
+    "fig9": fig9.run,
+    "table3": table3.run,
+    "ablation_spike_transmission": ablations.run_spike_transmission,
+    "ablation_pooling_synthesis": ablations.run_pooling_synthesis,
+    "ablation_speedup_decomposition": ablations.run_speedup_decomposition,
+}
+
+
+def run_all(names: list[str] | None = None) -> dict[str, ExperimentResult]:
+    """Run the selected experiments (all of them by default)."""
+    selected = names if names is not None else list(EXPERIMENTS)
+    results: dict[str, ExperimentResult] = {}
+    for name in selected:
+        try:
+            runner = EXPERIMENTS[name]
+        except KeyError:
+            raise KeyError(f"unknown experiment {name!r}; known: {sorted(EXPERIMENTS)}") from None
+        results[name] = runner()
+    return results
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    import sys
+
+    names = sys.argv[1:] or None
+    for name, result in run_all(names).items():
+        print(result.format())
+        print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

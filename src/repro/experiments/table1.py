@@ -1,0 +1,85 @@
+"""Table 1: parameters of the function blocks under the 45 nm process.
+
+The Table 1 numbers are inputs to the model (published circuit figures),
+so this experiment reports them together with the consistency checks the
+rest of the stack relies on: the PE component areas/energies must add up to
+(slightly below) the published PE total, and the PE's per-cycle latency
+must equal the sum of its stage latencies.
+"""
+
+from __future__ import annotations
+
+from ..arch.params import FPSAConfig
+from .common import ExperimentResult
+
+__all__ = ["run"]
+
+
+def run(config: FPSAConfig | None = None) -> ExperimentResult:
+    """Regenerate Table 1."""
+    config = config if config is not None else FPSAConfig()
+    pe = config.pe
+    components = pe.components
+
+    result = ExperimentResult(
+        name="Table 1",
+        description="Parameters of function blocks under 45nm process "
+        "(energy pJ / area um^2 / latency ns).",
+        columns=["block", "count", "energy_pj", "area_um2", "latency_ns"],
+    )
+    result.add_row(
+        block="PE (256x256)", count=1,
+        energy_pj=pe.block.energy_pj, area_um2=pe.block.area_um2, latency_ns=pe.block.latency_ns,
+    )
+    result.add_row(
+        block="  charging unit", count=components.n_charging_units,
+        energy_pj=components.charging_unit.energy_pj,
+        area_um2=components.charging_unit.area_um2,
+        latency_ns=components.charging_unit.latency_ns,
+    )
+    result.add_row(
+        block="  ReRAM crossbar (256x512)", count=components.n_crossbars,
+        energy_pj=components.reram_crossbar.energy_pj,
+        area_um2=components.reram_crossbar.area_um2,
+        latency_ns=components.reram_crossbar.latency_ns,
+    )
+    result.add_row(
+        block="  neuron unit", count=components.n_neuron_units,
+        energy_pj=components.neuron_unit.energy_pj,
+        area_um2=components.neuron_unit.area_um2,
+        latency_ns=components.neuron_unit.latency_ns,
+    )
+    result.add_row(
+        block="  subtractor", count=components.n_subtractors,
+        energy_pj=components.subtractor.energy_pj,
+        area_um2=components.subtractor.area_um2,
+        latency_ns=components.subtractor.latency_ns,
+    )
+    result.add_row(
+        block="CLB (128x LUT)", count=1,
+        energy_pj=config.clb.block.energy_pj,
+        area_um2=config.clb.block.area_um2,
+        latency_ns=config.clb.block.latency_ns,
+    )
+    result.add_row(
+        block="SMB (16Kb)", count=1,
+        energy_pj=config.smb.block.energy_pj,
+        area_um2=config.smb.block.area_um2,
+        latency_ns=config.smb.block.latency_ns,
+    )
+
+    component_area = components.component_area_um2()
+    component_latency = components.cycle_latency_ns()
+    result.add_note(
+        f"PE component areas sum to {component_area:.1f} um^2 of the published "
+        f"{pe.block.area_um2:.1f} um^2 (remainder is intra-PE interconnect)."
+    )
+    result.add_note(
+        f"PE datapath stage latencies sum to {component_latency:.3f} ns versus the "
+        f"published per-cycle latency of {pe.block.latency_ns:.3f} ns."
+    )
+    result.add_note(
+        f"one VMM = {pe.sampling_window} spike cycles = {pe.vmm_latency_ns:.1f} ns "
+        f"(the Table 2 FPSA latency)."
+    )
+    return result

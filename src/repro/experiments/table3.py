@@ -1,0 +1,58 @@
+"""Table 3: overall FPSA performance for every benchmark model.
+
+At 64x duplication degree the paper reports, per model: the number of
+weights, the number of operations per inference, the inference throughput,
+the latency and the chip area.  This harness regenerates the table with the
+analytic model and places the published values alongside for comparison.
+"""
+
+from __future__ import annotations
+
+from ..arch.params import FPSAConfig
+from ..core.compiler import FPSACompiler
+from ..models.zoo import BENCHMARK_MODELS, PAPER_TABLE3, build_model
+from .common import ExperimentResult, ratio
+
+__all__ = ["run"]
+
+
+def run(
+    models: tuple[str, ...] = BENCHMARK_MODELS,
+    duplication_degree: int = 64,
+    config: FPSAConfig | None = None,
+) -> ExperimentResult:
+    """Regenerate Table 3 (overall per-model performance at 64x duplication)."""
+    compiler = FPSACompiler(config)
+
+    result = ExperimentResult(
+        name="Table 3",
+        description=f"Overall FPSA performance at {duplication_degree}x duplication degree.",
+        columns=[
+            "model", "weights", "ops",
+            "throughput_samples_s", "paper_throughput",
+            "latency_us", "paper_latency_us",
+            "area_mm2", "paper_area_mm2",
+        ],
+    )
+    for model in models:
+        graph = build_model(model)
+        deployment = compiler.compile(graph, duplication_degree=duplication_degree)
+        reference = PAPER_TABLE3.get(model)
+        result.add_row(
+            model=model,
+            weights=graph.total_params(),
+            ops=graph.total_ops(),
+            throughput_samples_s=deployment.throughput_samples_per_s,
+            paper_throughput=reference.throughput_samples_per_s if reference else float("nan"),
+            latency_us=deployment.latency_us,
+            paper_latency_us=reference.latency_us if reference else float("nan"),
+            area_mm2=deployment.area_mm2,
+            paper_area_mm2=reference.area_mm2 if reference else float("nan"),
+        )
+        if reference:
+            result.add_note(
+                f"{model}: throughput {ratio(deployment.throughput_samples_per_s, reference.throughput_samples_per_s):.2f}x "
+                f"of paper, latency {ratio(deployment.latency_us, reference.latency_us):.2f}x, "
+                f"area {ratio(deployment.area_mm2, reference.area_mm2):.2f}x."
+            )
+    return result

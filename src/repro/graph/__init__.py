@@ -1,0 +1,49 @@
+"""Computational-graph frontend (the programming model of the system stack)."""
+
+from .analysis import GraphProfile, LayerStats, profile_graph
+from .builder import GraphBuilder
+from .graph import ComputationalGraph, GraphNode, GraphValidationError
+from .ops import (
+    Add,
+    AvgPool2d,
+    BatchNorm,
+    Concat,
+    Conv2d,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAvgPool,
+    InputOp,
+    LRN,
+    MaxPool2d,
+    Operation,
+    ReLU,
+    Softmax,
+)
+from .tensor import TensorSpec
+
+__all__ = [
+    "TensorSpec",
+    "Operation",
+    "InputOp",
+    "Conv2d",
+    "Dense",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool",
+    "ReLU",
+    "Add",
+    "Concat",
+    "BatchNorm",
+    "LRN",
+    "Flatten",
+    "Dropout",
+    "Softmax",
+    "ComputationalGraph",
+    "GraphNode",
+    "GraphValidationError",
+    "GraphBuilder",
+    "GraphProfile",
+    "LayerStats",
+    "profile_graph",
+]

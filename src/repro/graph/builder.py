@@ -1,0 +1,174 @@
+"""Fluent builder for computational graphs.
+
+The model zoo (``repro.models``) constructs the benchmark networks with
+this builder, which keeps track of the "current" tensor so sequential
+architectures read like framework code::
+
+    b = GraphBuilder("lenet", input_shape=(1, 28, 28))
+    b.conv(20, 5).maxpool(2).conv(50, 5).maxpool(2)
+    b.flatten().dense(500).relu().dense(10).softmax()
+    graph = b.build()
+
+Branching (inception modules, residual blocks) uses explicit tap names via
+:meth:`GraphBuilder.checkpoint` / the ``from_`` argument.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from .graph import ComputationalGraph, GraphNode
+from .ops import (
+    Add,
+    AvgPool2d,
+    BatchNorm,
+    Concat,
+    Conv2d,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAvgPool,
+    InputOp,
+    LRN,
+    MaxPool2d,
+    ReLU,
+    Softmax,
+)
+
+__all__ = ["GraphBuilder"]
+
+
+class GraphBuilder:
+    """Incrementally build a :class:`ComputationalGraph`."""
+
+    def __init__(self, name: str, input_shape: tuple[int, ...], bits: int = 6):
+        self.graph = ComputationalGraph(name)
+        self._counter = itertools.count()
+        self._current = self._add("input", InputOp(tuple(input_shape), bits=bits), [])
+
+    # ------------------------------------------------------------ internals
+    def _unique(self, prefix: str) -> str:
+        return f"{prefix}_{next(self._counter)}"
+
+    def _add(self, name: str | None, op, inputs: list[str], prefix: str | None = None):
+        node_name = name or self._unique(prefix or op.__class__.__name__.lower())
+        node = self.graph.add(node_name, op, inputs)
+        self._current = node.name
+        return node.name
+
+    def _resolve(self, from_: str | None) -> str:
+        return from_ if from_ is not None else self._current
+
+    # --------------------------------------------------------------- layers
+    @property
+    def current(self) -> str:
+        """Name of the most recently added node."""
+        return self._current
+
+    def checkpoint(self) -> str:
+        """Return the current tap name for later branching."""
+        return self._current
+
+    def conv(
+        self,
+        out_channels: int,
+        kernel: int,
+        stride: int = 1,
+        padding: int = 0,
+        groups: int = 1,
+        relu: bool = True,
+        name: str | None = None,
+        from_: str | None = None,
+    ) -> "GraphBuilder":
+        """Convolution, optionally followed by a fused ReLU."""
+        src = self._resolve(from_)
+        conv_name = self._add(
+            name, Conv2d(out_channels, kernel, stride, padding, groups), [src], "conv"
+        )
+        if relu:
+            self._add(None, ReLU(), [conv_name], "relu")
+        return self
+
+    def dense(
+        self,
+        out_features: int,
+        relu: bool = False,
+        name: str | None = None,
+        from_: str | None = None,
+    ) -> "GraphBuilder":
+        src = self._resolve(from_)
+        dense_name = self._add(name, Dense(out_features), [src], "fc")
+        if relu:
+            self._add(None, ReLU(), [dense_name], "relu")
+        return self
+
+    def relu(self, from_: str | None = None, name: str | None = None) -> "GraphBuilder":
+        self._add(name, ReLU(), [self._resolve(from_)], "relu")
+        return self
+
+    def maxpool(
+        self,
+        kernel: int,
+        stride: int | None = None,
+        padding: int = 0,
+        name: str | None = None,
+        from_: str | None = None,
+    ) -> "GraphBuilder":
+        self._add(name, MaxPool2d(kernel, stride, padding), [self._resolve(from_)], "maxpool")
+        return self
+
+    def avgpool(
+        self,
+        kernel: int,
+        stride: int | None = None,
+        padding: int = 0,
+        name: str | None = None,
+        from_: str | None = None,
+    ) -> "GraphBuilder":
+        self._add(name, AvgPool2d(kernel, stride, padding), [self._resolve(from_)], "avgpool")
+        return self
+
+    def global_avgpool(self, name: str | None = None, from_: str | None = None) -> "GraphBuilder":
+        self._add(name, GlobalAvgPool(), [self._resolve(from_)], "gap")
+        return self
+
+    def batchnorm(self, name: str | None = None, from_: str | None = None) -> "GraphBuilder":
+        self._add(name, BatchNorm(), [self._resolve(from_)], "bn")
+        return self
+
+    def lrn(self, local_size: int = 5, name: str | None = None, from_: str | None = None) -> "GraphBuilder":
+        self._add(name, LRN(local_size), [self._resolve(from_)], "lrn")
+        return self
+
+    def flatten(self, name: str | None = None, from_: str | None = None) -> "GraphBuilder":
+        self._add(name, Flatten(), [self._resolve(from_)], "flatten")
+        return self
+
+    def dropout(self, rate: float = 0.5, name: str | None = None, from_: str | None = None) -> "GraphBuilder":
+        self._add(name, Dropout(rate), [self._resolve(from_)], "dropout")
+        return self
+
+    def softmax(self, name: str | None = None, from_: str | None = None) -> "GraphBuilder":
+        self._add(name, Softmax(), [self._resolve(from_)], "softmax")
+        return self
+
+    def add(self, lhs: str, rhs: str, relu: bool = True, name: str | None = None) -> "GraphBuilder":
+        """Element-wise residual addition of two earlier taps."""
+        add_name = self._add(name, Add(), [lhs, rhs], "add")
+        if relu:
+            self._add(None, ReLU(), [add_name], "relu")
+        return self
+
+    def concat(self, taps: list[str], name: str | None = None) -> "GraphBuilder":
+        """Channel-wise concatenation of earlier taps."""
+        self._add(name, Concat(), list(taps), "concat")
+        return self
+
+    # ---------------------------------------------------------------- build
+    def node(self, name: str) -> GraphNode:
+        return self.graph.node(name)
+
+    def build(self) -> ComputationalGraph:
+        """Validate and return the constructed graph."""
+        self.graph.validate()
+        return self.graph

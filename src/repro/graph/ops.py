@@ -1,0 +1,348 @@
+"""Tensor operations of the computational-graph programming model.
+
+Deep-learning frameworks describe networks as computational graphs of
+tensor operations.  The neural synthesizer consumes this representation and
+lowers every operation to core-ops (low-precision VMM + ReLU).  Each
+operation therefore implements:
+
+* shape inference (:meth:`Operation.infer_shape`),
+* weight counting (:meth:`Operation.param_count`) and
+* operation counting (:meth:`Operation.op_count` — one multiply-accumulate
+  counts as two operations, matching Table 3 of the paper).
+
+Only inference-time behaviour is modelled; training-only attributes
+(dropout rates etc.) are accepted but inert.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .tensor import TensorSpec
+
+__all__ = [
+    "Operation",
+    "InputOp",
+    "Conv2d",
+    "Dense",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool",
+    "ReLU",
+    "Add",
+    "Concat",
+    "BatchNorm",
+    "LRN",
+    "Flatten",
+    "Dropout",
+    "Softmax",
+]
+
+
+def _conv_output_dim(size: int, kernel: int, stride: int, padding: int) -> int:
+    out = (size + 2 * padding - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"convolution/pool output collapsed to {out} "
+            f"(size={size}, kernel={kernel}, stride={stride}, padding={padding})"
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class Operation:
+    """Base class of all graph operations."""
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__
+
+    @property
+    def n_inputs(self) -> int:
+        """Number of tensor inputs the operation expects (-1 = variadic)."""
+        return 1
+
+    def infer_shape(self, inputs: list[TensorSpec]) -> TensorSpec:
+        """Output tensor spec given the input specs."""
+        raise NotImplementedError
+
+    def param_count(self, inputs: list[TensorSpec]) -> int:
+        """Number of trainable weights (biases excluded, as in the paper)."""
+        return 0
+
+    def op_count(self, inputs: list[TensorSpec]) -> int:
+        """Number of arithmetic operations per inference (MAC = 2 ops)."""
+        return 0
+
+    def validate_arity(self, inputs: list[TensorSpec]) -> None:
+        expected = self.n_inputs
+        if expected >= 0 and len(inputs) != expected:
+            raise ValueError(
+                f"{self.kind} expects {expected} input(s), got {len(inputs)}"
+            )
+        if expected < 0 and len(inputs) < 1:
+            raise ValueError(f"{self.kind} expects at least one input")
+
+
+@dataclass(frozen=True)
+class InputOp(Operation):
+    """Graph input placeholder."""
+
+    shape: tuple[int, ...]
+    bits: int = 6
+
+    @property
+    def n_inputs(self) -> int:
+        return 0
+
+    def infer_shape(self, inputs: list[TensorSpec]) -> TensorSpec:
+        self.validate_arity(inputs)
+        return TensorSpec(self.shape, bits=self.bits)
+
+
+@dataclass(frozen=True)
+class Conv2d(Operation):
+    """2-D convolution (optionally grouped) with implicit bias."""
+
+    out_channels: int
+    kernel: int
+    stride: int = 1
+    padding: int = 0
+    groups: int = 1
+
+    def __post_init__(self) -> None:
+        if self.out_channels <= 0 or self.kernel <= 0 or self.stride <= 0:
+            raise ValueError("out_channels, kernel and stride must be positive")
+        if self.padding < 0:
+            raise ValueError("padding must be non-negative")
+        if self.groups <= 0:
+            raise ValueError("groups must be positive")
+
+    def infer_shape(self, inputs: list[TensorSpec]) -> TensorSpec:
+        self.validate_arity(inputs)
+        x = inputs[0]
+        if not x.is_feature_map:
+            raise ValueError(f"Conv2d expects a feature map, got shape {x.shape}")
+        if x.channels % self.groups or self.out_channels % self.groups:
+            raise ValueError("channels must be divisible by groups")
+        out_h = _conv_output_dim(x.height, self.kernel, self.stride, self.padding)
+        out_w = _conv_output_dim(x.width, self.kernel, self.stride, self.padding)
+        return TensorSpec((self.out_channels, out_h, out_w), bits=x.bits)
+
+    def weight_matrix_shape(self, inputs: list[TensorSpec]) -> tuple[int, int]:
+        """The im2col weight matrix shape per group: (k*k*Cin/g, Cout/g)."""
+        x = inputs[0]
+        rows = self.kernel * self.kernel * (x.channels // self.groups)
+        cols = self.out_channels // self.groups
+        return rows, cols
+
+    def param_count(self, inputs: list[TensorSpec]) -> int:
+        rows, cols = self.weight_matrix_shape(inputs)
+        return rows * cols * self.groups
+
+    def op_count(self, inputs: list[TensorSpec]) -> int:
+        out = self.infer_shape(inputs)
+        macs = self.param_count(inputs) * out.height * out.width
+        return 2 * macs
+
+
+@dataclass(frozen=True)
+class Dense(Operation):
+    """Fully connected layer."""
+
+    out_features: int
+
+    def __post_init__(self) -> None:
+        if self.out_features <= 0:
+            raise ValueError("out_features must be positive")
+
+    def infer_shape(self, inputs: list[TensorSpec]) -> TensorSpec:
+        self.validate_arity(inputs)
+        x = inputs[0]
+        return TensorSpec((self.out_features,), bits=x.bits)
+
+    def param_count(self, inputs: list[TensorSpec]) -> int:
+        return inputs[0].size * self.out_features
+
+    def op_count(self, inputs: list[TensorSpec]) -> int:
+        return 2 * self.param_count(inputs)
+
+
+@dataclass(frozen=True)
+class _Pool2d(Operation):
+    kernel: int = 2
+    stride: int | None = None
+    padding: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kernel <= 0:
+            raise ValueError("kernel must be positive")
+        if self.stride is not None and self.stride <= 0:
+            raise ValueError("stride must be positive")
+        if self.padding < 0:
+            raise ValueError("padding must be non-negative")
+
+    @property
+    def effective_stride(self) -> int:
+        return self.stride if self.stride is not None else self.kernel
+
+    def infer_shape(self, inputs: list[TensorSpec]) -> TensorSpec:
+        self.validate_arity(inputs)
+        x = inputs[0]
+        if not x.is_feature_map:
+            raise ValueError(f"{self.kind} expects a feature map, got {x.shape}")
+        out_h = _conv_output_dim(x.height, self.kernel, self.effective_stride, self.padding)
+        out_w = _conv_output_dim(x.width, self.kernel, self.effective_stride, self.padding)
+        return TensorSpec((x.channels, out_h, out_w), bits=x.bits)
+
+    def op_count(self, inputs: list[TensorSpec]) -> int:
+        out = self.infer_shape(inputs)
+        # one comparison/add per element of each pooling window
+        return out.size * self.kernel * self.kernel
+
+
+@dataclass(frozen=True)
+class MaxPool2d(_Pool2d):
+    """Max pooling — synthesized to core-ops via ReLU identities."""
+
+
+@dataclass(frozen=True)
+class AvgPool2d(_Pool2d):
+    """Average pooling — synthesized to a single averaging VMM."""
+
+
+@dataclass(frozen=True)
+class GlobalAvgPool(Operation):
+    """Global average pooling down to a (channels,) vector."""
+
+    def infer_shape(self, inputs: list[TensorSpec]) -> TensorSpec:
+        self.validate_arity(inputs)
+        x = inputs[0]
+        if not x.is_feature_map:
+            raise ValueError(f"GlobalAvgPool expects a feature map, got {x.shape}")
+        return TensorSpec((x.channels,), bits=x.bits)
+
+    def op_count(self, inputs: list[TensorSpec]) -> int:
+        return inputs[0].size
+
+
+@dataclass(frozen=True)
+class ReLU(Operation):
+    """Rectified linear activation (fused into the preceding core-op)."""
+
+    def infer_shape(self, inputs: list[TensorSpec]) -> TensorSpec:
+        self.validate_arity(inputs)
+        return inputs[0]
+
+    def op_count(self, inputs: list[TensorSpec]) -> int:
+        return inputs[0].size
+
+
+@dataclass(frozen=True)
+class Add(Operation):
+    """Element-wise addition of two tensors (residual connections)."""
+
+    @property
+    def n_inputs(self) -> int:
+        return 2
+
+    def infer_shape(self, inputs: list[TensorSpec]) -> TensorSpec:
+        self.validate_arity(inputs)
+        a, b = inputs
+        if a.shape != b.shape:
+            raise ValueError(f"Add requires matching shapes, got {a.shape} and {b.shape}")
+        return a
+
+    def op_count(self, inputs: list[TensorSpec]) -> int:
+        return inputs[0].size
+
+
+@dataclass(frozen=True)
+class Concat(Operation):
+    """Channel-wise concatenation of feature maps (inception modules)."""
+
+    @property
+    def n_inputs(self) -> int:
+        return -1
+
+    def infer_shape(self, inputs: list[TensorSpec]) -> TensorSpec:
+        self.validate_arity(inputs)
+        first = inputs[0]
+        if first.is_feature_map:
+            h, w = first.height, first.width
+            for t in inputs[1:]:
+                if not t.is_feature_map or t.height != h or t.width != w:
+                    raise ValueError("Concat inputs must share spatial dimensions")
+            channels = sum(t.channels for t in inputs)
+            return TensorSpec((channels, h, w), bits=first.bits)
+        total = sum(t.size for t in inputs)
+        return TensorSpec((total,), bits=first.bits)
+
+
+@dataclass(frozen=True)
+class BatchNorm(Operation):
+    """Batch normalisation — folded into the preceding layer's weights."""
+
+    def infer_shape(self, inputs: list[TensorSpec]) -> TensorSpec:
+        self.validate_arity(inputs)
+        return inputs[0]
+
+    def param_count(self, inputs: list[TensorSpec]) -> int:
+        x = inputs[0]
+        channels = x.channels if x.is_feature_map else x.size
+        return 2 * channels
+
+    def op_count(self, inputs: list[TensorSpec]) -> int:
+        return 2 * inputs[0].size
+
+
+@dataclass(frozen=True)
+class LRN(Operation):
+    """Local response normalisation (AlexNet/GoogLeNet) — approximated by an
+    MLP structure during synthesis."""
+
+    local_size: int = 5
+
+    def infer_shape(self, inputs: list[TensorSpec]) -> TensorSpec:
+        self.validate_arity(inputs)
+        return inputs[0]
+
+    def op_count(self, inputs: list[TensorSpec]) -> int:
+        return inputs[0].size * self.local_size
+
+
+@dataclass(frozen=True)
+class Flatten(Operation):
+    """Reshape to a flat vector (wiring only)."""
+
+    def infer_shape(self, inputs: list[TensorSpec]) -> TensorSpec:
+        self.validate_arity(inputs)
+        return inputs[0].flattened()
+
+
+@dataclass(frozen=True)
+class Dropout(Operation):
+    """Dropout — identity at inference time."""
+
+    rate: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate < 1.0:
+            raise ValueError("rate must lie in [0, 1)")
+
+    def infer_shape(self, inputs: list[TensorSpec]) -> TensorSpec:
+        self.validate_arity(inputs)
+        return inputs[0]
+
+
+@dataclass(frozen=True)
+class Softmax(Operation):
+    """Softmax output — kept on the host, not mapped onto PEs."""
+
+    def infer_shape(self, inputs: list[TensorSpec]) -> TensorSpec:
+        self.validate_arity(inputs)
+        return inputs[0]
+
+    def op_count(self, inputs: list[TensorSpec]) -> int:
+        return 3 * inputs[0].size

@@ -1,0 +1,39 @@
+"""The spatial-to-temporal mapper (core-op graph -> function-block netlist)."""
+
+from .allocation import (
+    AllocationResult,
+    GroupAllocation,
+    allocate,
+    allocate_for_pe_budget,
+)
+from .control import ControlPlan, plan_control
+from .mapper import MappingResult, SpatialTemporalMapper
+from .netlist import Block, BlockType, FunctionBlockNetlist, Net, build_netlist
+from .schedule import (
+    Schedule,
+    ScheduledOp,
+    assign_pes,
+    schedule_instances,
+    validate_schedule,
+)
+
+__all__ = [
+    "GroupAllocation",
+    "AllocationResult",
+    "allocate",
+    "allocate_for_pe_budget",
+    "ScheduledOp",
+    "Schedule",
+    "assign_pes",
+    "schedule_instances",
+    "validate_schedule",
+    "Block",
+    "BlockType",
+    "Net",
+    "FunctionBlockNetlist",
+    "build_netlist",
+    "ControlPlan",
+    "plan_control",
+    "MappingResult",
+    "SpatialTemporalMapper",
+]

@@ -1,0 +1,206 @@
+"""PE resource allocation (the spatial half of the spatial-to-temporal mapper).
+
+Every weight group needs at least one PE per crossbar tile to hold its
+weights (the *minimum storage requirement*).  Groups whose weights are
+reused many times per inference (convolutional layers, synthesized pooling)
+become pipeline bottlenecks, so extra PEs are assigned to them as
+*duplicates*; a group with duplication ``d`` finishes its ``reuse``
+core-ops in ``ceil(reuse / d)`` iterations.
+
+Following Section 5.2, the *duplication degree of the model* is the
+duplication assigned to the group with the maximum reuse degree; all other
+groups receive just enough duplicates to keep their iteration count at or
+below that group's, which balances the pipeline stages.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..arch.params import PEParams
+from ..synthesizer.coreop import CoreOpGraph, WeightGroup
+
+__all__ = [
+    "GroupAllocation",
+    "AllocationResult",
+    "allocate",
+    "allocate_for_pe_budget",
+]
+
+
+@dataclass(frozen=True)
+class GroupAllocation:
+    """PE assignment of one weight group."""
+
+    group: str
+    tiles: int
+    duplication: int
+    reuse: int
+
+    def __post_init__(self) -> None:
+        if self.tiles <= 0 or self.duplication <= 0 or self.reuse <= 0:
+            raise ValueError("tiles, duplication and reuse must be positive")
+        if self.duplication > self.reuse:
+            raise ValueError(
+                f"group {self.group!r}: duplication {self.duplication} exceeds reuse {self.reuse}"
+            )
+
+    @property
+    def pes(self) -> int:
+        """PEs assigned to this group (tiles x duplicates)."""
+        return self.tiles * self.duplication
+
+    @property
+    def iterations(self) -> int:
+        """Sequential iterations needed to process all reuse positions."""
+        return math.ceil(self.reuse / self.duplication)
+
+
+@dataclass(frozen=True)
+class AllocationResult:
+    """The complete PE allocation of one model.
+
+    ``replication`` counts how many full copies of the mapped model are
+    instantiated: once every group has enough duplicates to finish in a
+    single iteration, further duplication can only help by processing
+    independent samples in parallel, so the surplus duplication degree is
+    spent on whole-model replicas (this is what lets small networks such as
+    the MLP keep scaling to 64x in Figure 8 / Table 3).
+    """
+
+    model: str
+    duplication_degree: int
+    allocations: dict[str, GroupAllocation]
+    replication: int = 1
+
+    def __post_init__(self) -> None:
+        if self.replication <= 0:
+            raise ValueError("replication must be positive")
+
+    @property
+    def pes_per_replica(self) -> int:
+        return sum(a.pes for a in self.allocations.values())
+
+    @property
+    def total_pes(self) -> int:
+        return self.replication * self.pes_per_replica
+
+    @property
+    def max_iterations(self) -> int:
+        """Iterations of the slowest (bottleneck) pipeline stage."""
+        return max((a.iterations for a in self.allocations.values()), default=1)
+
+    @property
+    def min_pes(self) -> int:
+        """PEs needed for minimum storage (duplication degree 1)."""
+        return sum(a.tiles for a in self.allocations.values())
+
+    def allocation(self, group: str) -> GroupAllocation:
+        try:
+            return self.allocations[group]
+        except KeyError:
+            raise KeyError(f"no allocation for group {group!r}") from None
+
+    def iterations(self, group: str) -> int:
+        return self.allocation(group).iterations
+
+    def temporal_utilization(self) -> float:
+        """Average busy fraction of the allocated PEs.
+
+        In the steady-state pipeline every stage has ``max_iterations``
+        cycles available but only keeps its PEs busy for its own iteration
+        count; the weighted average of ``iterations_g / max_iterations``
+        over PEs is the temporal utilization, whose reciprocal shortfall is
+        the temporal utilization bound of Figure 8c.
+        """
+        horizon = self.max_iterations
+        if horizon == 0 or not self.allocations:
+            return 0.0
+        busy = sum(a.pes * a.iterations for a in self.allocations.values())
+        return busy / (self.pes_per_replica * horizon)
+
+
+def _balanced_duplication(group: WeightGroup, target_iterations: int) -> int:
+    """Smallest duplication that keeps the group's iterations <= target."""
+    if target_iterations <= 0:
+        raise ValueError("target_iterations must be positive")
+    duplication = math.ceil(group.reuse / target_iterations)
+    return max(1, min(group.reuse, duplication))
+
+
+def allocate(
+    coreops: CoreOpGraph,
+    duplication_degree: int = 1,
+    pe: PEParams | None = None,
+) -> AllocationResult:
+    """Allocate PEs for a core-op graph at a given model duplication degree.
+
+    The group with the maximum reuse degree receives ``duplication_degree``
+    duplicates; every other group receives the minimum duplication that
+    keeps its iteration count at or below the resulting bottleneck.
+    """
+    if duplication_degree <= 0:
+        raise ValueError("duplication_degree must be positive")
+    pe = pe if pe is not None else PEParams()
+
+    groups = coreops.groups()
+    if not groups:
+        raise ValueError(f"core-op graph {coreops.name!r} has no groups to allocate")
+
+    max_reuse = coreops.max_reuse_degree
+    bottleneck_dup = min(duplication_degree, max_reuse)
+    target_iterations = math.ceil(max_reuse / bottleneck_dup)
+    replication = max(1, duplication_degree // max_reuse)
+
+    allocations: dict[str, GroupAllocation] = {}
+    for group in groups:
+        duplication = _balanced_duplication(group, target_iterations)
+        allocations[group.name] = GroupAllocation(
+            group=group.name,
+            tiles=group.min_pes(pe.rows, pe.logical_cols),
+            duplication=duplication,
+            reuse=group.reuse,
+        )
+    return AllocationResult(
+        model=coreops.name,
+        duplication_degree=duplication_degree,
+        allocations=allocations,
+        replication=replication,
+    )
+
+
+def allocate_for_pe_budget(
+    coreops: CoreOpGraph,
+    pe_budget: int,
+    pe: PEParams | None = None,
+) -> AllocationResult | None:
+    """Find the largest duplication degree whose allocation fits ``pe_budget``.
+
+    Returns ``None`` when even the minimum-storage allocation does not fit
+    (the model cannot be mapped onto the chip at all).
+    """
+    if pe_budget <= 0:
+        return None
+    pe = pe if pe is not None else PEParams()
+
+    base = allocate(coreops, duplication_degree=1, pe=pe)
+    if base.total_pes > pe_budget:
+        return None
+
+    # duplication beyond the maximum reuse degree is spent on whole-model
+    # replicas, so the search space extends past max_reuse up to the point
+    # where even fully-duplicated replicas exhaust the budget.
+    max_reuse = max(1, coreops.max_reuse_degree)
+    high = max_reuse * max(1, pe_budget // base.total_pes + 1)
+    low = 1
+    best = base
+    while low <= high:
+        mid = (low + high) // 2
+        candidate = allocate(coreops, duplication_degree=mid, pe=pe)
+        if candidate.total_pes <= pe_budget:
+            best = candidate
+            low = mid + 1
+        else:
+            high = mid - 1
+    return best

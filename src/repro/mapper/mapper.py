@@ -1,0 +1,136 @@
+"""The spatial-to-temporal mapper: core-op graph -> function-block netlist.
+
+The mapper performs the two sub-steps of Section 5.2:
+
+1. **Resource allocation** — group core-ops by shared weights, give every
+   group at least one PE per crossbar tile, and duplicate the
+   heavily-reused groups to balance the pipeline stages
+   (:mod:`repro.mapper.allocation`).
+2. **Scheduling** — order the core-op executions on their PEs under the
+   RC / NBD / BD / BC / SW constraints, inserting SMB buffers where
+   streaming is impossible (:mod:`repro.mapper.schedule`), and generate the
+   control logic (:mod:`repro.mapper.control`).
+
+The result is a :class:`MappingResult` holding the allocation, the
+function-block netlist, the control plan and (for models small enough to
+expand to instance level) the detailed schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.params import FPSAConfig
+from ..synthesizer.coreop import CoreOpGraph
+from .allocation import AllocationResult, allocate, allocate_for_pe_budget
+from .control import ControlPlan, plan_control
+from .netlist import FunctionBlockNetlist, build_netlist
+from .schedule import Schedule, schedule_instances
+
+__all__ = ["MappingResult", "SpatialTemporalMapper"]
+
+#: expanding more instances than this is pointless for scheduling studies
+#: and would dominate runtime; larger models use the group-level pipeline model.
+_DETAILED_SCHEDULE_LIMIT = 20_000
+
+
+@dataclass
+class MappingResult:
+    """Everything the mapper produces for one model."""
+
+    coreops: CoreOpGraph
+    allocation: AllocationResult
+    netlist: FunctionBlockNetlist
+    control: ControlPlan
+    schedule: Schedule | None = None
+
+    @property
+    def model(self) -> str:
+        return self.coreops.name
+
+    @property
+    def duplication_degree(self) -> int:
+        return self.allocation.duplication_degree
+
+    def chip_area_mm2(self, config: FPSAConfig | None = None) -> float:
+        config = config if config is not None else FPSAConfig()
+        return config.chip_area_mm2(
+            self.netlist.n_pe, self.netlist.n_smb, self.netlist.n_clb
+        )
+
+    def summary(self) -> str:
+        lines = [
+            f"mapping of {self.model!r} (duplication degree {self.duplication_degree})",
+            f"  PEs: {self.netlist.n_pe}  SMBs: {self.netlist.n_smb}  CLBs: {self.netlist.n_clb}",
+            f"  bottleneck iterations: {self.allocation.max_iterations}",
+            f"  temporal utilization: {self.allocation.temporal_utilization():.3f}",
+        ]
+        if self.schedule is not None:
+            lines.append(
+                f"  detailed schedule: makespan {self.schedule.makespan} cycles, "
+                f"{self.schedule.n_buffers} buffered edges"
+            )
+        return "\n".join(lines)
+
+
+class SpatialTemporalMapper:
+    """Map a core-op graph onto FPSA function blocks."""
+
+    def __init__(self, config: FPSAConfig | None = None):
+        self.config = config if config is not None else FPSAConfig()
+
+    def map(
+        self,
+        coreops: CoreOpGraph,
+        duplication_degree: int = 1,
+        pe_budget: int | None = None,
+        detailed_schedule: bool = False,
+        max_schedule_reuse: int | None = None,
+    ) -> MappingResult:
+        """Map ``coreops`` onto function blocks.
+
+        Parameters
+        ----------
+        duplication_degree:
+            Model duplication degree (ignored when ``pe_budget`` is given).
+        pe_budget:
+            When set, pick the largest duplication degree that fits the
+            budget instead of using ``duplication_degree``.
+        detailed_schedule:
+            Run the instance-level Algorithm-1 scheduler (small models only).
+        max_schedule_reuse:
+            Cap on reuse positions expanded per group for the detailed
+            schedule; ``None`` expands everything.
+        """
+        pe = self.config.pe
+        if pe_budget is not None:
+            allocation = allocate_for_pe_budget(coreops, pe_budget, pe)
+            if allocation is None:
+                raise ValueError(
+                    f"model {coreops.name!r} needs at least "
+                    f"{allocate(coreops, 1, pe).total_pes} PEs; budget is {pe_budget}"
+                )
+        else:
+            allocation = allocate(coreops, duplication_degree, pe)
+
+        netlist = build_netlist(coreops, allocation, self.config)
+        control = plan_control(allocation, netlist, self.config)
+        # re-emit the netlist with the exact CLB count from the control plan
+        netlist = build_netlist(coreops, allocation, self.config, clb_blocks=control.clbs_needed)
+
+        schedule = None
+        if detailed_schedule:
+            instances = coreops.expand(
+                max_rows=pe.rows,
+                max_cols=pe.logical_cols,
+                max_reuse=max_schedule_reuse,
+                max_instances=_DETAILED_SCHEDULE_LIMIT,
+            )
+            schedule = schedule_instances(instances, allocation, window=pe.sampling_window)
+        return MappingResult(
+            coreops=coreops,
+            allocation=allocation,
+            netlist=netlist,
+            control=control,
+            schedule=schedule,
+        )

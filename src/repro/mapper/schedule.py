@@ -1,0 +1,268 @@
+"""Temporal scheduling of core-op instances onto allocated PEs (Algorithm 1).
+
+The scheduler assigns every core-op instance a PE, a start cycle and an end
+cycle such that the constraints of Section 5.2 hold:
+
+* **RC** (resource conflict): instances on the same PE never overlap.
+* **NBD** (no-buffer dependency): when two dependent instances are directly
+  connected without a buffer, the consumer's execution covers the
+  producer's, shifted by one cycle (``sv <= su + 1`` and ``ev >= eu + 1``)
+  so the spike train can stream between them.
+* **BD** (buffered dependency): when a buffer is inserted, the consumer
+  starts strictly after the producer ends (``sv > eu``).
+* **BC** (buffer conflict): readers of the same buffer port are separated
+  by at least one sampling window.
+* **SW** (sampling window): every instance executes for at least one
+  sampling window (``ev >= sv + Gamma``).
+
+Like the paper's greedy Algorithm 1, the scheduler walks the instance graph
+in topological order and keeps producer/consumer pairs streaming (NBD)
+whenever possible, inserting SMB buffers only when a resource conflict
+forces the consumer to start later.  Unlike the paper's pseudo-code we
+never push already-scheduled predecessors later; converting the offending
+edge to a buffered edge is always sufficient to satisfy the constraints and
+keeps the algorithm strictly forward (the resulting schedules satisfy the
+same constraint system, which is what :func:`validate_schedule` checks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..synthesizer.coreop import CoreOpInstanceGraph
+from .allocation import AllocationResult
+
+__all__ = [
+    "ScheduledOp",
+    "Schedule",
+    "assign_pes",
+    "schedule_instances",
+    "validate_schedule",
+]
+
+
+@dataclass(frozen=True)
+class ScheduledOp:
+    """One scheduled core-op instance."""
+
+    name: str
+    group: str
+    pe: str
+    start: int
+    end: int
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+
+@dataclass
+class Schedule:
+    """The result of temporal scheduling."""
+
+    model: str
+    window: int
+    ops: dict[str, ScheduledOp] = field(default_factory=dict)
+    #: edges (producer instance, consumer instance) that require an SMB buffer.
+    buffered_edges: set[tuple[str, str]] = field(default_factory=set)
+
+    @property
+    def makespan(self) -> int:
+        """Total cycles from the first start to the last end."""
+        if not self.ops:
+            return 0
+        return max(op.end for op in self.ops.values()) - min(
+            op.start for op in self.ops.values()
+        )
+
+    @property
+    def n_buffers(self) -> int:
+        return len(self.buffered_edges)
+
+    def pes(self) -> set[str]:
+        return {op.pe for op in self.ops.values()}
+
+    def pe_intervals(self) -> dict[str, list[tuple[int, int]]]:
+        """Sorted busy intervals per PE."""
+        intervals: dict[str, list[tuple[int, int]]] = {}
+        for op in self.ops.values():
+            intervals.setdefault(op.pe, []).append((op.start, op.end))
+        for pe in intervals:
+            intervals[pe].sort()
+        return intervals
+
+    def pe_utilization(self) -> float:
+        """Average fraction of the makespan each PE spends computing."""
+        if not self.ops:
+            return 0.0
+        horizon = max(self.makespan, 1)
+        intervals = self.pe_intervals()
+        busy = sum(end - start for spans in intervals.values() for start, end in spans)
+        return busy / (len(intervals) * horizon)
+
+
+def assign_pes(
+    instances: CoreOpInstanceGraph, allocation: AllocationResult
+) -> dict[str, str]:
+    """Assign each instance to one of its group's PEs.
+
+    Tile ``t`` of reuse position ``r`` goes to duplicate ``r % duplication``,
+    which spreads the reuse positions round-robin over the duplicates.
+    """
+    assignment: dict[str, str] = {}
+    for instance in instances.instances.values():
+        alloc = allocation.allocation(instance.group)
+        duplicate = instance.reuse_index % alloc.duplication
+        assignment[instance.name] = f"{instance.group}::pe{instance.tile_index}.{duplicate}"
+    return assignment
+
+
+def _earliest_free_slot(
+    intervals: list[tuple[int, int]], earliest: int, duration: int
+) -> int:
+    """Earliest start >= ``earliest`` such that [start, start+duration) does
+    not overlap any existing interval.  ``intervals`` must be sorted."""
+    start = earliest
+    for busy_start, busy_end in intervals:
+        if busy_end <= start:
+            continue
+        if busy_start >= start + duration:
+            break
+        start = busy_end
+    return start
+
+
+def schedule_instances(
+    instances: CoreOpInstanceGraph,
+    allocation: AllocationResult,
+    window: int = 64,
+) -> Schedule:
+    """Greedy Algorithm-1 scheduling of an instance graph."""
+    if window <= 0:
+        raise ValueError("window must be positive")
+    assignment = assign_pes(instances, allocation)
+    result = Schedule(model=instances.name, window=window)
+
+    pe_busy: dict[str, list[tuple[int, int]]] = {}
+    #: per producer instance: start time of the latest buffered read (BC).
+    last_buffer_read: dict[str, int] = {}
+
+    predecessors: dict[str, list[str]] = {name: [] for name in instances.instances}
+    for edge in instances.edges:
+        predecessors[edge.dst].append(edge.src)
+
+    for instance in instances.topological():
+        name = instance.name
+        pe = assignment[name]
+        preds = predecessors[name]
+        pred_ops = [result.ops[p] for p in preds]
+
+        # streaming (NBD) tentative timing
+        if pred_ops:
+            desired_start = min(op.start for op in pred_ops) + 1
+            min_end = max(op.end for op in pred_ops) + 1
+        else:
+            desired_start = 0
+            min_end = window
+
+        buffered: set[str] = set()
+        intervals = pe_busy.setdefault(pe, [])
+        start = desired_start
+        for _ in range(len(preds) + 2):
+            duration = max(window, min_end - start)
+            slot = _earliest_free_slot(intervals, start, duration)
+            # NBD requires slot <= su + 1 for every unbuffered predecessor;
+            # predecessors that cannot stream get a buffer (BD + BC).
+            newly_buffered = [
+                op for op in pred_ops
+                if op.name not in buffered and slot > op.start + 1
+            ]
+            if not newly_buffered:
+                start = slot
+                break
+            for op in newly_buffered:
+                buffered.add(op.name)
+            # recompute the earliest start under BD and BC for buffered preds
+            start = desired_start
+            unbuffered = [op for op in pred_ops if op.name not in buffered]
+            if unbuffered:
+                start = min(op.start for op in unbuffered) + 1
+                min_end = max(op.end for op in unbuffered) + 1
+            else:
+                min_end = 0
+            for op in pred_ops:
+                if op.name in buffered:
+                    start = max(start, op.end + 1)
+                    if op.name in last_buffer_read:
+                        start = max(start, last_buffer_read[op.name] + window)
+        else:
+            # all predecessors buffered and slot search converged
+            duration = max(window, min_end - start)
+            start = _earliest_free_slot(intervals, start, duration)
+
+        duration = max(window, min_end - start)
+        end = start + duration
+
+        scheduled = ScheduledOp(name=name, group=instance.group, pe=pe, start=start, end=end)
+        result.ops[name] = scheduled
+        intervals.append((start, end))
+        intervals.sort()
+        for op in pred_ops:
+            if op.name in buffered:
+                result.buffered_edges.add((op.name, name))
+                last_buffer_read[op.name] = max(last_buffer_read.get(op.name, 0), start)
+    return result
+
+
+def validate_schedule(
+    schedule: Schedule, instances: CoreOpInstanceGraph
+) -> list[str]:
+    """Check every constraint of Section 5.2; returns a list of violations."""
+    violations: list[str] = []
+    window = schedule.window
+
+    # SW
+    for op in schedule.ops.values():
+        if op.duration < window:
+            violations.append(f"SW: {op.name} runs {op.duration} < {window} cycles")
+
+    # RC
+    for pe, intervals in schedule.pe_intervals().items():
+        for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+            if s2 < e1:
+                violations.append(f"RC: overlap on {pe}: ({s1},{e1}) and ({s2},{e2})")
+
+    # dependencies
+    for edge in instances.edges:
+        producer = schedule.ops.get(edge.src)
+        consumer = schedule.ops.get(edge.dst)
+        if producer is None or consumer is None:
+            violations.append(f"missing schedule entry for edge {edge.src}->{edge.dst}")
+            continue
+        if (edge.src, edge.dst) in schedule.buffered_edges:
+            if consumer.start <= producer.end:
+                violations.append(
+                    f"BD: {edge.dst} starts at {consumer.start} <= producer end {producer.end}"
+                )
+        else:
+            if consumer.start > producer.start + 1:
+                violations.append(
+                    f"NBD: {edge.dst} starts {consumer.start} > {producer.start}+1"
+                )
+            if consumer.end < producer.end + 1:
+                violations.append(
+                    f"NBD: {edge.dst} ends {consumer.end} < {producer.end}+1"
+                )
+
+    # BC: buffered readers of the same producer separated by >= window
+    readers: dict[str, list[int]] = {}
+    for src, dst in schedule.buffered_edges:
+        readers.setdefault(src, []).append(schedule.ops[dst].start)
+    for src, starts in readers.items():
+        starts.sort()
+        for a, b in zip(starts, starts[1:]):
+            if b - a < window and b != a:
+                violations.append(
+                    f"BC: readers of {src} start {a} and {b} within one window"
+                )
+    return violations

@@ -1,0 +1,35 @@
+"""The benchmark NN model zoo (Table 3 of the paper)."""
+
+from .alexnet import build_alexnet
+from .cifar_vgg import build_cifar_vgg17
+from .googlenet import build_googlenet
+from .lenet import build_lenet
+from .mlp import build_mlp_500_100
+from .resnet import build_resnet, build_resnet50, build_resnet152
+from .vgg import build_vgg16
+from .zoo import (
+    BENCHMARK_MODELS,
+    MODEL_BUILDERS,
+    PAPER_TABLE3,
+    ModelReference,
+    build_model,
+    model_names,
+)
+
+__all__ = [
+    "build_mlp_500_100",
+    "build_lenet",
+    "build_cifar_vgg17",
+    "build_alexnet",
+    "build_vgg16",
+    "build_googlenet",
+    "build_resnet",
+    "build_resnet50",
+    "build_resnet152",
+    "ModelReference",
+    "MODEL_BUILDERS",
+    "BENCHMARK_MODELS",
+    "PAPER_TABLE3",
+    "build_model",
+    "model_names",
+]

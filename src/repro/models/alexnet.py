@@ -1,0 +1,36 @@
+"""AlexNet for ImageNet (single-tower Caffe variant).
+
+60.6M weights and 1.4G operations per inference (Table 3).  The grouped
+convolutions of the original two-GPU model are preserved (groups=2 on
+conv2/4/5) because they change the weight-matrix shapes the synthesizer
+tiles onto crossbars.
+"""
+
+from __future__ import annotations
+
+from ..graph import ComputationalGraph, GraphBuilder
+
+__all__ = ["build_alexnet"]
+
+
+def build_alexnet(num_classes: int = 1000) -> ComputationalGraph:
+    """Build the AlexNet computational graph."""
+    builder = GraphBuilder("AlexNet", input_shape=(3, 227, 227))
+    builder.conv(96, 11, stride=4, name="conv1")
+    builder.lrn(name="norm1")
+    builder.maxpool(3, stride=2, name="pool1")
+    builder.conv(256, 5, padding=2, groups=2, name="conv2")
+    builder.lrn(name="norm2")
+    builder.maxpool(3, stride=2, name="pool2")
+    builder.conv(384, 3, padding=1, name="conv3")
+    builder.conv(384, 3, padding=1, groups=2, name="conv4")
+    builder.conv(256, 3, padding=1, groups=2, name="conv5")
+    builder.maxpool(3, stride=2, name="pool5")
+    builder.flatten(name="flatten")
+    builder.dense(4096, relu=True, name="fc6")
+    builder.dropout(0.5, name="drop6")
+    builder.dense(4096, relu=True, name="fc7")
+    builder.dropout(0.5, name="drop7")
+    builder.dense(num_classes, name="fc8")
+    builder.softmax(name="prob")
+    return builder.build()

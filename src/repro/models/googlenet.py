@@ -1,0 +1,84 @@
+"""GoogLeNet (Inception v1) for ImageNet.
+
+7.0M weights and 3.2G operations per inference (Table 3).  GoogLeNet
+matters to the evaluation because its many pooling/reduction operations are
+synthesized into small core-ops that dominate the PE count (the paper
+reports 67.2% of PEs go to pooling after synthesis), which is what pulls
+its spatial-utilization bound down in Figure 8c.
+
+The auxiliary classifiers are omitted (inference-time model).
+"""
+
+from __future__ import annotations
+
+from ..graph import ComputationalGraph, GraphBuilder
+
+__all__ = ["build_googlenet", "INCEPTION_CONFIGS"]
+
+#: (1x1, 3x3 reduce, 3x3, 5x5 reduce, 5x5, pool proj) channel counts for the
+#: nine inception modules, in execution order.
+INCEPTION_CONFIGS: dict[str, tuple[int, int, int, int, int, int]] = {
+    "3a": (64, 96, 128, 16, 32, 32),
+    "3b": (128, 128, 192, 32, 96, 64),
+    "4a": (192, 96, 208, 16, 48, 64),
+    "4b": (160, 112, 224, 24, 64, 64),
+    "4c": (128, 128, 256, 24, 64, 64),
+    "4d": (112, 144, 288, 32, 64, 64),
+    "4e": (256, 160, 320, 32, 128, 128),
+    "5a": (256, 160, 320, 32, 128, 128),
+    "5b": (384, 192, 384, 48, 128, 128),
+}
+
+
+def _inception(builder: GraphBuilder, name: str, source: str,
+               config: tuple[int, int, int, int, int, int]) -> str:
+    """Add one inception module reading from ``source``; returns the concat node."""
+    c1, c3r, c3, c5r, c5, proj = config
+
+    builder.conv(c1, 1, name=f"inception_{name}_1x1", from_=source)
+    branch1 = builder.current
+
+    builder.conv(c3r, 1, name=f"inception_{name}_3x3_reduce", from_=source)
+    builder.conv(c3, 3, padding=1, name=f"inception_{name}_3x3")
+    branch2 = builder.current
+
+    builder.conv(c5r, 1, name=f"inception_{name}_5x5_reduce", from_=source)
+    builder.conv(c5, 5, padding=2, name=f"inception_{name}_5x5")
+    branch3 = builder.current
+
+    builder.maxpool(3, stride=1, padding=1, name=f"inception_{name}_pool", from_=source)
+    builder.conv(proj, 1, name=f"inception_{name}_pool_proj")
+    branch4 = builder.current
+
+    builder.concat([branch1, branch2, branch3, branch4], name=f"inception_{name}_output")
+    return builder.current
+
+
+def build_googlenet(num_classes: int = 1000) -> ComputationalGraph:
+    """Build the GoogLeNet computational graph."""
+    builder = GraphBuilder("GoogLeNet", input_shape=(3, 224, 224))
+    builder.conv(64, 7, stride=2, padding=3, name="conv1")
+    builder.maxpool(3, stride=2, padding=1, name="pool1")
+    builder.lrn(name="norm1")
+    builder.conv(64, 1, name="conv2_reduce")
+    builder.conv(192, 3, padding=1, name="conv2")
+    builder.lrn(name="norm2")
+    builder.maxpool(3, stride=2, padding=1, name="pool2")
+
+    current = builder.current
+    for name in ("3a", "3b"):
+        current = _inception(builder, name, current, INCEPTION_CONFIGS[name])
+    builder.maxpool(3, stride=2, padding=1, name="pool3", from_=current)
+    current = builder.current
+    for name in ("4a", "4b", "4c", "4d", "4e"):
+        current = _inception(builder, name, current, INCEPTION_CONFIGS[name])
+    builder.maxpool(3, stride=2, padding=1, name="pool4", from_=current)
+    current = builder.current
+    for name in ("5a", "5b"):
+        current = _inception(builder, name, current, INCEPTION_CONFIGS[name])
+
+    builder.global_avgpool(name="pool5", from_=current)
+    builder.dropout(0.4, name="drop")
+    builder.dense(num_classes, name="loss3_classifier")
+    builder.softmax(name="prob")
+    return builder.build()

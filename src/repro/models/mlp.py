@@ -1,0 +1,22 @@
+"""MLP-500-100: a two-hidden-layer perceptron for MNIST.
+
+The paper's smallest benchmark: 784-500-100-10, 443.0K weights, 886.0K
+operations per inference.  The MLP has no weight sharing, so its temporal
+utilization bound coincides with its spatial bound in Figure 8c.
+"""
+
+from __future__ import annotations
+
+from ..graph import ComputationalGraph, GraphBuilder
+
+__all__ = ["build_mlp_500_100"]
+
+
+def build_mlp_500_100(num_classes: int = 10, input_size: int = 784) -> ComputationalGraph:
+    """Build the MLP-500-100 computational graph."""
+    builder = GraphBuilder("MLP-500-100", input_shape=(input_size,))
+    builder.dense(500, relu=True, name="fc1")
+    builder.dense(100, relu=True, name="fc2")
+    builder.dense(num_classes, name="fc3")
+    builder.softmax(name="prob")
+    return builder.build()

@@ -1,0 +1,99 @@
+"""ResNet-152 for ImageNet.
+
+The deepest benchmark model: ~58M weights and ~22.6G operations per
+inference (Table 3).  Bottleneck residual blocks with batch normalisation;
+BN layers are folded into the preceding convolution by the synthesizer.
+
+The block structure is the standard (3, 8, 36, 3) bottleneck arrangement.
+``build_resnet`` also exposes the smaller ResNet-50 depth for tests and
+examples that need a residual network without the full 152-layer cost.
+"""
+
+from __future__ import annotations
+
+from ..graph import ComputationalGraph, GraphBuilder
+
+__all__ = ["build_resnet152", "build_resnet50", "build_resnet"]
+
+_DEPTH_CONFIGS: dict[int, tuple[int, int, int, int]] = {
+    50: (3, 4, 6, 3),
+    101: (3, 4, 23, 3),
+    152: (3, 8, 36, 3),
+}
+
+
+def _bottleneck(
+    builder: GraphBuilder,
+    name: str,
+    source: str,
+    mid_channels: int,
+    out_channels: int,
+    stride: int,
+    project: bool,
+) -> str:
+    """Add one bottleneck residual block; returns the output (post-ReLU) node."""
+    builder.conv(mid_channels, 1, stride=stride, name=f"{name}_branch2a", from_=source)
+    builder.batchnorm(name=f"{name}_branch2a_bn")
+    builder.relu(name=f"{name}_branch2a_relu")
+    builder.conv(mid_channels, 3, padding=1, name=f"{name}_branch2b")
+    builder.batchnorm(name=f"{name}_branch2b_bn")
+    builder.relu(name=f"{name}_branch2b_relu")
+    builder.conv(out_channels, 1, relu=False, name=f"{name}_branch2c")
+    builder.batchnorm(name=f"{name}_branch2c_bn")
+    main = builder.current
+
+    if project:
+        builder.conv(out_channels, 1, stride=stride, relu=False,
+                     name=f"{name}_branch1", from_=source)
+        builder.batchnorm(name=f"{name}_branch1_bn")
+        shortcut = builder.current
+    else:
+        shortcut = source
+
+    builder.add(main, shortcut, relu=True, name=f"{name}_add")
+    return builder.current
+
+
+def build_resnet(depth: int = 152, num_classes: int = 1000) -> ComputationalGraph:
+    """Build a bottleneck ResNet of the given depth (50, 101 or 152)."""
+    if depth not in _DEPTH_CONFIGS:
+        raise ValueError(f"unsupported depth {depth}; choose from {sorted(_DEPTH_CONFIGS)}")
+    blocks = _DEPTH_CONFIGS[depth]
+
+    builder = GraphBuilder(f"ResNet{depth}", input_shape=(3, 224, 224))
+    builder.conv(64, 7, stride=2, padding=3, relu=False, name="conv1")
+    builder.batchnorm(name="conv1_bn")
+    builder.relu(name="conv1_relu")
+    builder.maxpool(3, stride=2, padding=1, name="pool1")
+
+    current = builder.current
+    stage_channels = ((64, 256), (128, 512), (256, 1024), (512, 2048))
+    for stage, (n_blocks, (mid, out)) in enumerate(zip(blocks, stage_channels), start=2):
+        for block in range(n_blocks):
+            stride = 2 if (stage > 2 and block == 0) else 1
+            project = block == 0
+            current = _bottleneck(
+                builder,
+                name=f"res{stage}{chr(ord('a') + block)}" if n_blocks <= 26
+                else f"res{stage}b{block}",
+                source=current,
+                mid_channels=mid,
+                out_channels=out,
+                stride=stride,
+                project=project,
+            )
+
+    builder.global_avgpool(name="pool5", from_=current)
+    builder.dense(num_classes, name="fc1000")
+    builder.softmax(name="prob")
+    return builder.build()
+
+
+def build_resnet152(num_classes: int = 1000) -> ComputationalGraph:
+    """Build the ResNet-152 computational graph."""
+    return build_resnet(152, num_classes)
+
+
+def build_resnet50(num_classes: int = 1000) -> ComputationalGraph:
+    """Build a ResNet-50 computational graph (used by tests and examples)."""
+    return build_resnet(50, num_classes)

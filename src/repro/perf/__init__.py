@@ -1,0 +1,48 @@
+"""Performance models: bounds, the analytic pipelined model, the simulator."""
+
+from .analytic import (
+    AreaSweepPoint,
+    ArchitectureModel,
+    BlockCounts,
+    FPSAArchitecture,
+    estimate_block_counts,
+    evaluate_design_point,
+    pipeline_depth,
+    sweep_area,
+    traffic_values_per_sample,
+)
+from .bounds import UtilizationBounds, compute_bounds, spatial_utilization
+from .comm import (
+    CommContext,
+    CommunicationModel,
+    ReconfigurableRoutingComm,
+    SharedBusComm,
+    mean_route_segments,
+)
+from .metrics import LatencyBreakdown, PerformanceReport, geometric_mean
+from .pipeline_sim import PipelineSimulationResult, PipelineSimulator
+
+__all__ = [
+    "PerformanceReport",
+    "LatencyBreakdown",
+    "geometric_mean",
+    "CommContext",
+    "CommunicationModel",
+    "SharedBusComm",
+    "ReconfigurableRoutingComm",
+    "mean_route_segments",
+    "UtilizationBounds",
+    "compute_bounds",
+    "spatial_utilization",
+    "ArchitectureModel",
+    "FPSAArchitecture",
+    "BlockCounts",
+    "estimate_block_counts",
+    "traffic_values_per_sample",
+    "pipeline_depth",
+    "evaluate_design_point",
+    "sweep_area",
+    "AreaSweepPoint",
+    "PipelineSimulationResult",
+    "PipelineSimulator",
+]

@@ -1,0 +1,310 @@
+"""The analytic pipelined performance model.
+
+This is the model the experiment harnesses use for ImageNet-scale networks
+(the paper's own evaluation similarly drives a performance simulator with
+the mrVPR routing report rather than simulating every spike).  It combines:
+
+* the allocation (bottleneck iterations, temporal utilization),
+* the architecture's per-VMM computation latency and area, and
+* a communication model (shared bus or reconfigurable routing),
+
+into throughput, latency, peak/ideal/real OPS and chip area.
+
+``ideal`` performance assumes an infinitely fast communication subsystem
+(only computation and utilization limit it); ``real`` performance adds the
+communication latency per pipeline stage and the shared-medium throughput
+ceiling (for bus-based architectures), which reproduces the three-bound
+picture of Figures 2 and 6.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Protocol
+
+from ..arch.params import FPSAConfig
+from ..mapper.allocation import AllocationResult, allocate, allocate_for_pe_budget
+from ..synthesizer.coreop import CoreOpGraph
+from .comm import CommContext, CommunicationModel, ReconfigurableRoutingComm
+from .metrics import LatencyBreakdown, PerformanceReport
+
+__all__ = [
+    "ArchitectureModel",
+    "FPSAArchitecture",
+    "BlockCounts",
+    "estimate_block_counts",
+    "traffic_values_per_sample",
+    "pipeline_depth",
+    "evaluate_design_point",
+    "sweep_area",
+    "AreaSweepPoint",
+]
+
+
+class ArchitectureModel(Protocol):
+    """What the analytic evaluator needs to know about an architecture."""
+
+    name: str
+
+    @property
+    def pe_vmm_latency_ns(self) -> float: ...
+
+    @property
+    def pe_ops_per_vmm(self) -> int: ...
+
+    @property
+    def pe_area_mm2(self) -> float: ...
+
+    @property
+    def effective_area_per_pe_mm2(self) -> float:
+        """Chip area consumed per PE including its share of support blocks."""
+        ...
+
+    @property
+    def io_bits(self) -> int: ...
+
+    @property
+    def values_per_vmm(self) -> int: ...
+
+    def comm_model(self) -> CommunicationModel: ...
+
+    def chip_area_mm2(self, n_pe: int, n_smb: int, n_clb: int) -> float: ...
+
+    def crossbar_shape(self) -> tuple[int, int]: ...
+
+
+@dataclass(frozen=True)
+class FPSAArchitecture:
+    """The FPSA architecture as seen by the analytic evaluator."""
+
+    config: FPSAConfig = FPSAConfig()
+    name: str = "FPSA"
+
+    @property
+    def pe_vmm_latency_ns(self) -> float:
+        return self.config.pe.vmm_latency_ns
+
+    @property
+    def pe_ops_per_vmm(self) -> int:
+        return self.config.pe.ops_per_vmm
+
+    @property
+    def pe_area_mm2(self) -> float:
+        return self.config.pe.area_mm2
+
+    @property
+    def effective_area_per_pe_mm2(self) -> float:
+        cfg = self.config
+        return (cfg.pe.area_mm2 + cfg.clbs_per_pe * cfg.clb.area_mm2) * (
+            1.0 + cfg.routing.area_overhead_fraction
+        )
+
+    @property
+    def io_bits(self) -> int:
+        return self.config.pe.io_bits
+
+    @property
+    def values_per_vmm(self) -> int:
+        return self.config.pe.rows + self.config.pe.logical_cols
+
+    def comm_model(self) -> CommunicationModel:
+        return ReconfigurableRoutingComm(self.config, spike_train=True)
+
+    def chip_area_mm2(self, n_pe: int, n_smb: int, n_clb: int) -> float:
+        return self.config.chip_area_mm2(n_pe, n_smb, n_clb)
+
+    def crossbar_shape(self) -> tuple[int, int]:
+        return (self.config.pe.rows, self.config.pe.logical_cols)
+
+
+@dataclass(frozen=True)
+class BlockCounts:
+    """Estimated function-block mix of one mapped design point."""
+
+    n_pe: int
+    n_smb: int
+    n_clb: int
+
+    @property
+    def total(self) -> int:
+        return self.n_pe + self.n_smb + self.n_clb
+
+
+def estimate_block_counts(
+    coreops: CoreOpGraph,
+    allocation: AllocationResult,
+    config: FPSAConfig | None = None,
+) -> BlockCounts:
+    """Cheap block-count estimate (the full netlist builder gives the exact
+    numbers; this estimate avoids materialising hundreds of thousands of
+    block objects inside area sweeps)."""
+    config = config if config is not None else FPSAConfig()
+    n_pe = allocation.total_pes
+
+    value_bits = config.pe.io_bits
+    capacity = config.smb.values_capacity(value_bits)
+    n_smb = 0
+    for edge in coreops.edges():
+        if edge.src not in coreops or edge.dst not in coreops:
+            continue
+        dst = allocation.allocation(edge.dst)
+        src = allocation.allocation(edge.src)
+        if dst.iterations > 1 or dst.iterations != src.iterations:
+            n_smb += max(1, math.ceil(max(1, edge.values_per_instance) / capacity))
+    n_smb *= allocation.replication
+    n_clb = max(1, math.ceil(n_pe * config.clbs_per_pe))
+    return BlockCounts(n_pe=n_pe, n_smb=n_smb, n_clb=n_clb)
+
+
+def traffic_values_per_sample(coreops: CoreOpGraph) -> float:
+    """Total number of values moved between function blocks per inference."""
+    total = 0.0
+    for edge in coreops.edges():
+        if edge.dst in coreops:
+            total += edge.values_per_instance * coreops.group(edge.dst).reuse
+        elif edge.src in coreops:
+            total += edge.values_per_instance
+    return total
+
+
+def pipeline_depth(coreops: CoreOpGraph) -> int:
+    """Length (in groups) of the longest dataflow path: the pipeline depth."""
+    depth: dict[str, int] = {}
+    longest = 1
+    for group in coreops.topological_groups():
+        preds = coreops.predecessors(group.name)
+        depth[group.name] = 1 + max((depth[p] for p in preds), default=0)
+        longest = max(longest, depth[group.name])
+    return longest
+
+
+def evaluate_design_point(
+    coreops: CoreOpGraph,
+    allocation: AllocationResult,
+    useful_ops_per_sample: float,
+    arch: ArchitectureModel,
+    n_pe_total: int | None = None,
+    config: FPSAConfig | None = None,
+) -> PerformanceReport:
+    """Evaluate one (model, architecture, allocation) design point.
+
+    Parameters
+    ----------
+    useful_ops_per_sample:
+        The original network's operation count (MAC = 2 ops), used for the
+        OPS figures so that peak/ideal/real are comparable across
+        architectures.
+    n_pe_total:
+        Total PEs physically present on the chip (>= the allocated PEs);
+        the surplus contributes to peak performance and area but idles.
+    """
+    config = config if config is not None else FPSAConfig()
+    blocks = estimate_block_counts(coreops, allocation, config)
+    n_pe = max(blocks.n_pe, n_pe_total or 0)
+
+    comm = arch.comm_model()
+    # Communication distances are set by the blocks the mapping actually
+    # uses (the placer clusters them); surplus PEs padding the chip do not
+    # stretch the routed paths.
+    ctx = CommContext(
+        n_blocks=blocks.total,
+        active_pes=blocks.n_pe * allocation.temporal_utilization(),
+        values_per_vmm=arch.values_per_vmm,
+        value_bits=arch.io_bits,
+        traffic_values_per_sample=traffic_values_per_sample(coreops),
+    )
+    t_vmm = arch.pe_vmm_latency_ns
+    t_comm = comm.per_vmm_latency_ns(ctx)
+
+    max_iter = allocation.max_iterations
+    ideal_stage_ns = max_iter * t_vmm
+    # Spike trains stream while the crossbar computes (the NBD constraint of
+    # the scheduler), so in steady state each iteration of the bottleneck
+    # stage is paced by the slower of computation and communication; both
+    # still appear in the end-to-end latency.
+    real_stage_ns = max_iter * max(t_vmm, t_comm)
+
+    # whole-model replicas process independent samples in parallel.
+    replication = allocation.replication
+    ideal_throughput = replication * 1e9 / ideal_stage_ns
+    real_throughput = min(replication * 1e9 / real_stage_ns, comm.sample_rate_limit(ctx))
+
+    depth = pipeline_depth(coreops)
+    latency_ns = max(real_stage_ns, 1e9 / real_throughput) + depth * (t_vmm + t_comm)
+
+    ops_per_vmm_rate = arch.pe_ops_per_vmm / (t_vmm * 1e-9)
+    peak_ops = n_pe * ops_per_vmm_rate
+    ideal_ops = useful_ops_per_sample * ideal_throughput
+    real_ops = useful_ops_per_sample * real_throughput
+
+    area = arch.chip_area_mm2(n_pe, blocks.n_smb, blocks.n_clb)
+    return PerformanceReport(
+        model=coreops.name,
+        architecture=arch.name,
+        area_mm2=area,
+        throughput_samples_per_s=real_throughput,
+        latency_us=latency_ns / 1e3,
+        ops_per_sample=useful_ops_per_sample,
+        peak_ops=peak_ops,
+        ideal_ops=ideal_ops,
+        real_ops=real_ops,
+        latency_breakdown=LatencyBreakdown(
+            computation_ns=t_vmm, communication_ns=t_comm
+        ),
+        n_pe=n_pe,
+        duplication_degree=allocation.duplication_degree,
+    )
+
+
+@dataclass(frozen=True)
+class AreaSweepPoint:
+    """One point of a performance-versus-area sweep (Figures 2 and 6)."""
+
+    area_mm2: float
+    n_pe: int
+    peak_ops: float
+    ideal_ops: float
+    real_ops: float
+    mapped: bool
+
+
+def sweep_area(
+    coreops: CoreOpGraph,
+    useful_ops_per_sample: float,
+    arch: ArchitectureModel,
+    areas_mm2: list[float],
+    config: FPSAConfig | None = None,
+) -> list[AreaSweepPoint]:
+    """Sweep chip area and report peak / ideal / real performance.
+
+    Below the minimum-storage area the model cannot be mapped at all; those
+    points report the peak performance only (``mapped=False``).
+    """
+    config = config if config is not None else FPSAConfig()
+    points: list[AreaSweepPoint] = []
+    for area in areas_mm2:
+        n_pe = int(area / arch.effective_area_per_pe_mm2)
+        if n_pe < 1:
+            points.append(AreaSweepPoint(area, 0, 0.0, 0.0, 0.0, mapped=False))
+            continue
+        allocation = allocate_for_pe_budget(coreops, n_pe, config.pe)
+        peak = n_pe * arch.pe_ops_per_vmm / (arch.pe_vmm_latency_ns * 1e-9)
+        if allocation is None:
+            points.append(AreaSweepPoint(area, n_pe, peak, 0.0, 0.0, mapped=False))
+            continue
+        report = evaluate_design_point(
+            coreops, allocation, useful_ops_per_sample, arch,
+            n_pe_total=n_pe, config=config,
+        )
+        points.append(
+            AreaSweepPoint(
+                area_mm2=area,
+                n_pe=n_pe,
+                peak_ops=peak,
+                ideal_ops=report.ideal_ops,
+                real_ops=report.real_ops,
+                mapped=True,
+            )
+        )
+    return points

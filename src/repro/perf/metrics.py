@@ -1,0 +1,86 @@
+"""Performance metric containers shared by the analytic model, the
+simulator, the baselines and the experiment harnesses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PerformanceReport", "LatencyBreakdown", "geometric_mean"]
+
+
+@dataclass(frozen=True)
+class LatencyBreakdown:
+    """Average per-PE latency split into computation and communication
+    (the quantity plotted in Figure 7)."""
+
+    computation_ns: float
+    communication_ns: float
+
+    @property
+    def total_ns(self) -> float:
+        return self.computation_ns + self.communication_ns
+
+    @property
+    def communication_fraction(self) -> float:
+        total = self.total_ns
+        return self.communication_ns / total if total > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class PerformanceReport:
+    """End-to-end performance of one model on one architecture configuration."""
+
+    model: str
+    architecture: str
+    area_mm2: float
+    throughput_samples_per_s: float
+    latency_us: float
+    ops_per_sample: float
+    peak_ops: float
+    ideal_ops: float
+    real_ops: float
+    latency_breakdown: LatencyBreakdown
+    n_pe: int = 0
+    duplication_degree: int = 1
+
+    @property
+    def computational_density_ops_per_mm2(self) -> float:
+        """Achieved OPS per mm^2."""
+        if self.area_mm2 <= 0:
+            return 0.0
+        return self.real_ops / self.area_mm2
+
+    @property
+    def peak_density_ops_per_mm2(self) -> float:
+        if self.area_mm2 <= 0:
+            return 0.0
+        return self.peak_ops / self.area_mm2
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of peak performance actually achieved."""
+        if self.peak_ops <= 0:
+            return 0.0
+        return self.real_ops / self.peak_ops
+
+    @property
+    def throughput_frames_per_s(self) -> float:
+        return self.throughput_samples_per_s
+
+    def speedup_over(self, other: "PerformanceReport") -> float:
+        """Real-performance speedup of this configuration over ``other``."""
+        if other.real_ops <= 0:
+            return float("inf")
+        return self.real_ops / other.real_ops
+
+
+def geometric_mean(values: list[float]) -> float:
+    """Geometric mean (used for the cross-model speedup summaries)."""
+    if not values:
+        raise ValueError("geometric_mean of an empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric_mean requires positive values")
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))

@@ -1,0 +1,26 @@
+"""Placement & routing on the island-style reconfigurable fabric."""
+
+from .fabric import FabricGrid, Site
+from .placement import Placement, SimulatedAnnealingPlacer
+from .pnr import PlaceAndRoute, PnRResult
+from .routing import PathFinderRouter, RoutedNet, RoutingError, RoutingResult
+from .rrgraph import RRNode, RoutingResourceGraph
+from .timing import NetTiming, TimingReport, analyze_timing
+
+__all__ = [
+    "Site",
+    "FabricGrid",
+    "RRNode",
+    "RoutingResourceGraph",
+    "Placement",
+    "SimulatedAnnealingPlacer",
+    "RoutedNet",
+    "RoutingResult",
+    "RoutingError",
+    "PathFinderRouter",
+    "NetTiming",
+    "TimingReport",
+    "analyze_timing",
+    "PnRResult",
+    "PlaceAndRoute",
+]

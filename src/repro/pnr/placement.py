@@ -1,0 +1,182 @@
+"""Simulated-annealing placement.
+
+The placer assigns every block of the function-block netlist to a fabric
+site, minimising the total half-perimeter wirelength (HPWL) of the nets —
+the same objective and algorithm family as the VPR/mrVPR tool the paper
+uses.  I/O blocks are constrained to the peripheral I/O sites.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from ..mapper.netlist import BlockType, FunctionBlockNetlist, Net
+from .fabric import FabricGrid
+
+__all__ = ["Placement", "SimulatedAnnealingPlacer"]
+
+
+@dataclass
+class Placement:
+    """A block -> site assignment."""
+
+    fabric: FabricGrid
+    positions: dict[str, tuple[int, int]] = field(default_factory=dict)
+
+    def position(self, block: str) -> tuple[int, int]:
+        try:
+            return self.positions[block]
+        except KeyError:
+            raise KeyError(f"block {block!r} has not been placed") from None
+
+    def net_hpwl(self, net: Net) -> int:
+        """Half-perimeter wirelength of one net."""
+        xs, ys = [], []
+        for block in (net.driver, *net.sinks):
+            x, y = self.position(block)
+            xs.append(x)
+            ys.append(y)
+        return (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+    def total_wirelength(self, nets: list[Net]) -> int:
+        return sum(self.net_hpwl(net) for net in nets)
+
+
+class SimulatedAnnealingPlacer:
+    """Classic VPR-style simulated-annealing placement."""
+
+    def __init__(
+        self,
+        moves_per_block: int = 10,
+        cooling: float = 0.9,
+        initial_acceptance: float = 0.5,
+        min_temperature: float = 1e-3,
+        seed: int = 0,
+    ):
+        if not 0.0 < cooling < 1.0:
+            raise ValueError("cooling must lie in (0, 1)")
+        if moves_per_block <= 0:
+            raise ValueError("moves_per_block must be positive")
+        self.moves_per_block = moves_per_block
+        self.cooling = cooling
+        self.initial_acceptance = initial_acceptance
+        self.min_temperature = min_temperature
+        self.seed = seed
+
+    # ---------------------------------------------------------------- setup
+    @staticmethod
+    def _initial_placement(
+        netlist: FunctionBlockNetlist, fabric: FabricGrid, rng: random.Random
+    ) -> Placement:
+        placement = Placement(fabric)
+        core_blocks = [b.name for b in netlist.blocks.values() if b.type != BlockType.IO]
+        io_blocks = [b.name for b in netlist.blocks.values() if b.type == BlockType.IO]
+
+        sites = [s.position for s in fabric.sites()]
+        if len(core_blocks) > len(sites):
+            raise ValueError(
+                f"netlist has {len(core_blocks)} blocks but the fabric only has "
+                f"{len(sites)} sites"
+            )
+        rng.shuffle(sites)
+        for block, site in zip(core_blocks, sites):
+            placement.positions[block] = site
+
+        io_sites = [s.position for s in fabric.io_sites()]
+        if len(io_blocks) > len(io_sites):
+            raise ValueError("not enough I/O sites for the netlist's I/O blocks")
+        rng.shuffle(io_sites)
+        for block, site in zip(io_blocks, io_sites):
+            placement.positions[block] = site
+        return placement
+
+    @staticmethod
+    def _nets_by_block(netlist: FunctionBlockNetlist) -> dict[str, list[int]]:
+        mapping: dict[str, list[int]] = {}
+        for index, net in enumerate(netlist.nets):
+            for block in {net.driver, *net.sinks}:
+                mapping.setdefault(block, []).append(index)
+        return mapping
+
+    # ----------------------------------------------------------------- run
+    def place(self, netlist: FunctionBlockNetlist, fabric: FabricGrid | None = None) -> Placement:
+        """Place the netlist; returns the final placement."""
+        rng = random.Random(self.seed)
+        fabric = fabric if fabric is not None else FabricGrid.for_netlist(netlist)
+        placement = self._initial_placement(netlist, fabric, rng)
+        nets = netlist.nets
+        if not nets:
+            return placement
+
+        nets_by_block = self._nets_by_block(netlist)
+        movable = [
+            b.name for b in netlist.blocks.values()
+            if b.type != BlockType.IO and nets_by_block.get(b.name)
+        ]
+        if not movable:
+            return placement
+
+        occupied = {pos: name for name, pos in placement.positions.items()}
+        core_sites = [s.position for s in fabric.sites()]
+        free_sites = [pos for pos in core_sites if pos not in occupied]
+        net_costs = [placement.net_hpwl(net) for net in nets]
+        cost = sum(net_costs)
+
+        # initial temperature: proportional to the typical move cost
+        temperature = max(1.0, cost / max(len(nets), 1)) / max(
+            self.initial_acceptance, 1e-6
+        )
+        moves_per_round = max(10, self.moves_per_block * len(movable))
+
+        while temperature > self.min_temperature and cost > 0:
+            accepted = 0
+            for _ in range(moves_per_round):
+                block = rng.choice(movable)
+                old_pos = placement.positions[block]
+                use_free = free_sites and rng.random() < 0.3
+                if use_free:
+                    target_pos = rng.choice(free_sites)
+                    swap_block = None
+                else:
+                    target_pos = rng.choice(core_sites)
+                    swap_block = occupied.get(target_pos)
+                    if swap_block == block:
+                        continue
+                    if swap_block is not None and netlist.blocks[swap_block].type == BlockType.IO:
+                        continue
+
+                affected = set(nets_by_block.get(block, []))
+                if swap_block is not None:
+                    affected |= set(nets_by_block.get(swap_block, []))
+
+                old_affected_cost = sum(net_costs[i] for i in affected)
+                placement.positions[block] = target_pos
+                if swap_block is not None:
+                    placement.positions[swap_block] = old_pos
+                new_costs = {i: placement.net_hpwl(nets[i]) for i in affected}
+                delta = sum(new_costs.values()) - old_affected_cost
+
+                if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+                    cost += delta
+                    for i, c in new_costs.items():
+                        net_costs[i] = c
+                    occupied.pop(old_pos, None)
+                    occupied[target_pos] = block
+                    if swap_block is not None:
+                        occupied[old_pos] = swap_block
+                    else:
+                        if target_pos in free_sites:
+                            free_sites.remove(target_pos)
+                        free_sites.append(old_pos)
+                    accepted += 1
+                else:
+                    placement.positions[block] = old_pos
+                    if swap_block is not None:
+                        placement.positions[swap_block] = target_pos
+
+            temperature *= self.cooling
+            if accepted == 0:
+                break
+        return placement

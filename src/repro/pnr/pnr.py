@@ -1,0 +1,91 @@
+"""The placement & routing driver.
+
+Bundles the fabric construction, the simulated-annealing placer, the
+PathFinder router and the timing analyzer into one call, mirroring the role
+mrVPR plays in the paper's toolchain: it consumes the function-block
+netlist emitted by the mapper and reports wirelength, channel occupancy and
+the communication critical path that feeds the performance model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.params import FPSAConfig
+from ..mapper.netlist import FunctionBlockNetlist
+from .fabric import FabricGrid
+from .placement import Placement, SimulatedAnnealingPlacer
+from .routing import PathFinderRouter, RoutingResult
+from .rrgraph import RoutingResourceGraph
+from .timing import TimingReport, analyze_timing
+
+__all__ = ["PnRResult", "PlaceAndRoute"]
+
+
+@dataclass
+class PnRResult:
+    """Everything the P&R flow produces for one netlist."""
+
+    model: str
+    fabric: FabricGrid
+    placement: Placement
+    routing: RoutingResult
+    timing: TimingReport
+    channel_width: int
+
+    @property
+    def total_wirelength(self) -> int:
+        return self.routing.total_wirelength
+
+    @property
+    def critical_path_ns(self) -> float:
+        return self.timing.critical_path_ns
+
+    @property
+    def mean_route_segments(self) -> float:
+        return self.timing.mean_segments
+
+    def summary(self) -> str:
+        return (
+            f"P&R of {self.model!r}: {self.fabric.width}x{self.fabric.height} fabric, "
+            f"channel width {self.channel_width}, wirelength {self.total_wirelength}, "
+            f"critical path {self.critical_path_ns:.3f} ns "
+            f"({self.timing.critical_net})"
+        )
+
+
+class PlaceAndRoute:
+    """End-to-end placement & routing for function-block netlists."""
+
+    def __init__(
+        self,
+        config: FPSAConfig | None = None,
+        channel_width: int | None = None,
+        placer: SimulatedAnnealingPlacer | None = None,
+        max_route_iterations: int = 30,
+        seed: int = 0,
+    ):
+        self.config = config if config is not None else FPSAConfig()
+        self.channel_width = channel_width
+        self.placer = placer if placer is not None else SimulatedAnnealingPlacer(seed=seed)
+        self.max_route_iterations = max_route_iterations
+
+    def run(self, netlist: FunctionBlockNetlist) -> PnRResult:
+        """Place and route ``netlist``; raises RoutingError when the fabric's
+        channel width is insufficient."""
+        fabric = FabricGrid.for_netlist(netlist)
+        placement = self.placer.place(netlist, fabric)
+
+        width = self.channel_width or self.config.routing.channel_width
+        graph = RoutingResourceGraph(fabric, channel_width=width)
+        router = PathFinderRouter(graph, max_iterations=self.max_route_iterations)
+        routing = router.route(netlist, placement)
+        timing = analyze_timing(routing, self.config.routing)
+        return PnRResult(
+            model=netlist.model,
+            fabric=fabric,
+            placement=placement,
+            routing=routing,
+            timing=timing,
+            channel_width=width,
+        )

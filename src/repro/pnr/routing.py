@@ -1,0 +1,211 @@
+"""Negotiated-congestion routing (PathFinder) over the routing-resource graph.
+
+Every net is routed as a tree from its driver's output pin to all of its
+sinks' input pins with Dijkstra searches whose node costs grow with present
+and historical congestion.  Iterating rip-up-and-reroute until no wire is
+shared by two different nets yields a legal routing, exactly as VPR/mrVPR
+do for FPGAs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from ..mapper.netlist import FunctionBlockNetlist, Net
+from .placement import Placement
+from .rrgraph import RRNode, RoutingResourceGraph
+
+__all__ = ["RoutedNet", "RoutingResult", "PathFinderRouter", "RoutingError"]
+
+
+class RoutingError(RuntimeError):
+    """Raised when the router cannot find a legal routing."""
+
+
+@dataclass
+class RoutedNet:
+    """The routed tree of one net."""
+
+    name: str
+    nodes: set[RRNode] = field(default_factory=set)
+    sink_paths: dict[tuple[int, int], list[RRNode]] = field(default_factory=dict)
+
+    @property
+    def wirelength(self) -> int:
+        """Number of wire segments used by the net's tree."""
+        return sum(1 for node in self.nodes if node.is_wire)
+
+    def sink_delay_segments(self, sink: tuple[int, int]) -> int:
+        """Wire segments on the path from the driver to one sink."""
+        path = self.sink_paths.get(sink, [])
+        return sum(1 for node in path if node.is_wire)
+
+
+@dataclass
+class RoutingResult:
+    """All routed nets plus congestion statistics."""
+
+    nets: dict[str, RoutedNet] = field(default_factory=dict)
+    iterations: int = 0
+    overused_nodes: int = 0
+
+    @property
+    def legal(self) -> bool:
+        return self.overused_nodes == 0
+
+    @property
+    def total_wirelength(self) -> int:
+        return sum(net.wirelength for net in self.nets.values())
+
+    def max_channel_occupancy(self) -> int:
+        """Largest number of nets using wires of the same channel position."""
+        usage: dict[tuple[str, int, int], int] = {}
+        for net in self.nets.values():
+            seen = set()
+            for node in net.nodes:
+                if node.is_wire:
+                    key = (node.kind, node.x, node.y)
+                    if key not in seen:
+                        usage[key] = usage.get(key, 0) + 1
+                        seen.add(key)
+        return max(usage.values(), default=0)
+
+
+class PathFinderRouter:
+    """PathFinder negotiated-congestion router."""
+
+    def __init__(
+        self,
+        graph: RoutingResourceGraph,
+        max_iterations: int = 30,
+        present_cost_factor: float = 0.5,
+        history_cost_factor: float = 0.4,
+    ):
+        self.graph = graph
+        self.max_iterations = max_iterations
+        self.present_cost_factor = present_cost_factor
+        self.history_cost_factor = history_cost_factor
+
+    # ----------------------------------------------------------- search core
+    def _node_cost(
+        self,
+        node: RRNode,
+        occupancy: dict[RRNode, int],
+        history: dict[RRNode, float],
+        own_nodes: set[RRNode],
+        present_factor: float,
+    ) -> float:
+        base = 1.0 if node.is_wire else 0.5
+        if node in own_nodes:
+            return 0.01  # reuse of the net's own tree is nearly free
+        occ = occupancy.get(node, 0)
+        hist = history.get(node, 0.0)
+        present = 1.0 + present_factor * occ
+        return base * present * (1.0 + hist)
+
+    def _route_to_sink(
+        self,
+        tree: set[RRNode],
+        sink: RRNode,
+        occupancy: dict[RRNode, int],
+        history: dict[RRNode, float],
+        present_factor: float,
+    ) -> list[RRNode]:
+        """Dijkstra from the current tree to one sink; returns the new path."""
+        distances: dict[RRNode, float] = {}
+        previous: dict[RRNode, RRNode] = {}
+        heap: list[tuple[float, int, RRNode]] = []
+        counter = 0
+        for node in tree:
+            distances[node] = 0.0
+            heapq.heappush(heap, (0.0, counter, node))
+            counter += 1
+
+        while heap:
+            dist, _, node = heapq.heappop(heap)
+            if dist > distances.get(node, float("inf")):
+                continue
+            if node == sink:
+                break
+            for neighbor in self.graph.neighbors(node):
+                cost = self._node_cost(
+                    neighbor, occupancy, history, tree, present_factor
+                )
+                new_dist = dist + cost
+                if new_dist < distances.get(neighbor, float("inf")):
+                    distances[neighbor] = new_dist
+                    previous[neighbor] = node
+                    counter += 1
+                    heapq.heappush(heap, (new_dist, counter, neighbor))
+        if sink not in distances:
+            raise RoutingError(f"no path to sink pin at ({sink.x}, {sink.y})")
+
+        path = [sink]
+        node = sink
+        while node in previous:
+            node = previous[node]
+            path.append(node)
+        path.reverse()
+        return path
+
+    def _route_net(
+        self,
+        net: Net,
+        placement: Placement,
+        occupancy: dict[RRNode, int],
+        history: dict[RRNode, float],
+        present_factor: float,
+    ) -> RoutedNet:
+        driver_pos = placement.position(net.driver)
+        routed = RoutedNet(name=net.name)
+        source = self.graph.opin(*driver_pos)
+        tree: set[RRNode] = {source}
+
+        sink_positions = sorted(
+            {placement.position(sink) for sink in net.sinks},
+            key=lambda pos: abs(pos[0] - driver_pos[0]) + abs(pos[1] - driver_pos[1]),
+        )
+        for pos in sink_positions:
+            sink = self.graph.ipin(*pos)
+            if sink in tree:
+                routed.sink_paths[pos] = [sink]
+                continue
+            path = self._route_to_sink(tree, sink, occupancy, history, present_factor)
+            routed.sink_paths[pos] = path
+            tree.update(path)
+        routed.nodes = tree
+        return routed
+
+    # ---------------------------------------------------------------- driver
+    def route(self, netlist: FunctionBlockNetlist, placement: Placement) -> RoutingResult:
+        """Route every net of the netlist; raises on illegal final routing."""
+        occupancy: dict[RRNode, int] = {}
+        history: dict[RRNode, float] = {}
+        result = RoutingResult()
+
+        nets = [net for net in netlist.nets if net.sinks]
+        for iteration in range(1, self.max_iterations + 1):
+            occupancy.clear()
+            result.nets.clear()
+            present_factor = self.present_cost_factor * iteration
+            for net in nets:
+                routed = self._route_net(net, placement, occupancy, history, present_factor)
+                result.nets[net.name] = routed
+                for node in routed.nodes:
+                    if node.is_wire:
+                        occupancy[node] = occupancy.get(node, 0) + 1
+
+            overused = [node for node, occ in occupancy.items() if occ > 1]
+            result.iterations = iteration
+            result.overused_nodes = len(overused)
+            if not overused:
+                return result
+            for node in overused:
+                history[node] = history.get(node, 0.0) + self.history_cost_factor * (
+                    occupancy[node] - 1
+                )
+        raise RoutingError(
+            f"routing did not converge after {self.max_iterations} iterations "
+            f"({result.overused_nodes} overused wires); increase the channel width"
+        )

@@ -1,0 +1,143 @@
+"""The routing-resource graph (RRG) of the island-style fabric.
+
+Nodes represent output pins (OPIN), input pins (IPIN) and wire segments in
+the horizontal (H) and vertical (V) channels; edges represent the
+programmable ReRAM switches of the connection boxes (pin <-> wire) and
+switch boxes (wire <-> wire).  The router finds pin-to-pin paths through
+this graph; the number of tracks per channel (``channel_width``) bounds how
+many nets can cross the same channel.
+
+Wire segments have unit length (one block span), matching mrFPGA's
+single-length segments; the disjoint switch-box pattern connects track ``t``
+only to track ``t`` of the adjacent channels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .fabric import FabricGrid
+
+__all__ = ["RRNode", "RoutingResourceGraph"]
+
+
+@dataclass(frozen=True)
+class RRNode:
+    """One routing-resource node.
+
+    ``kind`` is one of ``"OPIN"``, ``"IPIN"``, ``"H"`` (horizontal wire) or
+    ``"V"`` (vertical wire).  Pins carry ``track = -1``.
+    """
+
+    kind: str
+    x: int
+    y: int
+    track: int = -1
+
+    @property
+    def is_wire(self) -> bool:
+        return self.kind in ("H", "V")
+
+
+class RoutingResourceGraph:
+    """Adjacency structure over :class:`RRNode` objects."""
+
+    def __init__(self, fabric: FabricGrid, channel_width: int = 16):
+        if channel_width <= 0:
+            raise ValueError("channel_width must be positive")
+        self.fabric = fabric
+        self.channel_width = channel_width
+        self._adjacency: dict[RRNode, list[RRNode]] = {}
+        self._build()
+
+    # ------------------------------------------------------------ construction
+    def _add_edge(self, a: RRNode, b: RRNode) -> None:
+        self._adjacency.setdefault(a, []).append(b)
+
+    def _add_bidirectional(self, a: RRNode, b: RRNode) -> None:
+        self._add_edge(a, b)
+        self._add_edge(b, a)
+
+    def _build(self) -> None:
+        fabric = self.fabric
+        width, height, tracks = fabric.width, fabric.height, self.channel_width
+
+        # wire nodes: H(x, y, t) runs along the channel above row y between
+        # columns x and x+1; V(x, y, t) runs along the channel right of
+        # column x between rows y and y+1.  Channels exist on all four sides
+        # of the core grid (indices -1 .. width/height - 1).
+        for x in range(-1, width):
+            for y in range(-1, height):
+                for t in range(tracks):
+                    h = RRNode("H", x, y, t)
+                    v = RRNode("V", x, y, t)
+                    self._adjacency.setdefault(h, [])
+                    self._adjacency.setdefault(v, [])
+
+        # switch boxes (disjoint pattern): at each channel intersection the
+        # same-track horizontal and vertical wires interconnect, and wires
+        # continue straight into the next segment.
+        for x in range(-1, width):
+            for y in range(-1, height):
+                for t in range(tracks):
+                    h = RRNode("H", x, y, t)
+                    v = RRNode("V", x, y, t)
+                    self._add_bidirectional(h, v)
+                    if x + 1 < width:
+                        self._add_bidirectional(h, RRNode("H", x + 1, y, t))
+                        self._add_bidirectional(v, RRNode("V", x + 1, y, t))
+                    if y + 1 < height:
+                        self._add_bidirectional(h, RRNode("H", x, y + 1, t))
+                        self._add_bidirectional(v, RRNode("V", x, y + 1, t))
+
+        # connection boxes: every block pin reaches all tracks of the
+        # channels on its four sides (the paper's CBs surround each block).
+        for x in range(-1, width + 1):
+            for y in range(-1, height + 1):
+                in_core = fabric.contains(x, y)
+                on_io_ring = (
+                    (-1 <= x <= width) and (-1 <= y <= height) and not in_core
+                    and (x in (-1, width) or y in (-1, height))
+                )
+                if not (in_core or on_io_ring):
+                    continue
+                opin = RRNode("OPIN", x, y)
+                ipin = RRNode("IPIN", x, y)
+                self._adjacency.setdefault(opin, [])
+                self._adjacency.setdefault(ipin, [])
+                for t in range(self.channel_width):
+                    for wire in self._adjacent_wires(x, y, t):
+                        if wire in self._adjacency:
+                            self._add_edge(opin, wire)
+                            self._add_edge(wire, ipin)
+
+    def _adjacent_wires(self, x: int, y: int, t: int) -> list[RRNode]:
+        """Wires in the four channels surrounding block site (x, y)."""
+        return [
+            RRNode("H", x, y, t),        # channel above
+            RRNode("H", x, y - 1, t),    # channel below
+            RRNode("V", x, y, t),        # channel to the right
+            RRNode("V", x - 1, y, t),    # channel to the left
+        ]
+
+    # --------------------------------------------------------------- queries
+    def __len__(self) -> int:
+        return len(self._adjacency)
+
+    def __contains__(self, node: RRNode) -> bool:
+        return node in self._adjacency
+
+    def neighbors(self, node: RRNode) -> list[RRNode]:
+        try:
+            return self._adjacency[node]
+        except KeyError:
+            raise KeyError(f"node {node} is not in the routing-resource graph") from None
+
+    def opin(self, x: int, y: int) -> RRNode:
+        return RRNode("OPIN", x, y)
+
+    def ipin(self, x: int, y: int) -> RRNode:
+        return RRNode("IPIN", x, y)
+
+    def wire_count(self) -> int:
+        return sum(1 for node in self._adjacency if node.is_wire)

@@ -1,0 +1,37 @@
+"""The neural synthesizer: computational graph -> core-op graph."""
+
+from .coreop import (
+    GRAPH_INPUT,
+    GRAPH_OUTPUT,
+    CoreOpGraph,
+    CoreOpInstance,
+    CoreOpInstanceGraph,
+    GroupEdge,
+    InstanceEdge,
+    WeightGroup,
+    expand,
+)
+from .lowering import LoweringContext, LoweringError
+from .splitting import Tile, TilePlan, plan_tiling, reduction_tree_width
+from .synthesizer import NeuralSynthesizer, SynthesisOptions, synthesize
+
+__all__ = [
+    "WeightGroup",
+    "GroupEdge",
+    "CoreOpGraph",
+    "CoreOpInstance",
+    "InstanceEdge",
+    "CoreOpInstanceGraph",
+    "GRAPH_INPUT",
+    "GRAPH_OUTPUT",
+    "expand",
+    "LoweringContext",
+    "LoweringError",
+    "Tile",
+    "TilePlan",
+    "plan_tiling",
+    "reduction_tree_width",
+    "NeuralSynthesizer",
+    "SynthesisOptions",
+    "synthesize",
+]

@@ -1,0 +1,410 @@
+"""The core-op graph: the synthesizer's output representation.
+
+A *core-op* is the only operation the FPSA hardware executes directly: a
+low-precision vector-matrix multiplication followed by ReLU.  The neural
+synthesizer lowers every CG operation into core-ops.
+
+Because convolutional layers reuse the same weights for every output
+position, a fully expanded core-op graph for an ImageNet CNN would contain
+millions of nodes.  The synthesizer therefore emits a *grouped*
+representation: a :class:`WeightGroup` describes one shared weight matrix
+together with its *reuse degree* (how many core-op instances share it), and
+:class:`GroupEdge` records the dataflow between groups.  The
+spatial-to-temporal mapper works directly on groups; the detailed scheduler
+expands groups into individual :class:`CoreOpInstance` nodes when the model
+is small enough (see :meth:`CoreOpGraph.expand`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .splitting import TilePlan, plan_tiling
+
+__all__ = [
+    "WeightGroup",
+    "GroupEdge",
+    "CoreOpGraph",
+    "CoreOpInstance",
+    "InstanceEdge",
+    "CoreOpInstanceGraph",
+    "GRAPH_INPUT",
+    "GRAPH_OUTPUT",
+    "expand",
+]
+
+
+@dataclass(frozen=True)
+class WeightGroup:
+    """One shared weight matrix and the core-op instances that reuse it.
+
+    Attributes
+    ----------
+    name:
+        Unique group name, e.g. ``"conv1/matmul"``.
+    source:
+        Name of the CG node this group was lowered from.
+    kind:
+        Lowering kind: ``"matmul"`` (conv/dense), ``"reduce"`` (partial-sum
+        addition), ``"pool_max"``, ``"pool_avg"``, ``"add"``, ``"lrn"``.
+    rows, cols:
+        Shape of the (packed) logical weight matrix, before tiling.
+    reuse:
+        Number of core-op instances that share this weight matrix per
+        inference (the paper's *reuse degree*).
+    density:
+        Fraction of the matrix entries holding useful weights (block-diagonal
+        packings of small units have low density).
+    macs_per_instance:
+        Useful multiply-accumulates performed by one instance.
+    """
+
+    name: str
+    source: str
+    kind: str
+    rows: int
+    cols: int
+    reuse: int
+    density: float = 1.0
+    macs_per_instance: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ValueError(f"group {self.name!r}: matrix dimensions must be positive")
+        if self.reuse <= 0:
+            raise ValueError(f"group {self.name!r}: reuse must be positive")
+        if not 0.0 < self.density <= 1.0:
+            raise ValueError(f"group {self.name!r}: density must lie in (0, 1]")
+        if self.macs_per_instance < 0:
+            raise ValueError(f"group {self.name!r}: macs_per_instance must be >= 0")
+
+    def tiling(self, max_rows: int = 256, max_cols: int = 256) -> TilePlan:
+        """Tile plan of this group's weight matrix."""
+        return plan_tiling(self.rows, self.cols, max_rows, max_cols)
+
+    def min_pes(self, max_rows: int = 256, max_cols: int = 256) -> int:
+        """Minimum number of PEs to hold the weights once (no duplication)."""
+        return self.tiling(max_rows, max_cols).n_tiles
+
+    def instances(self, max_rows: int = 256, max_cols: int = 256) -> int:
+        """Total tile-level core-op instances per inference."""
+        return self.reuse * self.min_pes(max_rows, max_cols)
+
+    @property
+    def weights(self) -> int:
+        """Useful weight parameters stored in the matrix."""
+        return int(round(self.rows * self.cols * self.density))
+
+    @property
+    def total_macs(self) -> int:
+        """Useful MACs per inference performed by all instances."""
+        return self.macs_per_instance * self.reuse
+
+
+@dataclass(frozen=True)
+class GroupEdge:
+    """Dataflow between two weight groups (or from/to the graph boundary).
+
+    ``values_per_instance`` is the number of scalar values transferred to
+    one destination core-op instance.
+    """
+
+    src: str
+    dst: str
+    values_per_instance: int
+
+    def __post_init__(self) -> None:
+        if self.values_per_instance < 0:
+            raise ValueError("values_per_instance must be non-negative")
+
+
+#: pseudo group names used for graph boundary edges.
+GRAPH_INPUT = "__input__"
+GRAPH_OUTPUT = "__output__"
+
+
+class CoreOpGraph:
+    """The grouped core-op graph produced by the neural synthesizer."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._groups: dict[str, WeightGroup] = {}
+        self._edges: list[GroupEdge] = []
+
+    # ------------------------------------------------------------- building
+    def add_group(self, group: WeightGroup) -> WeightGroup:
+        if group.name in self._groups:
+            raise ValueError(f"duplicate group name {group.name!r}")
+        self._groups[group.name] = group
+        return group
+
+    def add_edge(self, src: str, dst: str, values_per_instance: int) -> GroupEdge:
+        for endpoint in (src, dst):
+            if endpoint not in self._groups and endpoint not in (GRAPH_INPUT, GRAPH_OUTPUT):
+                raise ValueError(f"edge references unknown group {endpoint!r}")
+        edge = GroupEdge(src, dst, values_per_instance)
+        self._edges.append(edge)
+        return edge
+
+    # ------------------------------------------------------------- querying
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._groups
+
+    def group(self, name: str) -> WeightGroup:
+        try:
+            return self._groups[name]
+        except KeyError:
+            raise KeyError(f"no group named {name!r}") from None
+
+    def groups(self) -> list[WeightGroup]:
+        return list(self._groups.values())
+
+    def edges(self) -> list[GroupEdge]:
+        return list(self._edges)
+
+    def predecessors(self, name: str) -> list[str]:
+        return [e.src for e in self._edges if e.dst == name and e.src in self._groups]
+
+    def successors(self, name: str) -> list[str]:
+        return [e.dst for e in self._edges if e.src == name and e.dst in self._groups]
+
+    def topological_groups(self) -> list[WeightGroup]:
+        """Groups in topological order of the group-level dataflow."""
+        names = list(self._groups)
+        in_degree = {n: 0 for n in names}
+        for edge in self._edges:
+            if edge.src in self._groups and edge.dst in self._groups:
+                in_degree[edge.dst] += 1
+        ready = [n for n in names if in_degree[n] == 0]
+        order: list[str] = []
+        while ready:
+            name = ready.pop(0)
+            order.append(name)
+            for succ in self.successors(name):
+                in_degree[succ] -= 1
+                if in_degree[succ] == 0:
+                    ready.append(succ)
+        if len(order) != len(names):
+            raise ValueError(f"core-op graph {self.name!r} contains a cycle")
+        return [self._groups[n] for n in order]
+
+    # ------------------------------------------------------------ statistics
+    @property
+    def max_reuse_degree(self) -> int:
+        return max((g.reuse for g in self.groups()), default=1)
+
+    def total_weights(self) -> int:
+        return sum(g.weights for g in self.groups())
+
+    def total_macs(self) -> int:
+        return sum(g.total_macs for g in self.groups())
+
+    def total_instances(self, max_rows: int = 256, max_cols: int = 256) -> int:
+        return sum(g.instances(max_rows, max_cols) for g in self.groups())
+
+    def min_pes(self, max_rows: int = 256, max_cols: int = 256) -> int:
+        """PEs needed to hold every group's weights exactly once."""
+        return sum(g.min_pes(max_rows, max_cols) for g in self.groups())
+
+    def spatial_utilization(self, max_rows: int = 256, max_cols: int = 256) -> float:
+        """Useful-MAC fraction of the crossbar capacity activated per VMM.
+
+        Weighted by instance count so that heavily reused (and therefore
+        heavily executed) groups dominate, which is what determines the
+        spatial utilization bound of Figure 8c.
+        """
+        capacity = 0
+        useful = 0
+        for group in self.groups():
+            plan = group.tiling(max_rows, max_cols)
+            capacity += plan.crossbar_capacity_used * group.reuse
+            useful += group.macs_per_instance * group.reuse
+        if capacity == 0:
+            return 0.0
+        return min(1.0, useful / capacity)
+
+    def expand(
+        self,
+        max_rows: int = 256,
+        max_cols: int = 256,
+        max_reuse: int | None = None,
+        max_instances: int = 200_000,
+    ) -> "CoreOpInstanceGraph":
+        """Expand into an instance-level DAG (see module-level :func:`expand`)."""
+        return expand(self, max_rows, max_cols, max_reuse, max_instances)
+
+    def summary(self) -> str:
+        lines = [f"core-op graph {self.name!r}: {len(self)} groups, {len(self._edges)} edges"]
+        header = (
+            f"{'group':<36} {'kind':<9} {'matrix':<12} {'reuse':>8} {'tiles':>6} {'MACs/inst':>10}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for g in self.topological_groups():
+            matrix = f"{g.rows}x{g.cols}"
+            lines.append(
+                f"{g.name:<36} {g.kind:<9} {matrix:<12} {g.reuse:>8,} "
+                f"{g.min_pes():>6} {g.macs_per_instance:>10,}"
+            )
+        return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
+# instance-level expansion (used by the detailed scheduler on small models)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CoreOpInstance:
+    """One individual core-op: a specific tile executed for a specific
+    reuse position of its weight group."""
+
+    name: str
+    group: str
+    tile_index: int
+    reuse_index: int
+    rows: int
+    cols: int
+
+
+@dataclass(frozen=True)
+class InstanceEdge:
+    src: str
+    dst: str
+    values: int
+
+
+@dataclass
+class CoreOpInstanceGraph:
+    """A fully expanded, instance-level core-op DAG."""
+
+    name: str
+    instances: dict[str, CoreOpInstance] = field(default_factory=dict)
+    edges: list[InstanceEdge] = field(default_factory=list)
+
+    def add_instance(self, instance: CoreOpInstance) -> None:
+        if instance.name in self.instances:
+            raise ValueError(f"duplicate instance {instance.name!r}")
+        self.instances[instance.name] = instance
+
+    def add_edge(self, src: str, dst: str, values: int) -> None:
+        if src not in self.instances or dst not in self.instances:
+            raise ValueError("instance edge references unknown instance")
+        self.edges.append(InstanceEdge(src, dst, values))
+
+    def __len__(self) -> int:
+        return len(self.instances)
+
+    def predecessors(self, name: str) -> list[str]:
+        return [e.src for e in self.edges if e.dst == name]
+
+    def successors(self, name: str) -> list[str]:
+        return [e.dst for e in self.edges if e.src == name]
+
+    def topological(self) -> list[CoreOpInstance]:
+        in_degree = {n: 0 for n in self.instances}
+        adjacency: dict[str, list[str]] = {n: [] for n in self.instances}
+        for edge in self.edges:
+            in_degree[edge.dst] += 1
+            adjacency[edge.src].append(edge.dst)
+        ready = [n for n, d in in_degree.items() if d == 0]
+        order = []
+        while ready:
+            name = ready.pop(0)
+            order.append(self.instances[name])
+            for succ in adjacency[name]:
+                in_degree[succ] -= 1
+                if in_degree[succ] == 0:
+                    ready.append(succ)
+        if len(order) != len(self.instances):
+            raise ValueError("instance graph contains a cycle")
+        return order
+
+
+def _expand_group(
+    graph: CoreOpGraph,
+    group: WeightGroup,
+    max_rows: int,
+    max_cols: int,
+    max_reuse: int | None,
+) -> list[CoreOpInstance]:
+    plan = group.tiling(max_rows, max_cols)
+    reuse = group.reuse if max_reuse is None else min(group.reuse, max_reuse)
+    instances = []
+    for r in range(reuse):
+        for t, tile in enumerate(plan.tiles):
+            instances.append(
+                CoreOpInstance(
+                    name=f"{group.name}#r{r}t{t}",
+                    group=group.name,
+                    tile_index=t,
+                    reuse_index=r,
+                    rows=tile.rows,
+                    cols=tile.cols,
+                )
+            )
+    return instances
+
+
+def expand(
+    graph: CoreOpGraph,
+    max_rows: int = 256,
+    max_cols: int = 256,
+    max_reuse: int | None = None,
+    max_instances: int = 200_000,
+) -> CoreOpInstanceGraph:
+    """Expand a grouped core-op graph into an instance-level DAG.
+
+    Parameters
+    ----------
+    max_reuse:
+        Optionally cap the number of reuse positions expanded per group
+        (useful to schedule a representative slice of a large CNN).
+    max_instances:
+        Safety limit; expansion larger than this raises ``ValueError``.
+    """
+    total = 0
+    for group in graph.groups():
+        reuse = group.reuse if max_reuse is None else min(group.reuse, max_reuse)
+        total += reuse * group.min_pes(max_rows, max_cols)
+    if total > max_instances:
+        raise ValueError(
+            f"expansion would create {total} instances (> {max_instances}); "
+            "cap reuse with max_reuse or use the group-level mapper"
+        )
+
+    result = CoreOpInstanceGraph(graph.name)
+    per_group: dict[str, list[CoreOpInstance]] = {}
+    for group in graph.topological_groups():
+        instances = _expand_group(graph, group, max_rows, max_cols, max_reuse)
+        per_group[group.name] = instances
+        for instance in instances:
+            result.add_instance(instance)
+
+    # connect instances: reuse position i of a consumer group depends on the
+    # producer instances of the matching reuse position (or the last one if
+    # the producer has fewer positions), across all producer tiles.
+    for edge in graph.edges():
+        if edge.src not in per_group or edge.dst not in per_group:
+            continue
+        sources = per_group[edge.src]
+        sinks = per_group[edge.dst]
+        src_group = graph.group(edge.src)
+        dst_group = graph.group(edge.dst)
+        src_tiles = src_group.min_pes(max_rows, max_cols)
+        dst_tiles = dst_group.min_pes(max_rows, max_cols)
+        src_reuse = len(sources) // src_tiles
+        dst_reuse = len(sinks) // dst_tiles
+        for dst_pos in range(dst_reuse):
+            src_pos = min(int(dst_pos * src_reuse / max(dst_reuse, 1)), src_reuse - 1)
+            for st in range(src_tiles):
+                for dt in range(dst_tiles):
+                    result.add_edge(
+                        sources[src_pos * src_tiles + st].name,
+                        sinks[dst_pos * dst_tiles + dt].name,
+                        edge.values_per_instance,
+                    )
+    return result

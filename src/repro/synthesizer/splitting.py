@@ -1,0 +1,132 @@
+"""Weight-matrix splitting (tiling) onto fixed-size crossbars.
+
+Large weight matrices cannot fit a single 256x256 crossbar, so the neural
+synthesizer splits them into tiles.  Splitting along the *column* dimension
+is free (each tile produces a disjoint slice of the outputs); splitting
+along the *row* dimension produces partial sums that must be added by
+reduction core-ops, which this module also sizes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["Tile", "TilePlan", "plan_tiling", "reduction_tree_width"]
+
+
+@dataclass(frozen=True)
+class Tile:
+    """One crossbar-sized tile of a weight matrix."""
+
+    row_index: int
+    col_index: int
+    rows: int
+    cols: int
+
+    @property
+    def weights(self) -> int:
+        return self.rows * self.cols
+
+
+@dataclass(frozen=True)
+class TilePlan:
+    """How one logical weight matrix maps onto crossbar tiles."""
+
+    matrix_rows: int
+    matrix_cols: int
+    max_rows: int
+    max_cols: int
+    tiles: tuple[Tile, ...]
+
+    @property
+    def n_row_tiles(self) -> int:
+        return math.ceil(self.matrix_rows / self.max_rows)
+
+    @property
+    def n_col_tiles(self) -> int:
+        return math.ceil(self.matrix_cols / self.max_cols)
+
+    @property
+    def n_tiles(self) -> int:
+        return len(self.tiles)
+
+    @property
+    def needs_reduction(self) -> bool:
+        """True when row splitting produced partial sums that must be added."""
+        return self.n_row_tiles > 1
+
+    @property
+    def partials_per_output(self) -> int:
+        """Number of partial sums per output element (= row tiles)."""
+        return self.n_row_tiles
+
+    @property
+    def total_weights(self) -> int:
+        return self.matrix_rows * self.matrix_cols
+
+    @property
+    def crossbar_capacity_used(self) -> int:
+        """Total crossbar weight capacity consumed by the tiles."""
+        return self.n_tiles * self.max_rows * self.max_cols
+
+    @property
+    def spatial_utilization(self) -> float:
+        """Fraction of the consumed crossbar capacity holding real weights.
+
+        This is exactly the *spatial utilization* loss of Section 3: the
+        fixed crossbar size cannot match arbitrary matrix shapes.
+        """
+        used = self.crossbar_capacity_used
+        if used == 0:
+            return 0.0
+        return self.total_weights / used
+
+
+def plan_tiling(
+    matrix_rows: int,
+    matrix_cols: int,
+    max_rows: int = 256,
+    max_cols: int = 256,
+) -> TilePlan:
+    """Split a ``matrix_rows x matrix_cols`` weight matrix into crossbar tiles."""
+    if matrix_rows <= 0 or matrix_cols <= 0:
+        raise ValueError("matrix dimensions must be positive")
+    if max_rows <= 0 or max_cols <= 0:
+        raise ValueError("crossbar dimensions must be positive")
+
+    tiles: list[Tile] = []
+    n_row_tiles = math.ceil(matrix_rows / max_rows)
+    n_col_tiles = math.ceil(matrix_cols / max_cols)
+    for ri in range(n_row_tiles):
+        rows = min(max_rows, matrix_rows - ri * max_rows)
+        for ci in range(n_col_tiles):
+            cols = min(max_cols, matrix_cols - ci * max_cols)
+            tiles.append(Tile(row_index=ri, col_index=ci, rows=rows, cols=cols))
+    return TilePlan(
+        matrix_rows=matrix_rows,
+        matrix_cols=matrix_cols,
+        max_rows=max_rows,
+        max_cols=max_cols,
+        tiles=tuple(tiles),
+    )
+
+
+def reduction_tree_width(n_partials: int, max_rows: int = 256) -> int:
+    """Depth of the reduction tree needed to sum ``n_partials`` partial sums.
+
+    A single reduction core-op can add up to ``fan_in`` partial sums per
+    output as long as ``fan_in * outputs_per_unit`` rows fit in a crossbar;
+    with one output per unit the fan-in is bounded by ``max_rows``.  The
+    returned value is the number of sequential reduction stages.
+    """
+    if n_partials <= 0:
+        raise ValueError("n_partials must be positive")
+    if n_partials == 1:
+        return 0
+    stages = 0
+    remaining = n_partials
+    while remaining > 1:
+        remaining = math.ceil(remaining / max_rows)
+        stages += 1
+    return stages

@@ -1,0 +1,29 @@
+"""Device variation and the splice/add weight-representation study."""
+
+from .accuracy import AccuracyModel, AccuracyPoint, accuracy_sweep
+from .devices import YAO2017_DEVICE, MeasuredDevice, measured_cell
+from .montecarlo import MonteCarloResult, SyntheticTask, run_montecarlo
+from .representation import (
+    RepresentationPoint,
+    effective_weight_bits,
+    effective_weight_levels,
+    normalized_deviation,
+    representation_sweep,
+)
+
+__all__ = [
+    "MeasuredDevice",
+    "YAO2017_DEVICE",
+    "measured_cell",
+    "RepresentationPoint",
+    "normalized_deviation",
+    "effective_weight_levels",
+    "effective_weight_bits",
+    "representation_sweep",
+    "AccuracyModel",
+    "AccuracyPoint",
+    "accuracy_sweep",
+    "SyntheticTask",
+    "MonteCarloResult",
+    "run_montecarlo",
+]

@@ -1,0 +1,101 @@
+"""Normalized-accuracy surrogate for the Figure 9 study.
+
+The paper measures VGG16's ImageNet accuracy under quantisation and device
+variation.  Re-training and evaluating VGG16 is outside the scope of a
+performance-model reproduction, so the accuracy is estimated with a
+two-factor surrogate calibrated against the figure's published anchor
+points:
+
+* a **precision bound**: accuracy lost to representing weights with a
+  finite number of levels (the dashed "bound by #levels" lines at 4-8 bits),
+* a **variation bound**: accuracy lost to the residual conductance error
+  after composition (the "bound by variation" line; PRIME's 2-cell splice
+  configuration drops to ~70% of the full-precision accuracy).
+
+The normalized accuracy of a configuration is the minimum of the two
+bounds.  The Monte-Carlo study (:mod:`repro.variation.montecarlo`) provides
+an independent, purely numerical estimate on a small network that exercises
+the real device model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..arch.reram import ReRAMCellModel
+from .representation import effective_weight_bits, normalized_deviation
+
+__all__ = [
+    "AccuracyModel",
+    "AccuracyPoint",
+    "accuracy_sweep",
+]
+
+
+@dataclass(frozen=True)
+class AccuracyModel:
+    """Calibrated surrogate mapping precision/variation to normalized accuracy.
+
+    ``precision_scale`` sets how fast accuracy approaches 1 with more bits
+    (anchored so that 4-bit weights retain ~87% and 8-bit weights ~99% of
+    the full-precision accuracy); ``variation_scale`` sets how fast accuracy
+    degrades with normalized deviation (anchored so that PRIME's ~4%
+    single-cell deviation yields ~70%).
+    """
+
+    precision_scale: float = 2.0
+    variation_scale: float = 223.0
+
+    def precision_bound(self, weight_bits: float) -> float:
+        """Normalized accuracy achievable with ``weight_bits`` weight levels."""
+        if weight_bits <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.precision_scale * 2.0 ** (-weight_bits))
+
+    def variation_bound(self, deviation: float) -> float:
+        """Normalized accuracy achievable with the given normalized deviation."""
+        if deviation < 0:
+            raise ValueError("deviation must be non-negative")
+        return math.exp(-self.variation_scale * deviation**2)
+
+    def normalized_accuracy(self, method: str, n_cells: int, cell: ReRAMCellModel) -> float:
+        bits = effective_weight_bits(method, n_cells, cell)
+        deviation = normalized_deviation(method, n_cells, cell)
+        return min(self.precision_bound(bits), self.variation_bound(deviation))
+
+
+@dataclass(frozen=True)
+class AccuracyPoint:
+    """One point of the Figure 9 sweep."""
+
+    method: str
+    n_cells: int
+    normalized_accuracy: float
+    precision_bound: float
+    variation_bound: float
+
+
+def accuracy_sweep(
+    method: str,
+    n_cells_list: list[int],
+    cell: ReRAMCellModel | None = None,
+    model: AccuracyModel | None = None,
+) -> list[AccuracyPoint]:
+    """Sweep the cell count for one method and return accuracy estimates."""
+    cell = cell if cell is not None else ReRAMCellModel()
+    model = model if model is not None else AccuracyModel()
+    points = []
+    for n in n_cells_list:
+        bits = effective_weight_bits(method, n, cell)
+        deviation = normalized_deviation(method, n, cell)
+        points.append(
+            AccuracyPoint(
+                method=method,
+                n_cells=n,
+                normalized_accuracy=model.normalized_accuracy(method, n, cell),
+                precision_bound=model.precision_bound(bits),
+                variation_bound=model.variation_bound(deviation),
+            )
+        )
+    return points

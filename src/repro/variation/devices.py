@@ -1,0 +1,49 @@
+"""Measured ReRAM device-variation data.
+
+The paper derives its variation numbers from fabricated HfOx devices
+(Yao et al., "Face classification using electronic synapses", Nature
+Communications 2017): multi-level cells programmed to 16 levels show a
+combined programming + cycle-to-cycle conductance deviation of a few
+percent of the full conductance range.  The constant below is the
+calibration point used throughout the variation study; EXPERIMENTS.md
+records it as a substitution for the authors' raw device data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.reram import ReRAMCellModel
+
+__all__ = ["MeasuredDevice", "YAO2017_DEVICE", "measured_cell"]
+
+
+@dataclass(frozen=True)
+class MeasuredDevice:
+    """Summary statistics of a fabricated multi-level ReRAM device."""
+
+    name: str
+    bits: int
+    #: standard deviation of the programmed conductance as a fraction of the
+    #: full conductance range.
+    sigma_fraction: float
+    endurance_writes: float
+    citation: str
+
+    def cell_model(self) -> ReRAMCellModel:
+        """A :class:`ReRAMCellModel` with this device's variation."""
+        return ReRAMCellModel(bits=self.bits, sigma=self.sigma_fraction)
+
+
+YAO2017_DEVICE = MeasuredDevice(
+    name="HfOx 1T1R (Yao et al. 2017)",
+    bits=4,
+    sigma_fraction=0.04,
+    endurance_writes=1e12,
+    citation="Nature Communications 8, 2017",
+)
+
+
+def measured_cell() -> ReRAMCellModel:
+    """The default measured 4-bit cell used by the Figure 9 experiments."""
+    return YAO2017_DEVICE.cell_model()

@@ -1,0 +1,86 @@
+"""The splice-versus-add weight representation analysis (Section 7.2).
+
+Both methods build one logical weight from several physical cells:
+
+* **splice** — each cell stores a different bit-slice; the composed value is
+  ``sum_i 2**(b*i) * c_i``.  Precision grows with the cell count but the
+  normalized deviation stays essentially at the single-cell value because
+  the most-significant cell dominates the error.
+* **add** — all cells store the same value and their conductances are
+  summed with equal coefficients; by the Cauchy bound the normalized
+  deviation shrinks by ``sqrt(n)``, at the cost of slower precision growth
+  (``n*(L-1)+1`` levels from ``n`` cells of ``L`` levels).
+
+These closed forms drive Figure 9; :mod:`repro.variation.montecarlo`
+validates them against the numeric device model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..arch.reram import ReRAMCellModel, make_composition
+
+__all__ = [
+    "RepresentationPoint",
+    "normalized_deviation",
+    "effective_weight_levels",
+    "effective_weight_bits",
+    "representation_sweep",
+]
+
+
+@dataclass(frozen=True)
+class RepresentationPoint:
+    """One (method, #cells) point of the representation study."""
+
+    method: str
+    n_cells: int
+    normalized_deviation: float
+    effective_levels: int
+    effective_bits: float
+
+
+def normalized_deviation(method: str, n_cells: int, cell: ReRAMCellModel | None = None) -> float:
+    """Normalized deviation (std / value range) of the composed weight."""
+    cell = cell if cell is not None else ReRAMCellModel()
+    return make_composition(method, cell, n_cells).normalized_deviation()
+
+
+def effective_weight_levels(method: str, n_cells: int, cell: ReRAMCellModel | None = None) -> int:
+    """Number of distinct weight values the composition can represent."""
+    cell = cell if cell is not None else ReRAMCellModel()
+    if n_cells <= 0:
+        raise ValueError("n_cells must be positive")
+    if method == "splice":
+        return cell.levels**n_cells
+    if method == "add":
+        return n_cells * (cell.levels - 1) + 1
+    raise ValueError(f"unknown method {method!r}")
+
+
+def effective_weight_bits(method: str, n_cells: int, cell: ReRAMCellModel | None = None) -> float:
+    """Equivalent bit-width of the composed weight."""
+    return math.log2(effective_weight_levels(method, n_cells, cell))
+
+
+def representation_sweep(
+    method: str,
+    n_cells_list: list[int],
+    cell: ReRAMCellModel | None = None,
+) -> list[RepresentationPoint]:
+    """Sweep the cell count for one composition method."""
+    cell = cell if cell is not None else ReRAMCellModel()
+    points = []
+    for n in n_cells_list:
+        points.append(
+            RepresentationPoint(
+                method=method,
+                n_cells=n,
+                normalized_deviation=normalized_deviation(method, n, cell),
+                effective_levels=effective_weight_levels(method, n, cell),
+                effective_bits=effective_weight_bits(method, n, cell),
+            )
+        )
+    return points

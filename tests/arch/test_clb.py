@@ -1,0 +1,86 @@
+"""Tests of the configurable logic block model."""
+
+import pytest
+
+from repro.arch.clb import ConfigurableLogicBlock, IterationCounter, LookUpTable
+
+
+class TestLookUpTable:
+    def test_from_function_and_evaluate(self):
+        lut = LookUpTable.from_function(2, lambda a, b: a and not b)
+        assert lut.evaluate(True, False) is True
+        assert lut.evaluate(True, True) is False
+        assert lut.evaluate(False, False) is False
+
+    def test_table_size_validated(self):
+        with pytest.raises(ValueError):
+            LookUpTable(2, [True])
+        with pytest.raises(ValueError):
+            LookUpTable(0)
+
+    def test_evaluate_arity_checked(self):
+        lut = LookUpTable.from_function(3, lambda a, b, c: a or b or c)
+        with pytest.raises(ValueError):
+            lut.evaluate(True, False)
+
+    def test_default_table_is_all_false(self):
+        lut = LookUpTable(2)
+        assert lut.evaluate(True, True) is False
+
+
+class TestIterationCounter:
+    def test_wraps_at_period(self):
+        counter = IterationCounter(period=3)
+        assert counter.step() is False
+        assert counter.step() is False
+        assert counter.step() is True
+        assert counter.value == 0
+
+    def test_width_bits(self):
+        assert IterationCounter(2).width_bits == 1
+        assert IterationCounter(64).width_bits == 6
+        assert IterationCounter(65).width_bits == 7
+
+    def test_lut_cost_grows_with_period(self):
+        assert IterationCounter(1024).lut_cost() > IterationCounter(4).lut_cost()
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            IterationCounter(0)
+        with pytest.raises(ValueError):
+            IterationCounter(4, value=4)
+
+    def test_reset(self):
+        counter = IterationCounter(5)
+        counter.step()
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestConfigurableLogicBlock:
+    def test_lut_budget_enforced(self):
+        clb = ConfigurableLogicBlock()
+        for _ in range(clb.params.luts_per_clb):
+            clb.add_lut(LookUpTable(2))
+        with pytest.raises(RuntimeError):
+            clb.add_lut(LookUpTable(2))
+
+    def test_lut_input_width_enforced(self):
+        clb = ConfigurableLogicBlock()
+        with pytest.raises(ValueError):
+            clb.add_lut(LookUpTable(7))
+
+    def test_counter_consumes_luts(self):
+        clb = ConfigurableLogicBlock()
+        before = clb.luts_free
+        clb.add_counter(64)
+        assert clb.luts_free < before
+
+    def test_step_advances_all_counters(self):
+        clb = ConfigurableLogicBlock()
+        clb.add_counter(2)
+        clb.add_counter(3)
+        first = clb.step()
+        assert first == [False, False]
+        second = clb.step()
+        assert second == [True, False]

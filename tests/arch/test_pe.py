@@ -1,0 +1,97 @@
+"""Tests of the processing element (cost + functional behaviour)."""
+
+import numpy as np
+import pytest
+
+from repro.arch.params import PEParams
+from repro.arch.pe import ProcessingElement
+from repro.arch.reram import ReRAMCellModel
+
+
+@pytest.fixture(scope="module")
+def small_pe_params():
+    # a small crossbar keeps the functional simulation fast
+    return PEParams(rows=32, physical_cols=32, logical_cols=16, io_bits=5)
+
+
+class TestProcessingElementCost:
+    def test_cost_uses_full_pe_area_regardless_of_tile(self):
+        params = PEParams()
+        pe = ProcessingElement(np.ones((10, 10)) * 0.01, params=params, functional=False)
+        cost = pe.cost()
+        assert cost.area_mm2 == pytest.approx(params.area_mm2)
+        assert cost.latency_ns == pytest.approx(params.vmm_latency_ns)
+        assert cost.ops == 2 * 10 * 10
+
+    def test_full_tile_density_matches_table2(self):
+        params = PEParams()
+        pe = ProcessingElement(
+            np.ones((params.rows, params.logical_cols)) * 0.001,
+            params=params,
+            functional=False,
+        )
+        assert pe.cost().tops_per_mm2 == pytest.approx(38.0, rel=0.01)
+        assert pe.utilization == pytest.approx(1.0)
+
+    def test_partial_tile_utilization(self):
+        params = PEParams()
+        pe = ProcessingElement(np.ones((128, 128)) * 0.001, params=params, functional=False)
+        assert pe.utilization == pytest.approx(0.25)
+
+    def test_tile_larger_than_crossbar_rejected(self):
+        params = PEParams()
+        with pytest.raises(ValueError):
+            ProcessingElement(np.ones((params.rows + 1, 1)), params=params, functional=False)
+
+    def test_non_2d_weights_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessingElement(np.ones(5), functional=False)
+
+
+class TestProcessingElementFunction:
+    def test_run_values_approximates_relu_matvec(self, small_pe_params):
+        rng = np.random.default_rng(0)
+        weights = rng.uniform(-0.2, 0.2, size=(8, 4))
+        pe = ProcessingElement(
+            weights, params=small_pe_params, cell=ReRAMCellModel(sigma=0.0)
+        )
+        x = rng.uniform(0, 1, size=8)
+        out = pe.run_values(x)
+        ideal = np.clip(pe.ideal_output(x), 0, 1)
+        assert out.shape == (4,)
+        np.testing.assert_allclose(out, ideal, atol=0.2)
+
+    def test_run_counts_shape_and_range(self, small_pe_params):
+        pe = ProcessingElement(
+            np.full((4, 3), 0.05), params=small_pe_params, cell=ReRAMCellModel(sigma=0.0)
+        )
+        window = small_pe_params.sampling_window
+        out = pe.run_counts(np.array([window, 0, window // 2, 1]))
+        assert out.shape == (3,)
+        assert np.all(out >= 0)
+        assert np.all(out <= window)
+
+    def test_run_counts_validates_shape(self, small_pe_params):
+        pe = ProcessingElement(np.ones((4, 2)) * 0.1, params=small_pe_params)
+        with pytest.raises(ValueError):
+            pe.run_counts(np.zeros(3, dtype=int))
+
+    def test_non_functional_pe_refuses_to_run(self):
+        pe = ProcessingElement(np.ones((4, 2)) * 0.1, functional=False)
+        with pytest.raises(RuntimeError):
+            pe.run_counts(np.zeros(4, dtype=int))
+
+    def test_device_variation_changes_output(self, small_pe_params):
+        weights = np.full((8, 4), 0.1)
+        rng = np.random.default_rng(5)
+        noisy = ProcessingElement(
+            weights,
+            params=small_pe_params,
+            cell=ReRAMCellModel(sigma=0.08),
+            variation_rng=rng,
+        )
+        ideal = ProcessingElement(
+            weights, params=small_pe_params, cell=ReRAMCellModel(sigma=0.0)
+        )
+        x = np.full(8, 0.6)
+        assert not np.allclose(noisy.run_values(x), ideal.run_values(x))

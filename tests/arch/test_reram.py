@@ -1,0 +1,194 @@
+"""Tests of the ReRAM cell/crossbar device model and weight compositions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.reram import (
+    AddComposition,
+    ReRAMCellModel,
+    ReRAMCrossbar,
+    SpliceComposition,
+    make_composition,
+)
+
+
+class TestReRAMCellModel:
+    def test_levels_from_bits(self):
+        assert ReRAMCellModel(bits=4).levels == 16
+        assert ReRAMCellModel(bits=2).levels == 4
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ReRAMCellModel(bits=0)
+        with pytest.raises(ValueError):
+            ReRAMCellModel(g_min=1.0, g_max=0.5)
+        with pytest.raises(ValueError):
+            ReRAMCellModel(sigma=-0.1)
+
+    def test_quantize_clamps_and_rounds(self):
+        cell = ReRAMCellModel(bits=2)  # 4 levels -> steps of 1/3
+        quantized = cell.quantize_fraction(np.array([-0.5, 0.0, 0.4, 1.2]))
+        assert quantized[0] == 0.0
+        assert quantized[1] == 0.0
+        assert quantized[2] == pytest.approx(1 / 3)
+        assert quantized[3] == 1.0
+
+    def test_program_without_rng_is_ideal(self):
+        cell = ReRAMCellModel(sigma=0.05)
+        target = np.array([0.0, 0.5, 1.0])
+        conductance = cell.program(target, rng=None)
+        expected = cell.g_min + cell.quantize_fraction(target) * cell.g_range
+        np.testing.assert_allclose(conductance, expected)
+
+    def test_program_with_variation_is_noisy_but_unbiased(self):
+        cell = ReRAMCellModel(sigma=0.04)
+        rng = np.random.default_rng(0)
+        target = np.full(20000, 0.5)
+        conductance = cell.program(target, rng=rng)
+        ideal = cell.g_min + cell.quantize_fraction(0.5) * cell.g_range
+        assert conductance.std() == pytest.approx(cell.sigma_conductance, rel=0.05)
+        assert conductance.mean() == pytest.approx(ideal, rel=0.01)
+
+    def test_zero_sigma_means_no_noise(self):
+        cell = ReRAMCellModel(sigma=0.0)
+        rng = np.random.default_rng(0)
+        out = cell.program(np.array([0.25, 0.75]), rng=rng)
+        np.testing.assert_allclose(out, cell.program(np.array([0.25, 0.75]), rng=None))
+
+
+class TestCompositions:
+    def test_factory_dispatch(self):
+        cell = ReRAMCellModel()
+        assert isinstance(make_composition("splice", cell, 2), SpliceComposition)
+        assert isinstance(make_composition("add", cell, 2), AddComposition)
+        with pytest.raises(ValueError):
+            make_composition("bogus", cell, 2)
+
+    def test_splice_precision_grows_with_cells(self):
+        cell = ReRAMCellModel(bits=4)
+        assert SpliceComposition(cell, 1).weight_bits == 4
+        assert SpliceComposition(cell, 2).weight_bits == 8
+        assert SpliceComposition(cell, 4).weight_bits == 16
+
+    def test_add_precision_stays_at_cell_bits(self):
+        cell = ReRAMCellModel(bits=4)
+        assert AddComposition(cell, 8).weight_bits == 4
+
+    def test_splice_roundtrip_without_noise(self):
+        cell = ReRAMCellModel(bits=4, sigma=0.0)
+        comp = SpliceComposition(cell, 2)
+        weights = np.linspace(0, 1, 17)
+        realized = comp.realize(weights, rng=None)
+        np.testing.assert_allclose(realized, weights, atol=1.0 / 255 + 1e-9)
+
+    def test_add_roundtrip_without_noise(self):
+        cell = ReRAMCellModel(bits=4, sigma=0.0)
+        comp = AddComposition(cell, 8)
+        weights = np.linspace(0, 1, 16)
+        realized = comp.realize(weights, rng=None)
+        np.testing.assert_allclose(realized, weights, atol=1.0 / 15 + 1e-9)
+
+    def test_splice_deviation_nearly_constant_in_cells(self):
+        """Section 7.2: splicing barely improves the normalized deviation."""
+        cell = ReRAMCellModel(bits=4, sigma=0.04)
+        single = SpliceComposition(cell, 1).normalized_deviation()
+        spliced = SpliceComposition(cell, 4).normalized_deviation()
+        assert spliced == pytest.approx(single, rel=0.1)
+
+    def test_add_deviation_shrinks_with_sqrt_n(self):
+        """Section 7.2: the add method divides the deviation by sqrt(n)."""
+        cell = ReRAMCellModel(bits=4, sigma=0.04)
+        single = AddComposition(cell, 1).normalized_deviation()
+        added = AddComposition(cell, 16).normalized_deviation()
+        assert added == pytest.approx(single / 4.0, rel=1e-6)
+
+    def test_add_beats_splice_for_same_cell_count(self):
+        cell = ReRAMCellModel(bits=4, sigma=0.04)
+        for n in (2, 4, 8, 16):
+            assert (
+                AddComposition(cell, n).normalized_deviation()
+                < SpliceComposition(cell, n).normalized_deviation()
+            )
+
+    @given(n_cells=st.integers(min_value=1, max_value=16))
+    @settings(max_examples=16, deadline=None)
+    def test_add_deviation_formula(self, n_cells):
+        cell = ReRAMCellModel(bits=4, sigma=0.05)
+        comp = AddComposition(cell, n_cells)
+        assert comp.normalized_deviation() == pytest.approx(0.05 / np.sqrt(n_cells))
+
+    @given(
+        weights=st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=32),
+        n_cells=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_noiseless_realization_bounded_error(self, weights, n_cells):
+        """Property: without variation, both methods round-trip weights to
+        within their quantisation step."""
+        cell = ReRAMCellModel(bits=4, sigma=0.0)
+        weights = np.asarray(weights)
+        for method in ("splice", "add"):
+            comp = make_composition(method, cell, n_cells)
+            step = 1.0 / (comp.weight_levels - 1) if comp.weight_levels > 1 else 1.0
+            realized = comp.realize(weights, rng=None)
+            assert np.all(np.abs(realized - weights) <= step / 2 + 1e-9)
+
+    def test_zero_cells_rejected(self):
+        with pytest.raises(ValueError):
+            AddComposition(ReRAMCellModel(), 0)
+
+
+class TestReRAMCrossbar:
+    def test_requires_2d_weights(self):
+        with pytest.raises(ValueError):
+            ReRAMCrossbar(np.zeros(4))
+
+    def test_ideal_matvec_matches_numpy(self):
+        rng = np.random.default_rng(3)
+        weights = rng.uniform(-1, 1, size=(16, 8))
+        crossbar = ReRAMCrossbar(weights, cell=ReRAMCellModel(sigma=0.0), cells_per_weight=8)
+        x = rng.uniform(0, 1, size=16)
+        expected = x @ weights
+        np.testing.assert_allclose(crossbar.matvec(x), expected, atol=0.15)
+
+    def test_effective_weights_track_requested_sign(self):
+        weights = np.array([[0.5, -0.5], [-0.25, 0.75]])
+        crossbar = ReRAMCrossbar(weights, cell=ReRAMCellModel(sigma=0.0))
+        assert np.sign(crossbar.effective_weights[0, 0]) == 1
+        assert np.sign(crossbar.effective_weights[0, 1]) == -1
+
+    def test_variation_perturbs_weights(self):
+        rng = np.random.default_rng(0)
+        weights = np.full((8, 8), 0.5)
+        noisy = ReRAMCrossbar(weights, cell=ReRAMCellModel(sigma=0.05), rng=rng)
+        ideal = ReRAMCrossbar(weights, cell=ReRAMCellModel(sigma=0.0))
+        assert not np.allclose(noisy.effective_weights, ideal.effective_weights)
+
+    def test_input_length_checked(self):
+        crossbar = ReRAMCrossbar(np.ones((4, 2)), cell=ReRAMCellModel(sigma=0.0))
+        with pytest.raises(ValueError):
+            crossbar.matvec(np.ones(5))
+
+    def test_add_composition_reduces_output_error(self):
+        """The add method's lower deviation shows up as lower matvec error."""
+        rng_weights = np.random.default_rng(1)
+        weights = rng_weights.uniform(-1, 1, size=(64, 32))
+        x = rng_weights.uniform(0, 1, size=64)
+        expected = x @ weights
+
+        def mean_error(method: str, seed: int) -> float:
+            errors = []
+            for trial in range(5):
+                crossbar = ReRAMCrossbar(
+                    weights,
+                    cell=ReRAMCellModel(sigma=0.04),
+                    composition=method,
+                    cells_per_weight=8,
+                    rng=np.random.default_rng(seed + trial),
+                )
+                errors.append(np.abs(crossbar.matvec(x) - expected).mean())
+            return float(np.mean(errors))
+
+        assert mean_error("add", 10) < mean_error("splice", 10)

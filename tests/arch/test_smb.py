@@ -1,0 +1,80 @@
+"""Tests of the spiking memory block model."""
+
+import numpy as np
+import pytest
+
+from repro.arch.params import SMBParams
+from repro.arch.smb import BufferRequirement, SMBFullError, SpikingMemoryBlock
+from repro.arch.spiking import SpikeTrain
+
+
+class TestBufferRequirement:
+    def test_bits_and_smb_count(self):
+        req = BufferRequirement(values=1000, value_bits=6)
+        assert req.bits == 6000
+        assert req.smb_count() == 1
+        big = BufferRequirement(values=10000, value_bits=6)
+        assert big.smb_count() == 4  # 2730 values per 16Kb block at 6 bits
+
+
+class TestSpikingMemoryBlock:
+    def test_capacity_matches_params(self):
+        smb = SpikingMemoryBlock(value_bits=6)
+        assert smb.capacity_values == SMBParams().values_capacity(6)
+        assert smb.free_values == smb.capacity_values
+
+    def test_write_and_read_counts(self):
+        smb = SpikingMemoryBlock(value_bits=6)
+        counts = np.array([0, 13, 64])
+        smb.write_counts("layer1", counts)
+        np.testing.assert_array_equal(smb.read_counts("layer1"), counts)
+        assert smb.used_values == 3
+
+    def test_overwrite_reuses_space(self):
+        smb = SpikingMemoryBlock(value_bits=6)
+        smb.write_counts("slot", np.arange(10))
+        smb.write_counts("slot", np.arange(5))
+        assert smb.used_values == 5
+
+    def test_capacity_enforced(self):
+        smb = SpikingMemoryBlock(value_bits=8)
+        too_many = np.zeros(smb.capacity_values + 1, dtype=int)
+        with pytest.raises(SMBFullError):
+            smb.write_counts("big", too_many)
+
+    def test_count_range_enforced(self):
+        smb = SpikingMemoryBlock(value_bits=4)  # max count 16
+        with pytest.raises(ValueError):
+            smb.write_counts("bad", np.array([17]))
+        with pytest.raises(ValueError):
+            smb.write_counts("bad", np.array([-1]))
+
+    def test_train_roundtrip_preserves_counts(self):
+        smb = SpikingMemoryBlock(value_bits=6)
+        counts = np.array([3, 40, 64, 0])
+        train = SpikeTrain.from_counts(counts, 64)
+        smb.write_train("spikes", train)
+        regenerated = smb.read_train("spikes", window=64)
+        np.testing.assert_array_equal(regenerated.count(), counts)
+
+    def test_read_missing_slot_raises(self):
+        with pytest.raises(KeyError):
+            SpikingMemoryBlock().read_counts("nope")
+
+    def test_release_frees_space(self):
+        smb = SpikingMemoryBlock(value_bits=6)
+        smb.write_counts("tmp", np.arange(20))
+        smb.release("tmp")
+        assert smb.used_values == 0
+        smb.release("tmp")  # idempotent
+
+    def test_access_costs_from_table1(self):
+        smb = SpikingMemoryBlock()
+        assert smb.access_latency_ns() == pytest.approx(0.578)
+        assert smb.access_energy_pj() == pytest.approx(1.150)
+
+    def test_read_train_window_too_small(self):
+        smb = SpikingMemoryBlock(value_bits=6)
+        smb.write_counts("x", np.array([50]))
+        with pytest.raises(ValueError):
+            smb.read_train("x", window=32)

@@ -1,0 +1,183 @@
+"""Tests of the cycle-level spiking PE model (Equation 6 equivalence)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.spiking import (
+    IFNeuron,
+    SpikeSubtracter,
+    SpikeTrain,
+    SpikingCrossbarPE,
+    decode_from_counts,
+    encode_to_counts,
+)
+
+
+class TestEncoding:
+    def test_encode_decode_roundtrip(self):
+        values = np.array([0.0, 0.25, 0.5, 1.0])
+        counts = encode_to_counts(values, 64)
+        np.testing.assert_array_equal(counts, [0, 16, 32, 64])
+        np.testing.assert_allclose(decode_from_counts(counts, 64), values)
+
+    def test_encode_clips_out_of_range(self):
+        counts = encode_to_counts(np.array([-1.0, 2.0]), 32)
+        np.testing.assert_array_equal(counts, [0, 32])
+
+    def test_decode_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            decode_from_counts(np.array([1]), 0)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_encoding_error_bounded_by_half_lsb(self, value):
+        window = 64
+        count = encode_to_counts(np.array([value]), window)[0]
+        assert abs(count / window - value) <= 0.5 / window + 1e-12
+
+
+class TestSpikeTrain:
+    def test_from_count_has_exact_count(self):
+        for count in range(0, 65, 7):
+            train = SpikeTrain.from_count(count, 64)
+            assert train.count() == count
+            assert train.window == 64
+
+    def test_from_count_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            SpikeTrain.from_count(65, 64)
+        with pytest.raises(ValueError):
+            SpikeTrain.from_count(-1, 64)
+
+    def test_from_counts_bundle(self):
+        counts = np.array([0, 5, 64])
+        train = SpikeTrain.from_counts(counts, 64)
+        np.testing.assert_array_equal(train.count(), counts)
+
+    def test_spikes_are_spread_over_window(self):
+        train = SpikeTrain.from_count(4, 64)
+        positions = np.flatnonzero(train.spikes)
+        gaps = np.diff(positions)
+        assert gaps.min() >= 8  # evenly spread, not bunched at the start
+
+
+class TestIFNeuron:
+    def test_fires_at_threshold(self):
+        neuron = IFNeuron(threshold=1.0)
+        assert neuron.step(0.6) is False
+        assert neuron.step(0.6) is True
+        assert neuron.spikes_emitted == 1
+        assert neuron.state == pytest.approx(0.2)
+
+    def test_reset_clears_state(self):
+        neuron = IFNeuron(threshold=1.0)
+        neuron.step(2.5)
+        neuron.reset()
+        assert neuron.state == 0.0
+        assert neuron.spikes_emitted == 0
+
+    def test_rejects_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            IFNeuron(threshold=0.0)
+        with pytest.raises(ValueError):
+            IFNeuron(threshold=1.0).step(-0.1)
+
+    def test_total_charge_conserved(self):
+        neuron = IFNeuron(threshold=1.0)
+        rng = np.random.default_rng(0)
+        charges = rng.uniform(0, 0.9, size=200)
+        for c in charges:
+            neuron.step(float(c))
+        recovered = neuron.spikes_emitted + neuron.state
+        assert recovered == pytest.approx(charges.sum(), rel=1e-9)
+
+
+class TestSpikeSubtracter:
+    def test_blocks_positive_spikes(self):
+        sub = SpikeSubtracter()
+        sub.step(False, True)   # negative arrives first
+        assert sub.step(True, False) is False  # blocked
+        assert sub.step(True, False) is True
+        assert sub.output_spikes == 1
+
+    def test_no_negative_passes_all(self):
+        sub = SpikeSubtracter()
+        outputs = [sub.step(True, False) for _ in range(5)]
+        assert all(outputs)
+        assert sub.output_spikes == 5
+
+    def test_reset(self):
+        sub = SpikeSubtracter()
+        sub.step(True, True)
+        sub.reset()
+        assert sub.pending_blocks == 0
+        assert sub.output_spikes == 0
+
+
+class TestSpikingCrossbarPE:
+    def test_requires_2d_weights(self):
+        with pytest.raises(ValueError):
+            SpikingCrossbarPE(np.zeros(3), window=16)
+
+    def test_positive_weights_match_reference(self):
+        rng = np.random.default_rng(1)
+        weights = rng.uniform(0, 0.02, size=(8, 4))
+        pe = SpikingCrossbarPE(weights, window=64)
+        counts = rng.integers(0, 65, size=8)
+        out = pe.run(counts)
+        reference = pe.reference(counts)
+        assert np.all(np.abs(out - reference) <= 1)
+
+    def test_negative_weights_relu_behaviour(self):
+        # a column whose net weight is negative must output zero spikes
+        weights = np.array([[0.5, -0.5]])
+        pe = SpikingCrossbarPE(weights, window=64)
+        out = pe.run(np.array([32]))
+        assert out[1] == 0
+        assert out[0] == pytest.approx(16, abs=1)
+
+    def test_output_saturates_at_window(self):
+        weights = np.array([[2.0]])
+        pe = SpikingCrossbarPE(weights, window=32)
+        out = pe.run(np.array([32]))
+        assert out[0] == 32
+
+    def test_zero_input_gives_zero_output(self):
+        weights = np.random.default_rng(0).uniform(-1, 1, size=(6, 6))
+        pe = SpikingCrossbarPE(weights, window=64)
+        assert np.all(pe.run(np.zeros(6, dtype=int)) == 0)
+
+    def test_input_shape_validated(self):
+        pe = SpikingCrossbarPE(np.ones((4, 2)) * 0.1, window=16)
+        with pytest.raises(ValueError):
+            pe.run(np.zeros(3, dtype=int))
+
+    @given(
+        rows=st.integers(min_value=1, max_value=6),
+        cols=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_equation6_equivalence_property(self, rows, cols, seed):
+        """Property (Equation 6): the spiking circuit computes
+        ReLU(W^T X) on spike counts, up to +-1 count of quantisation."""
+        rng = np.random.default_rng(seed)
+        window = 64
+        # keep |W^T X| comfortably below the window so saturation is not hit
+        weights = rng.uniform(-1.0, 1.0, size=(rows, cols)) / (rows * window) * 20
+        counts = rng.integers(0, window + 1, size=rows)
+        pe = SpikingCrossbarPE(weights, window=window)
+        out = pe.run(counts)
+        reference = pe.reference(counts)
+        assert np.all(np.abs(out.astype(int) - reference.astype(int)) <= 1)
+
+    def test_spike_count_monotone_in_input(self):
+        """More input spikes can only produce more output spikes for
+        non-negative weights."""
+        weights = np.full((4, 2), 0.01)
+        pe = SpikingCrossbarPE(weights, window=64)
+        low = pe.run(np.array([8, 8, 8, 8]))
+        high = pe.run(np.array([32, 32, 32, 32]))
+        assert np.all(high >= low)

@@ -1,0 +1,67 @@
+"""Shared fixtures for the test suite.
+
+Expensive objects (synthesized core-op graphs of the benchmark models) are
+session-scoped so the many tests that need them pay the construction cost
+only once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.params import FPSAConfig
+from repro.mapper.allocation import allocate
+from repro.mapper.mapper import SpatialTemporalMapper
+from repro.models import build_lenet, build_mlp_500_100, build_vgg16
+from repro.synthesizer.synthesizer import synthesize
+
+
+@pytest.fixture(scope="session")
+def config() -> FPSAConfig:
+    return FPSAConfig()
+
+
+@pytest.fixture(scope="session")
+def mlp_graph():
+    return build_mlp_500_100()
+
+
+@pytest.fixture(scope="session")
+def lenet_graph():
+    return build_lenet()
+
+
+@pytest.fixture(scope="session")
+def vgg16_graph():
+    return build_vgg16()
+
+
+@pytest.fixture(scope="session")
+def mlp_coreops(mlp_graph):
+    return synthesize(mlp_graph)
+
+
+@pytest.fixture(scope="session")
+def lenet_coreops(lenet_graph):
+    return synthesize(lenet_graph)
+
+
+@pytest.fixture(scope="session")
+def vgg16_coreops(vgg16_graph):
+    return synthesize(vgg16_graph)
+
+
+@pytest.fixture(scope="session")
+def lenet_mapping(lenet_coreops, config):
+    mapper = SpatialTemporalMapper(config)
+    return mapper.map(lenet_coreops, duplication_degree=4, detailed_schedule=True)
+
+
+@pytest.fixture(scope="session")
+def mlp_allocation(mlp_coreops, config):
+    return allocate(mlp_coreops, duplication_degree=2, pe=config.pe)
+
+
+@pytest.fixture(scope="session")
+def vgg16_allocation(vgg16_coreops, config):
+    return allocate(vgg16_coreops, duplication_degree=64, pe=config.pe)

@@ -1,0 +1,75 @@
+"""Tests of the chip-configuration (bitstream) generation."""
+
+import json
+
+import pytest
+
+from repro.config_gen import FPSABitstream, generate_bitstream
+from repro.core.compiler import FPSACompiler
+from repro.models import build_lenet, build_mlp_500_100
+
+
+@pytest.fixture(scope="module")
+def lenet_bitstream_deployment():
+    compiler = FPSACompiler()
+    result = compiler.compile(
+        build_lenet(), duplication_degree=2, run_pnr=True,
+        pnr_channel_width=24, emit_bitstream=True,
+    )
+    return result
+
+
+class TestGenerateBitstream:
+    def test_one_crossbar_config_per_pe(self, lenet_bitstream_deployment):
+        bitstream = lenet_bitstream_deployment.bitstream
+        assert bitstream is not None
+        assert len(bitstream.crossbars) == lenet_bitstream_deployment.mapping.netlist.n_pe
+
+    def test_crossbar_tiles_within_crossbar_size(self, lenet_bitstream_deployment, config):
+        for crossbar in lenet_bitstream_deployment.bitstream.crossbars:
+            assert 0 < crossbar.tile_rows <= config.pe.rows
+            assert 0 < crossbar.tile_cols <= config.pe.logical_cols
+            assert crossbar.cells_per_weight == config.pe.cells_per_weight
+
+    def test_weight_bits_cover_model_weights(self, lenet_bitstream_deployment, config):
+        """Every stored weight uses cells_per_weight x 2 x cell_bits bits, so
+        the bitstream must hold at least the model's weights."""
+        bitstream = lenet_bitstream_deployment.bitstream
+        graph = lenet_bitstream_deployment.graph
+        per_weight = config.pe.cells_per_weight * 2 * config.pe.cell_bits
+        assert bitstream.weight_configuration_bits >= graph.total_params() * per_weight
+
+    def test_routing_configs_from_pnr(self, lenet_bitstream_deployment):
+        bitstream = lenet_bitstream_deployment.bitstream
+        routed = lenet_bitstream_deployment.pnr.routing.nets
+        assert len(bitstream.routing) == len(routed)
+        assert all(r.switches_on > 0 for r in bitstream.routing)
+
+    def test_control_and_buffers_present(self, lenet_bitstream_deployment):
+        bitstream = lenet_bitstream_deployment.bitstream
+        mapping = lenet_bitstream_deployment.mapping
+        assert bitstream.control.clbs == mapping.control.clbs_needed
+        assert len(bitstream.buffers) == mapping.netlist.n_smb
+
+    def test_without_pnr_uses_estimated_routing(self, config):
+        from repro.mapper.mapper import SpatialTemporalMapper
+        from repro.synthesizer import synthesize
+
+        coreops = synthesize(build_mlp_500_100())
+        mapping = SpatialTemporalMapper(config).map(coreops, duplication_degree=1)
+        bitstream = generate_bitstream(mapping, pnr=None, config=config)
+        assert len(bitstream.routing) == len(mapping.netlist.nets)
+        assert bitstream.total_configuration_bits > 0
+
+    def test_json_roundtrip(self, lenet_bitstream_deployment):
+        bitstream = lenet_bitstream_deployment.bitstream
+        text = bitstream.to_json()
+        parsed = json.loads(text)
+        assert parsed["model"] == "LeNet"
+        restored = FPSABitstream.from_json(text)
+        assert restored.total_configuration_bits == bitstream.total_configuration_bits
+        assert len(restored.crossbars) == len(bitstream.crossbars)
+
+    def test_summary_and_deployment_summary(self, lenet_bitstream_deployment):
+        assert "bitstream" in lenet_bitstream_deployment.bitstream.summary()
+        assert "bitstream" in lenet_bitstream_deployment.summary()

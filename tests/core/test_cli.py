@@ -1,0 +1,58 @@
+"""Tests of the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_deploy_arguments(self):
+        args = build_parser().parse_args(
+            ["deploy", "LeNet", "--duplication", "8", "--detailed"]
+        )
+        assert args.model == "LeNet"
+        assert args.duplication == 8
+        assert args.detailed is True
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["deploy", "NotAModel"])
+
+
+class TestCommands:
+    def test_models_command(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "VGG16" in out
+        assert "ResNet152" in out
+
+    def test_deploy_command(self, capsys):
+        assert main(["deploy", "MLP-500-100", "--duplication", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "MLP-500-100" in out
+        assert "throughput" in out
+
+    def test_deploy_with_bitstream_to_stdout(self, capsys):
+        assert main(["deploy", "MLP-500-100", "--bitstream", "-"]) == 0
+        out = capsys.readouterr().out
+        payload = out[out.index("{"):]
+        data = json.loads(payload)
+        assert data["model"] == "MLP-500-100"
+
+    def test_deploy_with_bitstream_to_file(self, tmp_path, capsys):
+        target = tmp_path / "config.json"
+        assert main(["deploy", "LeNet", "--bitstream", str(target)]) == 0
+        data = json.loads(target.read_text())
+        assert data["model"] == "LeNet"
+        assert data["total_configuration_bits"] > 0
+
+    def test_experiments_command_selection(self, capsys):
+        assert main(["experiments", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out

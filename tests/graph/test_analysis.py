@@ -1,0 +1,63 @@
+"""Tests of the graph profiling analyses (the Section 3 motivation numbers)."""
+
+import pytest
+
+from repro.graph.analysis import profile_graph
+
+
+class TestProfileGraph:
+    def test_mlp_profile_counts(self, mlp_graph):
+        profile = profile_graph(mlp_graph)
+        assert profile.total_params == 443_000
+        assert len(profile.layers) == 3
+        assert all(layer.reuse_degree == 1 for layer in profile.layers)
+
+    def test_mlp_is_balanced(self, mlp_graph):
+        profile = profile_graph(mlp_graph)
+        # no weight sharing: compute share == weight share for every layer
+        assert profile.imbalance() == pytest.approx(1.0, rel=1e-6)
+
+    def test_vgg16_first_conv_reuse(self, vgg16_graph):
+        profile = profile_graph(vgg16_graph)
+        first = profile.layers[0]
+        assert first.name == "conv1"
+        assert first.reuse_degree == 224 * 224
+
+    def test_vgg16_imbalance_matches_paper_motivation(self, vgg16_graph):
+        """Section 3: the first two conv layers hold ~0.028% of the weights
+        but perform ~12.5% of the computation; the FC layers hold ~89.3% of
+        the weights but only ~0.8% of the computation."""
+        profile = profile_graph(vgg16_graph)
+        by_name = {layer.name: layer for layer in profile.layers}
+
+        first_two_weights = sum(
+            profile.weight_fraction(by_name[n]) for n in ("conv1", "conv2")
+        )
+        first_two_ops = sum(profile.ops_fraction(by_name[n]) for n in ("conv1", "conv2"))
+        assert first_two_weights == pytest.approx(0.00028, rel=0.2)
+        assert first_two_ops == pytest.approx(0.125, rel=0.15)
+
+        fc_weights = sum(
+            profile.weight_fraction(by_name[n]) for n in ("fc1", "fc2", "fc3")
+        )
+        fc_ops = sum(profile.ops_fraction(by_name[n]) for n in ("fc1", "fc2", "fc3"))
+        assert fc_weights == pytest.approx(0.893, rel=0.02)
+        assert fc_ops == pytest.approx(0.008, rel=0.3)
+
+        assert profile.imbalance() > 100
+
+    def test_lenet_weight_matrices(self, lenet_graph):
+        profile = profile_graph(lenet_graph)
+        by_name = {layer.name: layer for layer in profile.layers}
+        assert by_name["conv1"].weight_matrix == (25, 20)
+        assert by_name["conv2"].weight_matrix == (500, 50)
+        assert by_name["fc1"].weight_matrix == (800, 500)
+
+    def test_fractions_sum_to_one(self, lenet_graph):
+        profile = profile_graph(lenet_graph)
+        assert sum(profile.weight_fraction(l) for l in profile.layers) == pytest.approx(1.0)
+        assert sum(profile.ops_fraction(l) for l in profile.layers) == pytest.approx(1.0)
+
+    def test_max_reuse_degree(self, lenet_graph):
+        profile = profile_graph(lenet_graph)
+        assert profile.max_reuse_degree == 24 * 24

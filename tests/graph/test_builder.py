@@ -1,0 +1,76 @@
+"""Tests of the fluent graph builder."""
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.ops import Conv2d, ReLU
+
+
+class TestGraphBuilder:
+    def test_sequential_chain(self):
+        b = GraphBuilder("seq", input_shape=(1, 28, 28))
+        b.conv(8, 3, padding=1).maxpool(2).flatten().dense(10).softmax()
+        g = b.build()
+        g.validate()
+        assert g.output_nodes()[0].output.shape == (10,)
+
+    def test_conv_inserts_fused_relu_by_default(self):
+        b = GraphBuilder("relu", input_shape=(1, 8, 8))
+        b.conv(4, 3, name="c1")
+        g = b.build()
+        consumers = g.consumers("c1")
+        assert len(consumers) == 1
+        assert isinstance(consumers[0].op, ReLU)
+
+    def test_conv_without_relu(self):
+        b = GraphBuilder("norelu", input_shape=(1, 8, 8))
+        b.conv(4, 3, relu=False, name="c1")
+        g = b.build()
+        assert g.consumers("c1") == []
+
+    def test_checkpoint_and_branching(self):
+        b = GraphBuilder("branch", input_shape=(4, 8, 8))
+        trunk = b.checkpoint()
+        b.conv(4, 1, relu=False, name="left", from_=trunk)
+        left = b.current
+        b.conv(4, 1, relu=False, name="right", from_=trunk)
+        right = b.current
+        b.add(left, right)
+        g = b.build()
+        assert g.output_nodes()[0].output.shape == (4, 8, 8)
+
+    def test_concat_branches(self):
+        b = GraphBuilder("cat", input_shape=(4, 8, 8))
+        trunk = b.checkpoint()
+        b.conv(2, 1, name="a", from_=trunk)
+        a = b.current
+        b.conv(6, 1, name="b", from_=trunk)
+        bb = b.current
+        b.concat([a, bb])
+        g = b.build()
+        assert g.output_nodes()[0].output.shape == (8, 8, 8)
+
+    def test_generated_names_are_unique(self):
+        b = GraphBuilder("auto", input_shape=(16,))
+        b.dense(8).dense(4).dense(2)
+        g = b.build()
+        assert len(g) == 4  # input + 3 dense
+
+    def test_named_layers_preserved(self):
+        b = GraphBuilder("named", input_shape=(16,))
+        b.dense(8, name="hidden").dense(2, name="logits")
+        g = b.build()
+        assert "hidden" in g
+        assert "logits" in g
+
+    def test_dense_with_relu(self):
+        b = GraphBuilder("fc", input_shape=(16,))
+        b.dense(8, relu=True, name="fc1")
+        g = b.build()
+        assert isinstance(g.consumers("fc1")[0].op, ReLU)
+
+    def test_misc_layers(self):
+        b = GraphBuilder("misc", input_shape=(4, 16, 16))
+        b.batchnorm().lrn().avgpool(2).global_avgpool().dropout(0.3)
+        g = b.build()
+        assert g.output_nodes()[0].output.shape == (4,)

@@ -1,0 +1,92 @@
+"""Tests of the computational-graph container."""
+
+import pytest
+
+from repro.graph.graph import ComputationalGraph, GraphValidationError
+from repro.graph.ops import Add, Conv2d, Dense, InputOp, ReLU
+
+
+def small_graph() -> ComputationalGraph:
+    g = ComputationalGraph("tiny")
+    g.add("input", InputOp((8,)))
+    g.add("fc1", Dense(4), ["input"])
+    g.add("relu1", ReLU(), ["fc1"])
+    g.add("fc2", Dense(2), ["relu1"])
+    return g
+
+
+class TestGraphConstruction:
+    def test_shapes_inferred_on_add(self):
+        g = small_graph()
+        assert g.node("fc1").output.shape == (4,)
+        assert g.node("fc2").output.shape == (2,)
+
+    def test_duplicate_name_rejected(self):
+        g = small_graph()
+        with pytest.raises(GraphValidationError):
+            g.add("fc1", Dense(3), ["input"])
+
+    def test_unknown_input_rejected(self):
+        g = ComputationalGraph("bad")
+        g.add("input", InputOp((4,)))
+        with pytest.raises(GraphValidationError):
+            g.add("fc", Dense(2), ["missing"])
+
+    def test_arity_checked_on_add(self):
+        g = ComputationalGraph("bad")
+        g.add("input", InputOp((4,)))
+        with pytest.raises(ValueError):
+            g.add("add", Add(), ["input"])
+
+
+class TestGraphQueries:
+    def test_len_contains_iter(self):
+        g = small_graph()
+        assert len(g) == 4
+        assert "fc1" in g
+        assert "missing" not in g
+        assert [n.name for n in g] == ["input", "fc1", "relu1", "fc2"]
+
+    def test_input_and_output_nodes(self):
+        g = small_graph()
+        assert [n.name for n in g.input_nodes()] == ["input"]
+        assert [n.name for n in g.output_nodes()] == ["fc2"]
+
+    def test_consumers(self):
+        g = small_graph()
+        assert [n.name for n in g.consumers("fc1")] == ["relu1"]
+        assert g.consumers("fc2") == []
+
+    def test_node_lookup_error(self):
+        with pytest.raises(KeyError):
+            small_graph().node("nope")
+
+
+class TestValidationAndCounting:
+    def test_validate_passes_for_well_formed_graph(self):
+        small_graph().validate()
+
+    def test_validate_detects_missing_input(self):
+        g = ComputationalGraph("no-input")
+        with pytest.raises(GraphValidationError):
+            g.validate()
+
+    def test_total_params_and_ops(self):
+        g = small_graph()
+        assert g.total_params() == 8 * 4 + 4 * 2
+        assert g.total_ops() == 2 * (8 * 4 + 4 * 2) + 4  # + ReLU ops
+
+    def test_topological_order_respects_dependencies(self):
+        g = ComputationalGraph("diamond")
+        g.add("input", InputOp((4,)))
+        g.add("left", Dense(4), ["input"])
+        g.add("right", Dense(4), ["input"])
+        g.add("join", Add(), ["left", "right"])
+        order = [n.name for n in g.topological()]
+        assert order.index("join") > order.index("left")
+        assert order.index("join") > order.index("right")
+
+    def test_summary_contains_totals(self):
+        text = small_graph().summary()
+        assert "total" in text
+        assert "fc1" in text

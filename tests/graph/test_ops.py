@@ -1,0 +1,165 @@
+"""Tests of the tensor operations (shape inference, weight/op counting)."""
+
+import pytest
+
+from repro.graph.ops import (
+    Add,
+    AvgPool2d,
+    BatchNorm,
+    Concat,
+    Conv2d,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAvgPool,
+    InputOp,
+    LRN,
+    MaxPool2d,
+    ReLU,
+    Softmax,
+)
+from repro.graph.tensor import TensorSpec
+
+
+FMAP = TensorSpec((3, 32, 32))
+VEC = TensorSpec((128,))
+
+
+class TestConv2d:
+    def test_shape_inference_basic(self):
+        conv = Conv2d(out_channels=16, kernel=3, padding=1)
+        out = conv.infer_shape([FMAP])
+        assert out.shape == (16, 32, 32)
+
+    def test_shape_inference_stride(self):
+        conv = Conv2d(out_channels=8, kernel=3, stride=2, padding=1)
+        assert conv.infer_shape([FMAP]).shape == (8, 16, 16)
+
+    def test_shape_inference_no_padding(self):
+        conv = Conv2d(out_channels=8, kernel=5)
+        assert conv.infer_shape([FMAP]).shape == (8, 28, 28)
+
+    def test_param_and_op_count(self):
+        conv = Conv2d(out_channels=16, kernel=3, padding=1)
+        assert conv.param_count([FMAP]) == 3 * 16 * 9
+        # MAC = 2 ops; each output position reuses the kernel
+        assert conv.op_count([FMAP]) == 2 * 3 * 16 * 9 * 32 * 32
+
+    def test_grouped_conv(self):
+        x = TensorSpec((4, 8, 8))
+        conv = Conv2d(out_channels=8, kernel=3, padding=1, groups=2)
+        assert conv.param_count([x]) == 2 * (2 * 4 * 9)
+        assert conv.weight_matrix_shape([x]) == (18, 4)
+
+    def test_groups_must_divide_channels(self):
+        conv = Conv2d(out_channels=8, kernel=3, groups=3)
+        with pytest.raises(ValueError):
+            conv.infer_shape([TensorSpec((4, 8, 8))])
+
+    def test_collapsed_output_rejected(self):
+        conv = Conv2d(out_channels=8, kernel=64)
+        with pytest.raises(ValueError):
+            conv.infer_shape([FMAP])
+
+    def test_rejects_vector_input(self):
+        with pytest.raises(ValueError):
+            Conv2d(4, 3).infer_shape([VEC])
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Conv2d(out_channels=0, kernel=3)
+        with pytest.raises(ValueError):
+            Conv2d(out_channels=4, kernel=3, padding=-1)
+
+
+class TestDense:
+    def test_shape_params_ops(self):
+        dense = Dense(out_features=10)
+        assert dense.infer_shape([VEC]).shape == (10,)
+        assert dense.param_count([VEC]) == 1280
+        assert dense.op_count([VEC]) == 2560
+
+    def test_accepts_feature_map_input_by_size(self):
+        dense = Dense(out_features=4)
+        assert dense.param_count([FMAP]) == FMAP.size * 4
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Dense(0)
+
+
+class TestPooling:
+    def test_maxpool_shape(self):
+        assert MaxPool2d(2).infer_shape([FMAP]).shape == (3, 16, 16)
+        assert MaxPool2d(3, stride=2).infer_shape([FMAP]).shape == (3, 15, 15)
+        assert MaxPool2d(3, stride=2, padding=1).infer_shape([FMAP]).shape == (3, 16, 16)
+
+    def test_avgpool_shape(self):
+        assert AvgPool2d(2).infer_shape([FMAP]).shape == (3, 16, 16)
+
+    def test_pool_has_no_params(self):
+        assert MaxPool2d(2).param_count([FMAP]) == 0
+
+    def test_pool_rejects_vector(self):
+        with pytest.raises(ValueError):
+            MaxPool2d(2).infer_shape([VEC])
+
+    def test_global_avgpool(self):
+        assert GlobalAvgPool().infer_shape([FMAP]).shape == (3,)
+        assert GlobalAvgPool().op_count([FMAP]) == FMAP.size
+
+
+class TestElementwise:
+    def test_relu_identity_shape(self):
+        assert ReLU().infer_shape([FMAP]).shape == FMAP.shape
+
+    def test_add_requires_matching_shapes(self):
+        assert Add().infer_shape([FMAP, FMAP]).shape == FMAP.shape
+        with pytest.raises(ValueError):
+            Add().infer_shape([FMAP, TensorSpec((3, 16, 16))])
+
+    def test_add_arity(self):
+        with pytest.raises(ValueError):
+            Add().validate_arity([FMAP])
+
+    def test_concat_channels(self):
+        a = TensorSpec((3, 8, 8))
+        b = TensorSpec((5, 8, 8))
+        assert Concat().infer_shape([a, b]).shape == (8, 8, 8)
+
+    def test_concat_vectors(self):
+        assert Concat().infer_shape([VEC, VEC]).shape == (256,)
+
+    def test_concat_mismatched_spatial(self):
+        with pytest.raises(ValueError):
+            Concat().infer_shape([TensorSpec((3, 8, 8)), TensorSpec((3, 4, 4))])
+
+    def test_batchnorm_params(self):
+        assert BatchNorm().param_count([FMAP]) == 6
+        assert BatchNorm().param_count([VEC]) == 256
+
+    def test_lrn_identity_shape(self):
+        assert LRN().infer_shape([FMAP]).shape == FMAP.shape
+
+    def test_flatten(self):
+        assert Flatten().infer_shape([FMAP]).shape == (FMAP.size,)
+
+    def test_dropout_rate_validated(self):
+        assert Dropout(0.5).infer_shape([VEC]).shape == VEC.shape
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_softmax(self):
+        assert Softmax().infer_shape([VEC]).shape == VEC.shape
+        assert Softmax().op_count([VEC]) == 3 * 128
+
+
+class TestInputOp:
+    def test_produces_declared_shape(self):
+        op = InputOp((3, 224, 224))
+        assert op.infer_shape([]).shape == (3, 224, 224)
+        assert op.n_inputs == 0
+
+    def test_rejects_inputs(self):
+        with pytest.raises(ValueError):
+            InputOp((3,)).validate_arity([VEC])

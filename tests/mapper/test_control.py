@@ -1,0 +1,50 @@
+"""Tests of the control-logic planner."""
+
+import pytest
+
+from repro.mapper.allocation import allocate
+from repro.mapper.control import plan_control
+from repro.mapper.netlist import build_netlist
+
+
+class TestPlanControl:
+    def test_window_counter_per_pe(self, lenet_coreops, config):
+        allocation = allocate(lenet_coreops, 2, config.pe)
+        netlist = build_netlist(lenet_coreops, allocation, config)
+        plan = plan_control(allocation, netlist, config)
+        assert plan.window_counters == netlist.n_pe
+
+    def test_iteration_counters_only_for_multi_iteration_groups(self, mlp_coreops, config):
+        # at maximum duplication every group runs a single iteration
+        allocation = allocate(mlp_coreops, mlp_coreops.max_reuse_degree, config.pe)
+        netlist = build_netlist(mlp_coreops, allocation, config)
+        plan = plan_control(allocation, netlist, config)
+        assert plan.iteration_counters == 0
+
+    def test_buffer_counters_match_smbs(self, lenet_coreops, config):
+        allocation = allocate(lenet_coreops, 2, config.pe)
+        netlist = build_netlist(lenet_coreops, allocation, config)
+        plan = plan_control(allocation, netlist, config)
+        assert plan.buffer_counters == netlist.n_smb
+
+    def test_clbs_cover_luts(self, lenet_coreops, config):
+        allocation = allocate(lenet_coreops, 2, config.pe)
+        netlist = build_netlist(lenet_coreops, allocation, config)
+        plan = plan_control(allocation, netlist, config)
+        assert plan.clbs_needed * config.clb.luts_per_clb >= plan.luts_total
+        assert plan.luts_total > 0
+
+    def test_counters_total(self, lenet_coreops, config):
+        allocation = allocate(lenet_coreops, 2, config.pe)
+        netlist = build_netlist(lenet_coreops, allocation, config)
+        plan = plan_control(allocation, netlist, config)
+        assert plan.counters_total == (
+            plan.window_counters + plan.iteration_counters + plan.buffer_counters
+        )
+
+    def test_more_duplication_means_more_control(self, lenet_coreops, config):
+        small_alloc = allocate(lenet_coreops, 1, config.pe)
+        big_alloc = allocate(lenet_coreops, 8, config.pe)
+        small = plan_control(small_alloc, build_netlist(lenet_coreops, small_alloc, config), config)
+        big = plan_control(big_alloc, build_netlist(lenet_coreops, big_alloc, config), config)
+        assert big.luts_total > small.luts_total

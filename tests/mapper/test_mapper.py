@@ -1,0 +1,47 @@
+"""Tests of the end-to-end spatial-to-temporal mapper."""
+
+import pytest
+
+from repro.mapper.mapper import SpatialTemporalMapper
+
+
+class TestSpatialTemporalMapper:
+    def test_mapping_result_fields(self, lenet_mapping, lenet_coreops):
+        assert lenet_mapping.model == "LeNet"
+        assert lenet_mapping.duplication_degree == 4
+        assert lenet_mapping.netlist.n_pe == lenet_mapping.allocation.total_pes
+        assert lenet_mapping.control.clbs_needed == lenet_mapping.netlist.n_clb
+        assert lenet_mapping.schedule is not None
+
+    def test_detailed_schedule_optional(self, mlp_coreops, config):
+        mapper = SpatialTemporalMapper(config)
+        result = mapper.map(mlp_coreops, duplication_degree=2)
+        assert result.schedule is None
+
+    def test_pe_budget_mapping(self, lenet_coreops, config):
+        mapper = SpatialTemporalMapper(config)
+        budget = 3 * lenet_coreops.min_pes()
+        result = mapper.map(lenet_coreops, pe_budget=budget)
+        assert result.netlist.n_pe <= budget
+        assert result.duplication_degree >= 1
+
+    def test_pe_budget_too_small_raises(self, lenet_coreops, config):
+        mapper = SpatialTemporalMapper(config)
+        with pytest.raises(ValueError):
+            mapper.map(lenet_coreops, pe_budget=1)
+
+    def test_chip_area_positive(self, lenet_mapping, config):
+        assert lenet_mapping.chip_area_mm2(config) > 0
+
+    def test_summary_mentions_blocks(self, lenet_mapping):
+        text = lenet_mapping.summary()
+        assert "PEs" in text
+        assert "duplication degree 4" in text
+
+    def test_schedule_reuse_cap(self, vgg16_coreops, config):
+        mapper = SpatialTemporalMapper(config)
+        result = mapper.map(
+            vgg16_coreops, duplication_degree=1, detailed_schedule=True, max_schedule_reuse=1
+        )
+        assert result.schedule is not None
+        assert len(result.schedule.ops) > 0

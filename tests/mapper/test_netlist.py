@@ -1,0 +1,85 @@
+"""Tests of the function-block netlist builder."""
+
+import pytest
+
+from repro.mapper.allocation import allocate
+from repro.mapper.netlist import Block, BlockType, FunctionBlockNetlist, Net, build_netlist
+from repro.synthesizer.coreop import CoreOpGraph, WeightGroup
+
+
+class TestNetlistDataModel:
+    def test_block_type_validated(self):
+        with pytest.raises(ValueError):
+            Block(name="x", type="GPU")
+
+    def test_net_requires_sinks_and_bits(self):
+        with pytest.raises(ValueError):
+            Net(name="n", driver="a", sinks=())
+        with pytest.raises(ValueError):
+            Net(name="n", driver="a", sinks=("b",), bits=0)
+
+    def test_duplicate_block_rejected(self):
+        netlist = FunctionBlockNetlist("m")
+        netlist.add_block(Block("a", BlockType.PE))
+        with pytest.raises(ValueError):
+            netlist.add_block(Block("a", BlockType.PE))
+
+    def test_net_references_checked(self):
+        netlist = FunctionBlockNetlist("m")
+        netlist.add_block(Block("a", BlockType.PE))
+        with pytest.raises(ValueError):
+            netlist.add_net(Net("n", driver="a", sinks=("ghost",)))
+
+    def test_counters(self):
+        netlist = FunctionBlockNetlist("m")
+        netlist.add_block(Block("pe0", BlockType.PE))
+        netlist.add_block(Block("smb0", BlockType.SMB))
+        netlist.add_block(Block("clb0", BlockType.CLB))
+        assert netlist.n_pe == 1
+        assert netlist.n_smb == 1
+        assert netlist.n_clb == 1
+        assert "1 PEs" in netlist.summary()
+
+
+class TestBuildNetlist:
+    def test_pe_count_matches_allocation(self, lenet_coreops, config):
+        allocation = allocate(lenet_coreops, 4, config.pe)
+        netlist = build_netlist(lenet_coreops, allocation, config)
+        assert netlist.n_pe == allocation.total_pes
+
+    def test_io_blocks_present(self, mlp_coreops, config):
+        allocation = allocate(mlp_coreops, 1, config.pe)
+        netlist = build_netlist(mlp_coreops, allocation, config)
+        assert "__input__" in netlist.blocks
+        assert "__output__" in netlist.blocks
+
+    def test_every_net_endpoint_exists(self, lenet_coreops, config):
+        allocation = allocate(lenet_coreops, 2, config.pe)
+        netlist = build_netlist(lenet_coreops, allocation, config)
+        for net in netlist.nets:
+            assert net.driver in netlist.blocks
+            assert all(s in netlist.blocks for s in net.sinks)
+
+    def test_buffers_inserted_for_iterating_groups(self, lenet_coreops, config):
+        allocation = allocate(lenet_coreops, 1, config.pe)
+        netlist = build_netlist(lenet_coreops, allocation, config)
+        assert netlist.n_smb > 0
+
+    def test_clb_count_override(self, mlp_coreops, config):
+        allocation = allocate(mlp_coreops, 1, config.pe)
+        netlist = build_netlist(mlp_coreops, allocation, config, clb_blocks=7)
+        assert netlist.n_clb == 7
+
+    def test_replication_multiplies_pe_blocks(self):
+        g = CoreOpGraph("rep")
+        g.add_group(WeightGroup("only", "only", "matmul", 64, 64, 2, macs_per_instance=4096))
+        allocation = allocate(g, 8)  # replication 4
+        assert allocation.replication == 4
+        netlist = build_netlist(g, allocation)
+        assert netlist.n_pe == allocation.total_pes
+        assert any(b.name.startswith("rep3::") for b in netlist.blocks.values())
+
+    def test_chip_area_positive_and_scales(self, lenet_coreops, config):
+        small = build_netlist(lenet_coreops, allocate(lenet_coreops, 1, config.pe), config)
+        large = build_netlist(lenet_coreops, allocate(lenet_coreops, 8, config.pe), config)
+        assert 0 < small.chip_area_mm2(config) < large.chip_area_mm2(config)

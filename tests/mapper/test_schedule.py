@@ -1,0 +1,151 @@
+"""Tests of the Algorithm-1 scheduler and its constraint system."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mapper.allocation import allocate
+from repro.mapper.schedule import (
+    assign_pes,
+    schedule_instances,
+    validate_schedule,
+)
+from repro.synthesizer.coreop import CoreOpGraph, WeightGroup
+
+
+def chain_graph(reuses: list[int], rows: int = 256) -> CoreOpGraph:
+    """A linear chain of groups with the given reuse degrees."""
+    g = CoreOpGraph("chain")
+    previous = None
+    for i, reuse in enumerate(reuses):
+        g.add_group(
+            WeightGroup(
+                name=f"g{i}", source=f"g{i}", kind="matmul",
+                rows=rows, cols=128, reuse=reuse, macs_per_instance=rows * 128,
+            )
+        )
+        if previous is not None:
+            g.add_edge(previous, f"g{i}", rows)
+        previous = f"g{i}"
+    return g
+
+
+class TestAssignPes:
+    def test_round_robin_over_duplicates(self):
+        g = chain_graph([4])
+        allocation = allocate(g, 2)
+        instances = g.expand()
+        assignment = assign_pes(instances, allocation)
+        pes = set(assignment.values())
+        assert len(pes) == 2  # one tile x two duplicates
+
+    def test_every_instance_assigned(self, lenet_coreops):
+        allocation = allocate(lenet_coreops, 2)
+        instances = lenet_coreops.expand()
+        assignment = assign_pes(instances, allocation)
+        assert set(assignment) == set(instances.instances)
+
+
+class TestScheduleInstances:
+    def test_all_constraints_hold_for_chain(self):
+        g = chain_graph([8, 4, 1])
+        allocation = allocate(g, 2)
+        instances = g.expand()
+        schedule = schedule_instances(instances, allocation, window=64)
+        assert validate_schedule(schedule, instances) == []
+
+    def test_all_constraints_hold_for_lenet(self, lenet_mapping, lenet_coreops):
+        instances = lenet_coreops.expand()
+        assert validate_schedule(lenet_mapping.schedule, instances) == []
+
+    def test_sampling_window_respected(self):
+        g = chain_graph([2])
+        allocation = allocate(g, 1)
+        schedule = schedule_instances(g.expand(), allocation, window=32)
+        assert all(op.duration >= 32 for op in schedule.ops.values())
+
+    def test_resource_conflict_serializes_same_pe(self):
+        g = chain_graph([4])
+        allocation = allocate(g, 1)  # one PE, four reuse positions
+        schedule = schedule_instances(g.expand(), allocation, window=64)
+        intervals = schedule.pe_intervals()
+        assert len(intervals) == 1
+        spans = next(iter(intervals.values()))
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert s2 >= e1
+
+    def test_duplication_enables_parallelism(self):
+        g = chain_graph([8])
+        serial = schedule_instances(g.expand(), allocate(g, 1), window=64)
+        parallel = schedule_instances(g.expand(), allocate(g, 4), window=64)
+        assert parallel.makespan < serial.makespan
+
+    def test_buffers_inserted_for_time_multiplexed_consumers(self):
+        # producer with reuse 1 feeding a consumer with reuse 4 on one PE:
+        # the later consumer iterations cannot stream and need buffers.
+        g = CoreOpGraph("buffered")
+        g.add_group(WeightGroup("p", "p", "matmul", 64, 64, 1, macs_per_instance=64 * 64))
+        g.add_group(WeightGroup("c", "c", "matmul", 64, 64, 4, macs_per_instance=64 * 64))
+        g.add_edge("p", "c", 64)
+        allocation = allocate(g, 1)
+        schedule = schedule_instances(g.expand(), allocation, window=64)
+        assert schedule.n_buffers >= 3
+        assert validate_schedule(schedule, g.expand()) == []
+
+    def test_streaming_chain_needs_no_buffers(self):
+        g = chain_graph([1, 1, 1])
+        allocation = allocate(g, 1)
+        schedule = schedule_instances(g.expand(), allocation, window=64)
+        assert schedule.n_buffers == 0
+        assert schedule.makespan <= 3 * 64 + 8
+
+    def test_invalid_window_rejected(self):
+        g = chain_graph([1])
+        with pytest.raises(ValueError):
+            schedule_instances(g.expand(), allocate(g, 1), window=0)
+
+    def test_pe_utilization_in_range(self, lenet_mapping):
+        utilization = lenet_mapping.schedule.pe_utilization()
+        assert 0.0 < utilization <= 1.0
+
+    @given(
+        reuses=st.lists(st.integers(min_value=1, max_value=12), min_size=1, max_size=5),
+        duplication=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_schedule_constraints_property(self, reuses, duplication):
+        """Property: for arbitrary chains and duplication degrees, the
+        greedy scheduler always produces a constraint-satisfying schedule."""
+        g = chain_graph(reuses)
+        allocation = allocate(g, duplication)
+        instances = g.expand()
+        schedule = schedule_instances(instances, allocation, window=16)
+        assert validate_schedule(schedule, instances) == []
+        assert len(schedule.ops) == len(instances)
+
+
+class TestValidateSchedule:
+    def test_detects_sampling_window_violation(self):
+        g = chain_graph([1])
+        allocation = allocate(g, 1)
+        instances = g.expand()
+        schedule = schedule_instances(instances, allocation, window=64)
+        # corrupt the schedule
+        name = next(iter(schedule.ops))
+        op = schedule.ops[name]
+        schedule.ops[name] = type(op)(op.name, op.group, op.pe, op.start, op.start + 1)
+        assert any("SW" in v for v in validate_schedule(schedule, instances))
+
+    def test_detects_resource_conflict(self):
+        g = chain_graph([2])
+        allocation = allocate(g, 1)
+        instances = g.expand()
+        schedule = schedule_instances(instances, allocation, window=64)
+        names = list(schedule.ops)
+        first = schedule.ops[names[0]]
+        second = schedule.ops[names[1]]
+        schedule.ops[names[1]] = type(second)(
+            second.name, second.group, first.pe, first.start, first.end
+        )
+        violations = validate_schedule(schedule, instances)
+        assert any("RC" in v for v in violations)

@@ -1,0 +1,59 @@
+"""Tests of the utilization-bound analysis (Figure 8c)."""
+
+import pytest
+
+from repro.mapper.allocation import allocate
+from repro.perf.bounds import compute_bounds, spatial_utilization
+
+
+class TestSpatialUtilization:
+    def test_in_unit_interval(self, vgg16_coreops, vgg16_graph):
+        util = spatial_utilization(vgg16_coreops, vgg16_graph.total_ops())
+        assert 0.0 < util <= 1.0
+
+    def test_mlp_better_than_lenet(self, mlp_coreops, mlp_graph, lenet_coreops, lenet_graph):
+        """LeNet's tiny weight matrices waste most of each crossbar; the
+        MLP's large dense matrices fill crossbars much better."""
+        mlp = spatial_utilization(mlp_coreops, mlp_graph.total_ops())
+        lenet = spatial_utilization(lenet_coreops, lenet_graph.total_ops())
+        assert mlp > lenet
+
+
+class TestComputeBounds:
+    def test_ordering_peak_spatial_temporal(self, vgg16_coreops, vgg16_graph, config):
+        allocation = allocate(vgg16_coreops, 4, config.pe)
+        bounds = compute_bounds(vgg16_coreops, allocation, vgg16_graph.total_ops(), config)
+        assert bounds.peak_density >= bounds.spatial_bound >= bounds.temporal_bound > 0
+
+    def test_peak_density_is_pe_density(self, mlp_coreops, mlp_graph, config):
+        allocation = allocate(mlp_coreops, 1, config.pe)
+        bounds = compute_bounds(mlp_coreops, allocation, mlp_graph.total_ops(), config)
+        assert bounds.peak_density == pytest.approx(
+            config.pe.computational_density_ops_per_mm2
+        )
+
+    def test_spatial_bound_independent_of_duplication(self, vgg16_coreops, vgg16_graph, config):
+        ops = vgg16_graph.total_ops()
+        low = compute_bounds(vgg16_coreops, allocate(vgg16_coreops, 1, config.pe), ops, config)
+        high = compute_bounds(vgg16_coreops, allocate(vgg16_coreops, 64, config.pe), ops, config)
+        assert low.spatial_bound == pytest.approx(high.spatial_bound)
+
+    def test_temporal_bound_rises_with_duplication(self, vgg16_coreops, vgg16_graph, config):
+        ops = vgg16_graph.total_ops()
+        low = compute_bounds(vgg16_coreops, allocate(vgg16_coreops, 1, config.pe), ops, config)
+        high = compute_bounds(vgg16_coreops, allocate(vgg16_coreops, 64, config.pe), ops, config)
+        assert high.temporal_bound > low.temporal_bound
+        assert high.temporal_bound <= high.spatial_bound * (1 + 1e-9)
+
+    def test_mlp_bounds_nearly_coincide_at_balance(self, mlp_coreops, mlp_graph, config):
+        """Figure 8c: the MLP has no weight sharing, so once balanced its
+        temporal bound coincides with its spatial bound."""
+        allocation = allocate(mlp_coreops, mlp_coreops.max_reuse_degree, config.pe)
+        bounds = compute_bounds(mlp_coreops, allocation, mlp_graph.total_ops(), config)
+        assert bounds.temporal_bound == pytest.approx(bounds.spatial_bound, rel=0.05)
+
+    def test_utilization_properties(self, lenet_coreops, lenet_graph, config):
+        allocation = allocate(lenet_coreops, 4, config.pe)
+        bounds = compute_bounds(lenet_coreops, allocation, lenet_graph.total_ops(), config)
+        assert 0 < bounds.spatial_utilization <= 1
+        assert 0 < bounds.temporal_utilization <= 1

@@ -1,0 +1,56 @@
+"""Tests of the performance metric containers."""
+
+import pytest
+
+from repro.perf.metrics import LatencyBreakdown, PerformanceReport, geometric_mean
+
+
+def make_report(**overrides) -> PerformanceReport:
+    defaults = dict(
+        model="m", architecture="FPSA", area_mm2=10.0,
+        throughput_samples_per_s=1000.0, latency_us=100.0,
+        ops_per_sample=1e9, peak_ops=1e14, ideal_ops=5e13, real_ops=1e13,
+        latency_breakdown=LatencyBreakdown(100.0, 300.0), n_pe=100,
+    )
+    defaults.update(overrides)
+    return PerformanceReport(**defaults)
+
+
+class TestLatencyBreakdown:
+    def test_total_and_fraction(self):
+        breakdown = LatencyBreakdown(100.0, 300.0)
+        assert breakdown.total_ns == 400.0
+        assert breakdown.communication_fraction == pytest.approx(0.75)
+
+    def test_zero_total(self):
+        assert LatencyBreakdown(0.0, 0.0).communication_fraction == 0.0
+
+
+class TestPerformanceReport:
+    def test_density_and_utilization(self):
+        report = make_report()
+        assert report.computational_density_ops_per_mm2 == pytest.approx(1e12)
+        assert report.peak_density_ops_per_mm2 == pytest.approx(1e13)
+        assert report.utilization == pytest.approx(0.1)
+
+    def test_zero_area_guard(self):
+        report = make_report(area_mm2=0.0)
+        assert report.computational_density_ops_per_mm2 == 0.0
+
+    def test_speedup_over(self):
+        fast = make_report(real_ops=4e13)
+        slow = make_report(real_ops=1e13)
+        assert fast.speedup_over(slow) == pytest.approx(4.0)
+        assert fast.speedup_over(make_report(real_ops=0.0)) == float("inf")
+
+
+class TestGeometricMean:
+    def test_values(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([3.0]) == pytest.approx(3.0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])

@@ -1,0 +1,55 @@
+"""Tests of the cycle-level pipeline simulator."""
+
+import pytest
+
+from repro.perf.analytic import FPSAArchitecture, evaluate_design_point
+from repro.perf.pipeline_sim import PipelineSimulator
+
+
+class TestPipelineSimulator:
+    def test_initiation_interval_at_least_window(self, lenet_mapping, config):
+        simulator = PipelineSimulator(config.pe)
+        result = simulator.run(lenet_mapping.schedule)
+        assert result.initiation_interval_cycles >= config.pe.sampling_window
+
+    def test_initiation_interval_at_least_busiest_pe(self, lenet_mapping, config):
+        simulator = PipelineSimulator(config.pe)
+        schedule = lenet_mapping.schedule
+        busiest = max(simulator._pe_busy_cycles(schedule).values())
+        result = simulator.run(schedule)
+        assert result.initiation_interval_cycles >= busiest
+
+    def test_no_double_booking(self, lenet_mapping, config):
+        # run() raises if the initiation interval double-books a PE
+        PipelineSimulator(config.pe).run(lenet_mapping.schedule, n_samples=16)
+
+    def test_total_cycles_formula(self, lenet_mapping, config):
+        result = PipelineSimulator(config.pe).run(lenet_mapping.schedule, n_samples=4)
+        assert result.total_cycles == result.makespan_cycles + 3 * result.initiation_interval_cycles
+
+    def test_throughput_and_latency_units(self, lenet_mapping, config):
+        result = PipelineSimulator(config.pe).run(lenet_mapping.schedule)
+        assert result.latency_us == pytest.approx(result.latency_ns / 1e3)
+        assert result.throughput_samples_per_s > 0
+
+    def test_simulated_throughput_matches_analytic(
+        self, lenet_coreops, lenet_graph, lenet_mapping, config
+    ):
+        """Cross-validation: the event-level simulation and the analytic
+        model should agree on LeNet's throughput within ~40%
+        (the analytic model adds the routed communication latency that the
+        cycle-level schedule does not carry)."""
+        simulated = PipelineSimulator(config.pe).run(lenet_mapping.schedule)
+        analytic = evaluate_design_point(
+            lenet_coreops,
+            lenet_mapping.allocation,
+            lenet_graph.total_ops(),
+            FPSAArchitecture(config),
+            config=config,
+        )
+        ratio = simulated.throughput_samples_per_s / analytic.throughput_samples_per_s
+        assert 0.6 < ratio < 2.5
+
+    def test_invalid_sample_count(self, lenet_mapping, config):
+        with pytest.raises(ValueError):
+            PipelineSimulator(config.pe).run(lenet_mapping.schedule, n_samples=0)

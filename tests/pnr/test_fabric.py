@@ -1,0 +1,46 @@
+"""Tests of the fabric grid."""
+
+import pytest
+
+from repro.mapper.netlist import Block, BlockType, FunctionBlockNetlist
+from repro.pnr.fabric import FabricGrid
+
+
+class TestFabricGrid:
+    def test_dimensions_and_sites(self):
+        fabric = FabricGrid(4, 3)
+        assert fabric.n_sites == 12
+        assert len(fabric.sites()) == 12
+        assert fabric.contains(0, 0)
+        assert fabric.contains(3, 2)
+        assert not fabric.contains(4, 0)
+        assert not fabric.contains(-1, 0)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            FabricGrid(0, 3)
+
+    def test_io_sites_on_periphery(self):
+        fabric = FabricGrid(3, 3)
+        for site in fabric.io_sites():
+            assert site.io
+            assert not fabric.contains(site.x, site.y)
+        assert len(fabric.io_sites()) == 2 * 3 + 2 * 3
+
+    def test_site_lookup(self):
+        fabric = FabricGrid(3, 3)
+        site = fabric.site(1, 2)
+        assert site.position == (1, 2)
+        with pytest.raises(ValueError):
+            fabric.site(5, 5)
+
+    def test_for_netlist_has_enough_sites(self):
+        netlist = FunctionBlockNetlist("m")
+        for i in range(17):
+            netlist.add_block(Block(f"pe{i}", BlockType.PE))
+        netlist.add_block(Block("__input__", BlockType.IO))
+        fabric = FabricGrid.for_netlist(netlist)
+        assert fabric.n_sites >= 17
+
+    def test_manhattan(self):
+        assert FabricGrid.manhattan((0, 0), (3, 4)) == 7

@@ -1,0 +1,87 @@
+"""Tests of the simulated-annealing placer."""
+
+import pytest
+
+from repro.mapper.netlist import Block, BlockType, FunctionBlockNetlist, Net
+from repro.pnr.fabric import FabricGrid
+from repro.pnr.placement import Placement, SimulatedAnnealingPlacer
+
+
+def chain_netlist(n_blocks: int) -> FunctionBlockNetlist:
+    netlist = FunctionBlockNetlist("chain")
+    for i in range(n_blocks):
+        netlist.add_block(Block(f"pe{i}", BlockType.PE))
+    for i in range(n_blocks - 1):
+        netlist.add_net(Net(f"net{i}", driver=f"pe{i}", sinks=(f"pe{i+1}",)))
+    return netlist
+
+
+class TestPlacement:
+    def test_net_hpwl(self):
+        fabric = FabricGrid(4, 4)
+        placement = Placement(fabric, positions={"a": (0, 0), "b": (3, 2)})
+        net = Net("n", driver="a", sinks=("b",))
+        assert placement.net_hpwl(net) == 5
+
+    def test_missing_block_raises(self):
+        placement = Placement(FabricGrid(2, 2))
+        with pytest.raises(KeyError):
+            placement.position("ghost")
+
+
+class TestSimulatedAnnealingPlacer:
+    def test_all_blocks_placed_on_distinct_sites(self):
+        netlist = chain_netlist(12)
+        placer = SimulatedAnnealingPlacer(seed=0)
+        placement = placer.place(netlist)
+        positions = list(placement.positions.values())
+        assert len(positions) == 12
+        assert len(set(positions)) == 12
+
+    def test_io_blocks_on_periphery(self):
+        netlist = chain_netlist(4)
+        netlist.add_block(Block("__input__", BlockType.IO))
+        netlist.add_net(Net("io", driver="__input__", sinks=("pe0",)))
+        fabric = FabricGrid(4, 4)
+        placement = SimulatedAnnealingPlacer(seed=1).place(netlist, fabric)
+        x, y = placement.position("__input__")
+        assert not fabric.contains(x, y)
+
+    def test_placement_improves_over_random(self):
+        """The annealer should end with a wirelength no worse than the
+        initial random placement (and usually much better)."""
+        import random
+
+        netlist = chain_netlist(20)
+        fabric = FabricGrid(6, 6)
+        placer = SimulatedAnnealingPlacer(seed=3, moves_per_block=20)
+        random_placement = placer._initial_placement(netlist, fabric, random.Random(3))
+        annealed = placer.place(netlist, fabric)
+        assert annealed.total_wirelength(netlist.nets) <= random_placement.total_wirelength(
+            netlist.nets
+        )
+
+    def test_chain_placement_is_compact(self):
+        """A 9-block chain on a 3x3 fabric admits a wirelength-9 snake; the
+        annealer should get reasonably close."""
+        netlist = chain_netlist(9)
+        fabric = FabricGrid(3, 3)
+        placement = SimulatedAnnealingPlacer(seed=5, moves_per_block=50).place(netlist, fabric)
+        assert placement.total_wirelength(netlist.nets) <= 14
+
+    def test_too_many_blocks_rejected(self):
+        netlist = chain_netlist(10)
+        with pytest.raises(ValueError):
+            SimulatedAnnealingPlacer().place(netlist, FabricGrid(3, 3))
+
+    def test_deterministic_given_seed(self):
+        netlist = chain_netlist(10)
+        a = SimulatedAnnealingPlacer(seed=7).place(netlist, FabricGrid(4, 4))
+        b = SimulatedAnnealingPlacer(seed=7).place(netlist, FabricGrid(4, 4))
+        assert a.positions == b.positions
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SimulatedAnnealingPlacer(cooling=1.5)
+        with pytest.raises(ValueError):
+            SimulatedAnnealingPlacer(moves_per_block=0)

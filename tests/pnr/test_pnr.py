@@ -1,0 +1,41 @@
+"""Tests of the end-to-end placement & routing flow."""
+
+import pytest
+
+from repro.pnr.pnr import PlaceAndRoute
+
+
+class TestPlaceAndRoute:
+    @pytest.fixture(scope="class")
+    def mlp_pnr(self, mlp_coreops, config):
+        from repro.mapper.mapper import SpatialTemporalMapper
+
+        mapping = SpatialTemporalMapper(config).map(mlp_coreops, duplication_degree=2)
+        flow = PlaceAndRoute(config, channel_width=24, seed=2)
+        return flow.run(mapping.netlist), mapping
+
+    def test_routing_is_legal(self, mlp_pnr):
+        result, _ = mlp_pnr
+        assert result.routing.legal
+
+    def test_every_net_routed(self, mlp_pnr):
+        result, mapping = mlp_pnr
+        routable = [n for n in mapping.netlist.nets if n.sinks]
+        assert len(result.routing.nets) == len(routable)
+
+    def test_every_block_placed(self, mlp_pnr):
+        result, mapping = mlp_pnr
+        assert set(result.placement.positions) == set(mapping.netlist.blocks)
+
+    def test_timing_feeds_performance_model(self, mlp_pnr, config):
+        result, _ = mlp_pnr
+        assert result.critical_path_ns > 0
+        assert result.mean_route_segments >= 1
+        # the measured critical path should be of the same order as the
+        # analytic model's assumed hop delay for a fabric of this size
+        analytic = config.routing.hop_delay_ns(8)
+        assert result.critical_path_ns < 5 * analytic
+
+    def test_summary(self, mlp_pnr):
+        result, _ = mlp_pnr
+        assert "fabric" in result.summary()

@@ -1,0 +1,67 @@
+"""Tests of the routing-resource graph."""
+
+import pytest
+
+from repro.pnr.fabric import FabricGrid
+from repro.pnr.rrgraph import RRNode, RoutingResourceGraph
+
+
+@pytest.fixture(scope="module")
+def small_rrg():
+    return RoutingResourceGraph(FabricGrid(3, 3), channel_width=4)
+
+
+class TestRoutingResourceGraph:
+    def test_channel_width_validated(self):
+        with pytest.raises(ValueError):
+            RoutingResourceGraph(FabricGrid(2, 2), channel_width=0)
+
+    def test_wire_count(self, small_rrg):
+        # channels at x,y in -1..2 -> 4x4 positions, 2 directions, 4 tracks
+        assert small_rrg.wire_count() == 4 * 4 * 2 * 4
+
+    def test_block_pins_exist(self, small_rrg):
+        assert small_rrg.opin(1, 1) in small_rrg
+        assert small_rrg.ipin(2, 0) in small_rrg
+
+    def test_opin_connects_to_adjacent_wires(self, small_rrg):
+        neighbors = small_rrg.neighbors(small_rrg.opin(1, 1))
+        assert neighbors
+        assert all(n.is_wire for n in neighbors)
+        # four surrounding channels x 4 tracks
+        assert len(neighbors) == 16
+
+    def test_wires_reach_ipins(self, small_rrg):
+        wire = RRNode("H", 1, 1, 0)
+        neighbors = small_rrg.neighbors(wire)
+        assert any(n.kind == "IPIN" for n in neighbors)
+
+    def test_switchbox_preserves_track(self, small_rrg):
+        wire = RRNode("H", 0, 0, 2)
+        for neighbor in small_rrg.neighbors(wire):
+            if neighbor.is_wire:
+                assert neighbor.track == 2
+
+    def test_unknown_node_raises(self, small_rrg):
+        with pytest.raises(KeyError):
+            small_rrg.neighbors(RRNode("H", 99, 99, 0))
+
+    def test_connectivity_source_to_sink(self, small_rrg):
+        """Breadth-first search must reach any input pin from any output pin."""
+        from collections import deque
+
+        start = small_rrg.opin(0, 0)
+        target = small_rrg.ipin(2, 2)
+        seen = {start}
+        queue = deque([start])
+        found = False
+        while queue:
+            node = queue.popleft()
+            if node == target:
+                found = True
+                break
+            for neighbor in small_rrg.neighbors(node):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    queue.append(neighbor)
+        assert found

@@ -1,0 +1,146 @@
+"""Tests of the core-op graph data structures."""
+
+import pytest
+
+from repro.synthesizer.coreop import (
+    GRAPH_INPUT,
+    GRAPH_OUTPUT,
+    CoreOpGraph,
+    WeightGroup,
+)
+
+
+def make_group(name: str, rows=256, cols=256, reuse=1, **kwargs) -> WeightGroup:
+    return WeightGroup(
+        name=name, source=name, kind="matmul", rows=rows, cols=cols, reuse=reuse,
+        macs_per_instance=rows * cols, **kwargs,
+    )
+
+
+class TestWeightGroup:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_group("bad", rows=0)
+        with pytest.raises(ValueError):
+            make_group("bad", reuse=0)
+        with pytest.raises(ValueError):
+            WeightGroup("bad", "s", "matmul", 4, 4, 1, density=0.0)
+
+    def test_min_pes_from_tiling(self):
+        assert make_group("small", rows=100, cols=100).min_pes() == 1
+        assert make_group("wide", rows=256, cols=1024).min_pes() == 4
+        assert make_group("tall", rows=1024, cols=256).min_pes() == 4
+
+    def test_instances(self):
+        group = make_group("conv", rows=512, cols=256, reuse=10)
+        assert group.instances() == 20
+
+    def test_weights_respect_density(self):
+        group = WeightGroup("sparse", "s", "pool_max", 256, 256, 1, density=0.5,
+                            macs_per_instance=100)
+        assert group.weights == 256 * 256 // 2
+
+    def test_total_macs(self):
+        group = make_group("g", rows=10, cols=10, reuse=7)
+        assert group.total_macs == 700
+
+
+class TestCoreOpGraph:
+    def build(self) -> CoreOpGraph:
+        g = CoreOpGraph("test")
+        g.add_group(make_group("a", reuse=4))
+        g.add_group(make_group("b", reuse=2))
+        g.add_group(make_group("c"))
+        g.add_edge(GRAPH_INPUT, "a", 256)
+        g.add_edge("a", "b", 256)
+        g.add_edge("b", "c", 256)
+        g.add_edge("c", GRAPH_OUTPUT, 10)
+        return g
+
+    def test_membership_and_lookup(self):
+        g = self.build()
+        assert len(g) == 3
+        assert "a" in g and "z" not in g
+        assert g.group("a").reuse == 4
+        with pytest.raises(KeyError):
+            g.group("z")
+
+    def test_duplicate_group_rejected(self):
+        g = self.build()
+        with pytest.raises(ValueError):
+            g.add_group(make_group("a"))
+
+    def test_edge_to_unknown_group_rejected(self):
+        g = self.build()
+        with pytest.raises(ValueError):
+            g.add_edge("a", "unknown", 10)
+
+    def test_predecessors_successors(self):
+        g = self.build()
+        assert g.predecessors("b") == ["a"]
+        assert g.successors("b") == ["c"]
+        assert g.predecessors("a") == []  # boundary edges excluded
+
+    def test_topological_order(self):
+        g = self.build()
+        order = [grp.name for grp in g.topological_groups()]
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_cycle_detection(self):
+        g = self.build()
+        g.add_edge("c", "a", 10)
+        with pytest.raises(ValueError):
+            g.topological_groups()
+
+    def test_statistics(self):
+        g = self.build()
+        assert g.max_reuse_degree == 4
+        assert g.total_instances() == 4 + 2 + 1
+        assert g.min_pes() == 3
+        assert g.total_macs() == 256 * 256 * 7
+        assert 0 < g.spatial_utilization() <= 1.0
+
+    def test_summary_mentions_groups(self):
+        assert "a" in self.build().summary()
+
+
+class TestExpansion:
+    def test_expand_instance_counts(self):
+        g = CoreOpGraph("expand")
+        g.add_group(make_group("x", rows=512, cols=128, reuse=3))
+        instances = g.expand()
+        # 2 row tiles x 3 reuse positions
+        assert len(instances) == 6
+
+    def test_expand_edges_follow_group_edges(self):
+        g = CoreOpGraph("edges")
+        g.add_group(make_group("p", reuse=2))
+        g.add_group(make_group("q", reuse=2))
+        g.add_edge("p", "q", 64)
+        instances = g.expand()
+        assert len(instances.edges) == 2
+        for edge in instances.edges:
+            assert edge.src.startswith("p")
+            assert edge.dst.startswith("q")
+
+    def test_expand_respects_max_reuse_cap(self):
+        g = CoreOpGraph("cap")
+        g.add_group(make_group("big", reuse=1000))
+        instances = g.expand(max_reuse=5)
+        assert len(instances) == 5
+
+    def test_expand_instance_limit(self):
+        g = CoreOpGraph("huge")
+        g.add_group(make_group("big", reuse=10_000_000))
+        with pytest.raises(ValueError):
+            g.expand(max_instances=1000)
+
+    def test_expanded_graph_topological(self):
+        g = CoreOpGraph("topo")
+        g.add_group(make_group("p", reuse=4))
+        g.add_group(make_group("q", reuse=2))
+        g.add_edge("p", "q", 64)
+        instances = g.expand()
+        order = [i.name for i in instances.topological()]
+        for edge in instances.edges:
+            assert order.index(edge.src) < order.index(edge.dst)

@@ -1,0 +1,119 @@
+"""Tests of the per-operation lowering rules."""
+
+import math
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.synthesizer.coreop import CoreOpGraph
+from repro.synthesizer.lowering import LoweringContext, LoweringError
+from repro.synthesizer.synthesizer import synthesize
+
+
+def lowering_graph(build):
+    """Helper: build a tiny model with ``build(builder)`` and synthesize it."""
+    builder = GraphBuilder("tiny", input_shape=(4, 16, 16))
+    build(builder)
+    return synthesize(builder.build())
+
+
+class TestConvLowering:
+    def test_conv_group_shape_and_reuse(self):
+        coreops = lowering_graph(lambda b: b.conv(8, 3, padding=1, name="c"))
+        group = coreops.group("c")
+        assert group.rows == 4 * 9
+        assert group.cols == 8
+        assert group.reuse == 16 * 16
+        assert group.kind == "matmul"
+
+    def test_grouped_conv_creates_one_group_per_split(self):
+        coreops = lowering_graph(lambda b: b.conv(8, 3, padding=1, groups=2, name="c"))
+        assert "c/g0" in coreops
+        assert "c/g1" in coreops
+
+    def test_large_conv_adds_reduction(self):
+        builder = GraphBuilder("big", input_shape=(128, 8, 8))
+        builder.conv(16, 3, padding=1, name="c")
+        coreops = synthesize(builder.build())
+        # 128 * 9 = 1152 rows > 256 -> row split -> reduction group
+        assert "c/reduce0" in coreops
+        reduce = coreops.group("c/reduce0")
+        assert reduce.kind == "reduce"
+        assert coreops.predecessors("c/reduce0") == ["c"]
+
+
+class TestDenseLowering:
+    def test_dense_reuse_is_one(self):
+        builder = GraphBuilder("fc", input_shape=(100,))
+        builder.dense(50, name="fc")
+        coreops = synthesize(builder.build())
+        assert coreops.group("fc").reuse == 1
+
+    def test_mlp_total_weights_preserved(self, mlp_graph, mlp_coreops):
+        matmul_weights = sum(
+            g.weights for g in mlp_coreops.groups() if g.kind == "matmul"
+        )
+        assert matmul_weights == mlp_graph.total_params()
+
+
+class TestPoolingLowering:
+    def test_maxpool_two_stages(self):
+        coreops = lowering_graph(lambda b: b.maxpool(2, name="p"))
+        assert "p/max_diff" in coreops
+        assert "p/max_sum" in coreops
+        assert coreops.predecessors("p/max_sum") == ["p/max_diff"]
+
+    def test_maxpool_reuse_scales_with_outputs(self):
+        coreops = lowering_graph(lambda b: b.maxpool(2, name="p"))
+        outputs = 4 * 8 * 8
+        pairwise = outputs * (2 * 2 - 1)
+        expected_reuse = math.ceil(pairwise / 128)
+        assert coreops.group("p/max_diff").reuse == expected_reuse
+
+    def test_maxpool_groups_have_low_density(self):
+        coreops = lowering_graph(lambda b: b.maxpool(3, stride=2, name="p"))
+        assert coreops.group("p/max_diff").density < 0.05
+
+    def test_avgpool_single_group(self):
+        coreops = lowering_graph(lambda b: b.avgpool(2, name="p"))
+        group = coreops.group("p/avg")
+        assert group.kind == "pool_avg"
+        assert group.rows == 4 * 64  # window of 4 packed 64 times
+
+    def test_global_avgpool(self):
+        coreops = lowering_graph(lambda b: b.global_avgpool(name="gap"))
+        group = coreops.group("gap/avg")
+        assert group.kind == "pool_avg"
+        # 16x16 window, one unit per crossbar (256 rows)
+        assert group.rows == 256
+
+
+class TestAddAndLRNLowering:
+    def test_add_lowering(self):
+        def build(b):
+            trunk = b.checkpoint()
+            b.conv(4, 1, relu=False, name="l", from_=trunk)
+            left = b.current
+            b.conv(4, 1, relu=False, name="r", from_=trunk)
+            right = b.current
+            b.add(left, right, name="sum")
+
+        coreops = lowering_graph(build)
+        group = coreops.group("sum/add")
+        assert group.kind == "add"
+        assert set(coreops.predecessors("sum/add")) == {"l", "r"}
+
+    def test_lrn_lowering_two_mlp_stages(self):
+        coreops = lowering_graph(lambda b: b.lrn(name="n"))
+        assert "n/mlp0" in coreops
+        assert "n/mlp1" in coreops
+        assert coreops.group("n/mlp0").reuse == 16 * 16
+
+
+class TestLoweringContext:
+    def test_pack_units_bounds(self):
+        ctx = LoweringContext(graph=CoreOpGraph("x"))
+        assert ctx._pack_units(2, 2) == 128
+        assert ctx._pack_units(256, 1) == 1
+        with pytest.raises(LoweringError):
+            ctx._pack_units(300, 1)

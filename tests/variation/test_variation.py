@@ -1,0 +1,132 @@
+"""Tests of the device-variation study (representation, accuracy, Monte Carlo)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.reram import ReRAMCellModel
+from repro.variation.accuracy import AccuracyModel, accuracy_sweep
+from repro.variation.devices import YAO2017_DEVICE, measured_cell
+from repro.variation.montecarlo import SyntheticTask, run_montecarlo
+from repro.variation.representation import (
+    effective_weight_bits,
+    effective_weight_levels,
+    normalized_deviation,
+    representation_sweep,
+)
+
+
+class TestDevices:
+    def test_measured_cell_properties(self):
+        cell = measured_cell()
+        assert cell.bits == YAO2017_DEVICE.bits
+        assert cell.sigma == pytest.approx(YAO2017_DEVICE.sigma_fraction)
+
+    def test_endurance_documented(self):
+        # the paper keeps SRAM for buffers because ReRAM endures ~1e12 writes
+        assert YAO2017_DEVICE.endurance_writes == pytest.approx(1e12)
+
+
+class TestRepresentation:
+    def test_effective_levels(self):
+        cell = ReRAMCellModel(bits=4)
+        assert effective_weight_levels("splice", 2, cell) == 256
+        assert effective_weight_levels("add", 2, cell) == 31
+        assert effective_weight_levels("add", 8, cell) == 121
+
+    def test_effective_bits_monotone(self):
+        cell = ReRAMCellModel(bits=4)
+        bits = [effective_weight_bits("add", n, cell) for n in (1, 2, 4, 8, 16)]
+        assert bits == sorted(bits)
+
+    def test_splice_deviation_flat_add_shrinks(self):
+        cell = measured_cell()
+        splice = [normalized_deviation("splice", n, cell) for n in (1, 2, 4, 8)]
+        add = [normalized_deviation("add", n, cell) for n in (1, 2, 4, 8)]
+        assert max(splice) / min(splice) < 1.1
+        assert add[-1] == pytest.approx(add[0] / math.sqrt(8))
+
+    def test_sweep_structure(self):
+        points = representation_sweep("add", [1, 2, 4])
+        assert [p.n_cells for p in points] == [1, 2, 4]
+        assert all(p.method == "add" for p in points)
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            effective_weight_levels("bogus", 2)
+
+    @given(n=st.integers(min_value=1, max_value=32))
+    @settings(max_examples=32, deadline=None)
+    def test_add_never_worse_than_splice(self, n):
+        cell = measured_cell()
+        assert normalized_deviation("add", n, cell) <= normalized_deviation(
+            "splice", n, cell
+        ) * (1 + 1e-9)
+
+
+class TestAccuracyModel:
+    def test_precision_bound_monotone(self):
+        model = AccuracyModel()
+        values = [model.precision_bound(b) for b in (2, 4, 6, 8, 10)]
+        assert values == sorted(values)
+        assert values[-1] < 1.0 + 1e-9
+
+    def test_variation_bound_decreasing(self):
+        model = AccuracyModel()
+        assert model.variation_bound(0.0) == pytest.approx(1.0)
+        assert model.variation_bound(0.04) < model.variation_bound(0.01)
+
+    def test_prime_configuration_anchor(self):
+        """PRIME's 2-cell splice configuration drops to ~70% of the
+        full-precision accuracy (Figure 9)."""
+        model = AccuracyModel()
+        value = model.normalized_accuracy("splice", 2, measured_cell())
+        assert value == pytest.approx(0.70, abs=0.05)
+
+    def test_fpsa_configuration_anchor(self):
+        """FPSA's 16-cell add configuration is close to full precision."""
+        model = AccuracyModel()
+        value = model.normalized_accuracy("add", 16, measured_cell())
+        assert value > 0.95
+
+    def test_add_curve_monotone_in_cells(self):
+        points = accuracy_sweep("add", [1, 2, 4, 8, 16], measured_cell())
+        accuracies = [p.normalized_accuracy for p in points]
+        assert accuracies == sorted(accuracies)
+
+    def test_splice_saturates_at_variation_bound(self):
+        points = accuracy_sweep("splice", [4, 8, 16], measured_cell())
+        for point in points:
+            assert point.normalized_accuracy == pytest.approx(point.variation_bound)
+
+    def test_negative_deviation_rejected(self):
+        with pytest.raises(ValueError):
+            AccuracyModel().variation_bound(-0.1)
+
+
+class TestMonteCarlo:
+    def test_clean_classifier_is_accurate(self):
+        result = run_montecarlo("add", 8, trials=1)
+        assert result.clean_accuracy > 0.85
+
+    def test_normalized_accuracy_in_range(self):
+        result = run_montecarlo("add", 4, trials=2)
+        assert 0.0 < result.normalized_accuracy <= 1.0
+
+    def test_add_with_many_cells_beats_single_cell_high_noise(self):
+        noisy_cell = ReRAMCellModel(bits=4, sigma=0.15)
+        task = SyntheticTask(cluster_spread=0.45)
+        single = run_montecarlo("add", 1, cell=noisy_cell, task=task, trials=6, seed=3)
+        many = run_montecarlo("add", 16, cell=noisy_cell, task=task, trials=6, seed=3)
+        assert many.noisy_accuracy >= single.noisy_accuracy
+
+    def test_trials_validated(self):
+        with pytest.raises(ValueError):
+            run_montecarlo("add", 4, trials=0)
+
+    def test_synthetic_task_reproducible(self):
+        a = SyntheticTask(seed=11).generate()
+        b = SyntheticTask(seed=11).generate()
+        assert (a[1] == b[1]).all()
