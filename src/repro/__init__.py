@@ -25,6 +25,23 @@ from __future__ import annotations
 
 __version__ = "1.0.0"
 
-from .core import DeploymentResult, FPSACompiler, deploy, deploy_model
+from .core import (
+    DeploymentResult,
+    DeployPoint,
+    FPSACompiler,
+    StageCache,
+    deploy,
+    deploy_many,
+    deploy_model,
+)
 
-__all__ = ["FPSACompiler", "DeploymentResult", "deploy", "deploy_model", "__version__"]
+__all__ = [
+    "FPSACompiler",
+    "DeploymentResult",
+    "deploy",
+    "deploy_model",
+    "deploy_many",
+    "DeployPoint",
+    "StageCache",
+    "__version__",
+]

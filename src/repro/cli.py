@@ -4,6 +4,9 @@ Usage (after ``pip install -e .``)::
 
     python -m repro deploy VGG16 --duplication 64
     python -m repro deploy LeNet --duplication 4 --detailed --pnr --bitstream out.json
+    python -m repro deploy LeNet --passes synthesis,mapping --explain
+    python -m repro sweep AlexNet --duplication 1 4 16 64 --jobs 4
+    python -m repro passes --model LeNet
     python -m repro models
     python -m repro experiments fig6 table3
 """
@@ -13,11 +16,27 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .core.api import DeployPoint, deploy_many
 from .core.compiler import FPSACompiler
+from .core.pipeline import PassError, available_passes
 from .experiments.runner import EXPERIMENTS, run_all
 from .models.zoo import MODEL_BUILDERS, PAPER_TABLE3, build_model, model_names
 
 __all__ = ["main", "build_parser"]
+
+
+def _parse_pass_list(spec: str) -> list[str]:
+    names = [name.strip() for name in spec.split(",") if name.strip()]
+    if not names:
+        raise argparse.ArgumentTypeError("expected a comma-separated list of passes")
+    return names
+
+
+def _positive_int(spec: str) -> int:
+    value = int(spec)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {spec}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -30,7 +49,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     deploy = subparsers.add_parser("deploy", help="compile a model onto FPSA")
     deploy.add_argument("model", choices=sorted(MODEL_BUILDERS), help="model zoo entry")
-    deploy.add_argument("--duplication", type=int, default=1, help="duplication degree")
+    deploy.add_argument(
+        "--duplication", type=_positive_int, default=1, help="duplication degree"
+    )
     deploy.add_argument(
         "--pe-budget", type=int, default=None,
         help="choose the largest duplication degree that fits this many PEs",
@@ -47,6 +68,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--bitstream", metavar="FILE", default=None,
         help="write the chip configuration as JSON to FILE ('-' for stdout)",
     )
+    deploy.add_argument(
+        "--passes", type=_parse_pass_list, default=None, metavar="LIST",
+        help="comma-separated pass list to run instead of the default pipeline "
+        "(e.g. 'synthesis,mapping')",
+    )
+    deploy.add_argument(
+        "--no-cache", action="store_true", help="bypass the stage cache",
+    )
+    deploy.add_argument(
+        "--explain", action="store_true",
+        help="print the resolved pass list with per-pass wall-clock timings",
+    )
+
+    sweep = subparsers.add_parser(
+        "sweep", help="batch-deploy one model across several duplication degrees"
+    )
+    sweep.add_argument("model", choices=sorted(MODEL_BUILDERS), help="model zoo entry")
+    sweep.add_argument(
+        "--duplication", type=_positive_int, nargs="+", default=[1, 4, 16, 64],
+        metavar="D", help="duplication degrees to sweep",
+    )
+    sweep.add_argument(
+        "--jobs", type=_positive_int, default=1,
+        help="worker processes for the batch (default: 1 — sequential shares "
+        "one stage cache across the sweep, which beats a process pool for "
+        "cheap compiles; raise it for heavy models)",
+    )
+    sweep.add_argument(
+        "--no-cache", action="store_true", help="bypass the stage cache",
+    )
+
+    passes = subparsers.add_parser(
+        "passes", help="show the compilation pass pipeline and its timings"
+    )
+    passes.add_argument(
+        "--model", choices=sorted(MODEL_BUILDERS), default="LeNet",
+        help="model compiled to collect the timings (default: LeNet)",
+    )
+    passes.add_argument(
+        "--duplication", type=_positive_int, default=1, help="duplication degree"
+    )
+    passes.add_argument(
+        "--no-cache", action="store_true", help="bypass the stage cache",
+    )
 
     subparsers.add_parser("models", help="list the benchmark models and their Table 3 data")
 
@@ -61,7 +126,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _command_deploy(args: argparse.Namespace) -> int:
-    compiler = FPSACompiler()
+    if args.passes is not None:
+        # an explicit pass list overrides the flag-derived pipeline; tell the
+        # user when a flag asked for a stage the list leaves out
+        for flag, pass_name in (("--pnr", "pnr"), ("--detailed", "pipeline_sim")):
+            if getattr(args, flag.lstrip("-")) and pass_name not in args.passes:
+                print(
+                    f"warning: {flag} requested but the {pass_name!r} pass is "
+                    f"not in --passes; it will not run",
+                    file=sys.stderr,
+                )
+    compiler = FPSACompiler(cache=False if args.no_cache else None)
     result = compiler.compile(
         build_model(args.model),
         duplication_degree=args.duplication,
@@ -69,9 +144,20 @@ def _command_deploy(args: argparse.Namespace) -> int:
         detailed_schedule=args.detailed,
         run_pnr=args.pnr,
         emit_bitstream=args.bitstream is not None,
+        passes=args.passes,
     )
     print(result.summary())
-    if args.bitstream is not None and result.bitstream is not None:
+    if args.explain:
+        print()
+        print(result.timings_table())
+    if args.bitstream is not None:
+        if result.bitstream is None:
+            print(
+                "warning: no bitstream was produced (the 'bitstream' pass did "
+                "not run); nothing written",
+                file=sys.stderr,
+            )
+            return 1
         payload = result.bitstream.to_json()
         if args.bitstream == "-":
             print(payload)
@@ -79,6 +165,42 @@ def _command_deploy(args: argparse.Namespace) -> int:
             with open(args.bitstream, "w", encoding="utf-8") as handle:
                 handle.write(payload)
             print(f"bitstream written to {args.bitstream}")
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    points = [DeployPoint(args.model, degree) for degree in args.duplication]
+    results = deploy_many(
+        points, jobs=args.jobs, cache=False if args.no_cache else None
+    )
+    header = (f"{'duplication':>11} {'PEs':>8} {'area mm^2':>10} "
+              f"{'samples/s':>14} {'latency us':>11}")
+    print(f"sweep of {args.model} over duplication degrees {args.duplication}")
+    print(header)
+    print("-" * len(header))
+    for degree, result in zip(args.duplication, results):
+        print(
+            f"{degree:>11} {result.mapping.netlist.n_pe:>8} {result.area_mm2:>10.2f} "
+            f"{result.throughput_samples_per_s:>14,.1f} {result.latency_us:>11.2f}"
+        )
+    return 0
+
+
+def _command_passes(args: argparse.Namespace) -> int:
+    compiler = FPSACompiler(cache=False if args.no_cache else None)
+    result = compiler.compile(
+        build_model(args.model), duplication_degree=args.duplication
+    )
+    print(f"pass pipeline (timed compiling {args.model}, "
+          f"duplication degree {args.duplication}):")
+    print(result.timings_table())
+    print()
+    print("registered passes:")
+    for name, cls in sorted(available_passes().items()):
+        instance = cls()
+        requires = ", ".join(instance.requires) or "-"
+        provides = ", ".join(instance.provides) or "-"
+        print(f"  {name:<14} requires: {requires:<18} provides: {provides}")
     return 0
 
 
@@ -112,10 +234,16 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     handlers = {
         "deploy": _command_deploy,
+        "sweep": _command_sweep,
+        "passes": _command_passes,
         "models": _command_models,
         "experiments": _command_experiments,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except PassError as error:
+        print(f"{parser.prog}: error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -8,8 +8,10 @@ from .bitstream import (
     RoutingSwitchConfig,
     generate_bitstream,
 )
+from .passes import BitstreamPass
 
 __all__ = [
+    "BitstreamPass",
     "CrossbarConfig",
     "RoutingSwitchConfig",
     "ControlConfig",

@@ -1,0 +1,21 @@
+"""The chip-configuration (bitstream) stage as a compilation pass."""
+
+from __future__ import annotations
+
+from ..core.pipeline import CompileContext, CompilePass, register_pass
+from .bitstream import generate_bitstream
+
+__all__ = ["BitstreamPass"]
+
+
+@register_pass
+class BitstreamPass(CompilePass):
+    """Assemble the chip configuration from the mapping (and the P&R
+    result, when an earlier ``pnr`` pass produced one)."""
+
+    name = "bitstream"
+    requires = ("mapping",)
+    provides = ("bitstream",)
+
+    def run(self, ctx: CompileContext) -> None:
+        ctx.bitstream = generate_bitstream(ctx.mapping, ctx.pnr, ctx.config)

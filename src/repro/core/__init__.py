@@ -1,7 +1,45 @@
-"""Public end-to-end API: the FPSA compiler and its deployment result."""
+"""Public end-to-end API: the FPSA compiler, its pass pipeline, the stage
+cache and the (batch) deployment helpers."""
 
-from .api import deploy, deploy_model
+from .api import DeployPoint, deploy, deploy_many, deploy_model
+from .cache import StageCache, clear_default_cache, default_cache
 from .compiler import FPSACompiler
+from .pipeline import (
+    CompileContext,
+    CompileOptions,
+    CompilePass,
+    PassDependencyError,
+    PassError,
+    PassManager,
+    PassTiming,
+    UnknownPassError,
+    available_passes,
+    default_pass_names,
+    register_pass,
+    resolve_passes,
+)
 from .result import DeploymentResult
 
-__all__ = ["FPSACompiler", "DeploymentResult", "deploy", "deploy_model"]
+__all__ = [
+    "FPSACompiler",
+    "DeploymentResult",
+    "deploy",
+    "deploy_model",
+    "deploy_many",
+    "DeployPoint",
+    "StageCache",
+    "default_cache",
+    "clear_default_cache",
+    "CompileContext",
+    "CompileOptions",
+    "CompilePass",
+    "PassManager",
+    "PassTiming",
+    "PassError",
+    "PassDependencyError",
+    "UnknownPassError",
+    "available_passes",
+    "default_pass_names",
+    "register_pass",
+    "resolve_passes",
+]

@@ -1,27 +1,45 @@
-"""Convenience functions for the most common library entry points."""
+"""Convenience functions for the most common library entry points.
+
+Besides the single-model :func:`deploy` / :func:`deploy_model` helpers, this
+module provides :func:`deploy_many`: batch deployment of many (model,
+configuration) design points across a process pool, with the pipeline's
+stage cache de-duplicating the shared front-end work.  This is the entry
+point the experiment sweeps use.
+"""
 
 from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
 
 from ..arch.params import FPSAConfig
 from ..graph.graph import ComputationalGraph
 from ..models.zoo import build_model
+from ..synthesizer.synthesizer import SynthesisOptions
+from .cache import StageCache
 from .compiler import FPSACompiler
 from .result import DeploymentResult
 
-__all__ = ["deploy", "deploy_model"]
+__all__ = ["deploy", "deploy_model", "deploy_many", "DeployPoint"]
+
+#: upper bound on worker processes when ``jobs`` is not given.
+_MAX_AUTO_JOBS = 8
 
 
 def deploy(
     graph: ComputationalGraph,
     duplication_degree: int = 1,
     config: FPSAConfig | None = None,
+    cache: StageCache | bool | None = None,
     **kwargs,
 ) -> DeploymentResult:
     """Deploy a computational graph onto FPSA with default settings.
 
     Keyword arguments are forwarded to :meth:`FPSACompiler.compile`.
     """
-    compiler = FPSACompiler(config)
+    compiler = FPSACompiler(config, cache=cache)
     return compiler.compile(graph, duplication_degree=duplication_degree, **kwargs)
 
 
@@ -33,3 +51,121 @@ def deploy_model(
 ) -> DeploymentResult:
     """Deploy one of the benchmark models (see ``repro.models.model_names``)."""
     return deploy(build_model(name), duplication_degree, config, **kwargs)
+
+
+@dataclass
+class DeployPoint:
+    """One design point of a batch deployment.
+
+    ``model`` is a model-zoo name or a pre-built graph; per-point
+    ``config`` / ``synthesis_options`` / ``compile_kwargs`` override the
+    batch-wide settings of :func:`deploy_many`.
+    """
+
+    model: str | ComputationalGraph
+    duplication_degree: int = 1
+    config: FPSAConfig | None = None
+    synthesis_options: SynthesisOptions | None = None
+    compile_kwargs: dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def coerce(cls, point: Any) -> "DeployPoint":
+        """Accept a DeployPoint, a model name/graph, or a (model, degree) pair."""
+        if isinstance(point, cls):
+            return point
+        if isinstance(point, (str, ComputationalGraph)):
+            return cls(model=point)
+        if isinstance(point, tuple) and len(point) == 2:
+            return cls(model=point[0], duplication_degree=point[1])
+        raise TypeError(
+            f"cannot interpret {point!r} as a deploy point; expected a "
+            f"DeployPoint, a model name, a graph, or a (model, degree) pair"
+        )
+
+    def graph(self) -> ComputationalGraph:
+        return build_model(self.model) if isinstance(self.model, str) else self.model
+
+
+#: per-process private cache used when a parallel batch was given a private
+#: StageCache (which cannot cross process boundaries); one per worker, shared
+#: by every point that worker compiles.
+_WORKER_PRIVATE_CACHE: StageCache | None = None
+
+
+def _worker_private_cache() -> StageCache:
+    global _WORKER_PRIVATE_CACHE
+    if _WORKER_PRIVATE_CACHE is None:
+        _WORKER_PRIVATE_CACHE = StageCache()
+    return _WORKER_PRIVATE_CACHE
+
+
+def _deploy_point(payload: tuple[DeployPoint, FPSAConfig | None,
+                                 dict[str, Any], StageCache | bool | None]
+                  ) -> DeploymentResult:
+    """Compile one design point (module-level so process pools can pickle it)."""
+    point, base_config, common_kwargs, cache = payload
+    if cache == "__private__":
+        cache = _worker_private_cache()
+    compiler = FPSACompiler(
+        config=point.config if point.config is not None else base_config,
+        synthesis_options=point.synthesis_options,
+        cache=cache,
+    )
+    kwargs = dict(common_kwargs)
+    kwargs.update(point.compile_kwargs)
+    return compiler.compile(
+        point.graph(), duplication_degree=point.duplication_degree, **kwargs
+    )
+
+
+def deploy_many(
+    points: Iterable[Any],
+    config: FPSAConfig | None = None,
+    jobs: int | None = None,
+    cache: StageCache | bool | None = None,
+    **common_kwargs,
+) -> list[DeploymentResult]:
+    """Deploy a batch of design points, optionally across a process pool.
+
+    Parameters
+    ----------
+    points:
+        Design points: :class:`DeployPoint` instances, model names, graphs,
+        or ``(model, duplication_degree)`` pairs, freely mixed.
+    config:
+        Batch-wide hardware configuration (points may override it).
+    jobs:
+        Worker processes.  ``None`` picks ``min(len(points), cpu_count, 8)``;
+        ``1`` (or a single point) compiles sequentially in this process.
+    cache:
+        Stage-cache setting forwarded to every compiler (see
+        :class:`FPSACompiler`).  Worker processes keep per-process caches
+        (a private :class:`StageCache` becomes one fresh private cache per
+        worker), so cache hits across points require them to land on the
+        same worker; the sequential path shares one cache across the whole
+        batch.
+    common_kwargs:
+        Extra keyword arguments forwarded to every compile (per-point
+        ``compile_kwargs`` take precedence).
+
+    Returns
+    -------
+    Results in the same order as ``points``, identical to calling
+    :func:`deploy` on each point sequentially.
+    """
+    resolved = [DeployPoint.coerce(p) for p in points]
+    if not resolved:
+        return []
+    if jobs is None:
+        jobs = min(len(resolved), os.cpu_count() or 1, _MAX_AUTO_JOBS)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if jobs == 1 or len(resolved) == 1:
+        return [_deploy_point((p, config, common_kwargs, cache)) for p in resolved]
+    # a StageCache instance holds a lock and cannot cross process boundaries;
+    # to preserve the isolation a private cache asks for, each worker builds
+    # its own private cache rather than falling back to the shared default.
+    worker_cache = cache if cache is None or isinstance(cache, bool) else "__private__"
+    payloads: Sequence = [(p, config, common_kwargs, worker_cache) for p in resolved]
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(_deploy_point, payloads))

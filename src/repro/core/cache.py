@@ -1,0 +1,160 @@
+"""Content-addressed stage cache for the compilation pipeline.
+
+Sweeps in ``experiments/`` and ``benchmarks/`` compile the same model many
+times while varying only back-end knobs (duplication degree, architecture
+baselines, P&R parameters).  The :class:`StageCache` lets cacheable passes
+skip re-running when their *content-addressed* key — a fingerprint of the
+input graph, the hardware configuration and the pass options — was seen
+before.  Cached artifacts are shared by reference; passes treat every
+artifact as immutable, so sharing is safe.
+
+The default process-wide cache (:func:`default_cache`) is what
+:class:`~repro.core.compiler.FPSACompiler` uses unless a private cache (or
+``cache=False``) is given.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..arch.params import FPSAConfig
+    from ..graph.graph import ComputationalGraph
+    from ..mapper.netlist import FunctionBlockNetlist
+    from ..synthesizer.coreop import CoreOpGraph
+
+__all__ = [
+    "StageCache",
+    "CacheStats",
+    "default_cache",
+    "clear_default_cache",
+    "fingerprint",
+    "graph_fingerprint",
+    "config_fingerprint",
+    "coreops_fingerprint",
+    "netlist_fingerprint",
+]
+
+
+def fingerprint(*parts: Any) -> str:
+    """SHA-256 digest of the ``repr`` of the given parts.
+
+    All the objects fed here are frozen dataclasses, strings or numbers,
+    whose ``repr`` is deterministic within (and across) processes.
+    """
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(repr(part).encode("utf-8"))
+        digest.update(b"\x1f")
+    return digest.hexdigest()
+
+
+def graph_fingerprint(graph: "ComputationalGraph") -> str:
+    """Content fingerprint of a computational graph.
+
+    Covers the node names, operations (dataclass ``repr`` includes every
+    field), wiring and output shapes — everything the synthesizer reads.
+    """
+    return fingerprint(
+        graph.name,
+        *((n.name, repr(n.op), tuple(n.inputs), n.output.shape) for n in graph.nodes()),
+    )
+
+
+def config_fingerprint(config: "FPSAConfig") -> str:
+    """Content fingerprint of a hardware configuration."""
+    return fingerprint(config)
+
+
+def coreops_fingerprint(coreops: "CoreOpGraph") -> str:
+    """Content fingerprint of a core-op graph (groups + edges).
+
+    Downstream passes key their caches on the artifact they actually
+    consume, so a non-default producer (e.g. a custom synthesis pass)
+    can never alias a standard-pipeline cache entry.
+    """
+    return fingerprint(coreops.name, *coreops.groups(), *coreops.edges())
+
+
+def netlist_fingerprint(netlist: "FunctionBlockNetlist") -> str:
+    """Content fingerprint of a function-block netlist (blocks + nets)."""
+    return fingerprint(netlist.model, *netlist.blocks.values(), *netlist.nets)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one :class:`StageCache`."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class StageCache:
+    """A bounded, thread-safe LRU cache of pass artifacts.
+
+    Keys are content-addressed strings produced by the passes' ``cache_key``
+    methods; values are ``{artifact name: object}`` dicts installed verbatim
+    into the :class:`~repro.core.pipeline.CompileContext` on a hit.
+    """
+
+    def __init__(self, max_entries: int = 256):
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._entries: OrderedDict[str, dict[str, Any]] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
+
+    def put(self, key: str, artifacts: dict[str, Any]) -> None:
+        with self._lock:
+            self._entries[key] = artifacts
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.stats = CacheStats()
+
+
+_DEFAULT_CACHE = StageCache()
+
+
+def default_cache() -> StageCache:
+    """The process-wide stage cache shared by all compilers by default."""
+    return _DEFAULT_CACHE
+
+
+def clear_default_cache() -> None:
+    """Drop every entry (and the stats) of the process-wide cache."""
+    _DEFAULT_CACHE.clear()

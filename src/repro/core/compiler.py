@@ -1,39 +1,40 @@
 """The end-to-end FPSA compiler: the library's primary public entry point.
 
-``FPSACompiler`` chains the full software stack of Figure 5:
+``FPSACompiler`` is a thin façade over the pass-based pipeline
+(:mod:`repro.core.pipeline`).  The full software stack of Figure 5:
 
     computational graph
       -> neural synthesizer        (core-op graph)
       -> spatial-to-temporal mapper (function-block netlist + schedule)
       -> placement & routing        (chip configuration, optional)
       -> performance model          (throughput / latency / area / bounds)
+
+is expressed as the ``synthesis``, ``mapping``, ``perf``, ``bounds``,
+``pnr``, ``pipeline_sim`` and ``bitstream`` passes, run by a
+:class:`~repro.core.pipeline.PassManager` over a shared
+:class:`~repro.core.pipeline.CompileContext`, with per-pass wall-clock
+timings and a content-addressed stage cache that lets repeated sweeps skip
+synthesis and mapping entirely.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import Sequence
 
 from ..arch.params import FPSAConfig
-from ..config_gen.bitstream import generate_bitstream
 from ..graph.graph import ComputationalGraph
-from ..mapper.mapper import SpatialTemporalMapper
-from ..perf.analytic import FPSAArchitecture, evaluate_design_point
-from ..perf.bounds import compute_bounds
-from ..perf.pipeline_sim import PipelineSimulator
-from ..pnr.pnr import PlaceAndRoute
-from ..synthesizer.synthesizer import NeuralSynthesizer, SynthesisOptions
+from ..synthesizer.synthesizer import SynthesisOptions
+from .cache import StageCache, default_cache
+from .pipeline import (
+    CompileContext,
+    CompileOptions,
+    PassManager,
+    default_pass_names,
+    resolve_passes,
+)
 from .result import DeploymentResult
 
 __all__ = ["FPSACompiler"]
-
-
-@dataclass(frozen=True)
-class _CompileRequest:
-    duplication_degree: int
-    pe_budget: int | None
-    detailed_schedule: bool
-    run_pnr: bool
-    max_schedule_reuse: int | None
 
 
 class FPSACompiler:
@@ -45,21 +46,30 @@ class FPSACompiler:
         Hardware configuration (defaults to the paper's 45 nm parameters).
     synthesis_options:
         Options forwarded to the neural synthesizer.
+    cache:
+        Stage cache for the pipeline: ``None`` (the default) shares the
+        process-wide cache, a :class:`~repro.core.cache.StageCache` uses a
+        private one, and ``False`` disables caching for this compiler.
     """
 
     def __init__(
         self,
         config: FPSAConfig | None = None,
         synthesis_options: SynthesisOptions | None = None,
+        cache: StageCache | bool | None = None,
     ):
         self.config = config if config is not None else FPSAConfig()
-        self.synthesizer = NeuralSynthesizer(
+        self.synthesis_options = (
             synthesis_options
             if synthesis_options is not None
             else SynthesisOptions.from_pe(self.config.pe)
         )
-        self.mapper = SpatialTemporalMapper(self.config)
-        self.architecture = FPSAArchitecture(self.config)
+        if cache is None or cache is True:
+            self.cache: StageCache | None = default_cache()
+        elif cache is False:
+            self.cache = None
+        else:
+            self.cache = cache
 
     def compile(
         self,
@@ -72,6 +82,8 @@ class FPSACompiler:
         max_schedule_reuse: int | None = None,
         pnr_channel_width: int | None = None,
         pnr_seed: int = 0,
+        passes: Sequence[str] | None = None,
+        use_cache: bool = True,
     ) -> DeploymentResult:
         """Compile a model and evaluate the resulting deployment.
 
@@ -95,42 +107,52 @@ class FPSACompiler:
             Assemble the chip configuration (crossbar programming, routing
             switches, control plane, buffer map) from the mapping and, when
             available, the P&R result.
+        passes:
+            Explicit pass-name list to run instead of the default pipeline,
+            e.g. ``("synthesis", "mapping")`` for a front-end-only compile.
+            Artifacts of omitted passes stay ``None`` on the result.
+            Listing ``"pipeline_sim"`` implies ``detailed_schedule=True``
+            (the simulator needs the instance-level schedule).
+        use_cache:
+            Set ``False`` to bypass the stage cache for this compilation.
+
+        Notes
+        -----
+        With caching enabled, repeated compiles may share artifact objects
+        by reference (a deep copy would cost more than recompiling for
+        large models).  Treat the result's artifacts as read-only, or
+        compile with ``cache=False`` / ``use_cache=False`` before mutating
+        them.
         """
-        coreops = self.synthesizer.synthesize(graph)
-        mapping = self.mapper.map(
-            coreops,
+        if passes is not None and "pipeline_sim" in passes:
+            detailed_schedule = True
+        options = CompileOptions(
             duplication_degree=duplication_degree,
             pe_budget=pe_budget,
             detailed_schedule=detailed_schedule,
+            run_pnr=run_pnr,
+            emit_bitstream=emit_bitstream,
             max_schedule_reuse=max_schedule_reuse,
+            pnr_channel_width=pnr_channel_width,
+            pnr_seed=pnr_seed,
         )
-        useful_ops = graph.total_ops()
-        performance = evaluate_design_point(
-            coreops, mapping.allocation, useful_ops, self.architecture, config=self.config
+        names = list(passes) if passes is not None else default_pass_names(options)
+        manager = PassManager(resolve_passes(names))
+        ctx = CompileContext(
+            graph=graph,
+            config=self.config,
+            options=options,
+            synthesis_options=self.synthesis_options,
         )
-        bounds = compute_bounds(coreops, mapping.allocation, useful_ops, self.config)
-
-        pnr_result = None
-        if run_pnr:
-            pnr_result = PlaceAndRoute(
-                self.config, channel_width=pnr_channel_width, seed=pnr_seed
-            ).run(mapping.netlist)
-
-        pipeline = None
-        if mapping.schedule is not None:
-            pipeline = PipelineSimulator(self.config.pe).run(mapping.schedule)
-
-        bitstream = None
-        if emit_bitstream:
-            bitstream = generate_bitstream(mapping, pnr_result, self.config)
-
+        timings = manager.run(ctx, cache=self.cache if use_cache else None)
         return DeploymentResult(
             graph=graph,
-            coreops=coreops,
-            mapping=mapping,
-            performance=performance,
-            bounds=bounds,
-            pnr=pnr_result,
-            pipeline=pipeline,
-            bitstream=bitstream,
+            coreops=ctx.coreops,
+            mapping=ctx.mapping,
+            performance=ctx.performance,
+            bounds=ctx.bounds,
+            pnr=ctx.pnr,
+            pipeline=ctx.pipeline,
+            bitstream=ctx.bitstream,
+            timings=timings,
         )

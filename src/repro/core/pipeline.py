@@ -1,0 +1,322 @@
+"""The pass-based compilation pipeline.
+
+The end-to-end compiler is organised as an ordered list of *passes* running
+over a shared :class:`CompileContext` (the artifact bag).  Each pass declares
+which artifacts it ``requires`` and which it ``provides``; the
+:class:`PassManager` validates the dependencies up front, times every pass,
+and consults an optional :class:`~repro.core.cache.StageCache` so that
+repeated sweeps skip the expensive front-end stages entirely.
+
+The built-in passes live next to the layers they wrap:
+
+========================  ================================  ==========
+pass                      module                            provides
+========================  ================================  ==========
+``synthesis``             :mod:`repro.synthesizer.passes`   ``coreops``
+``mapping``               :mod:`repro.mapper.passes`        ``mapping``
+``perf``                  :mod:`repro.perf.passes`          ``performance``
+``bounds``                :mod:`repro.perf.passes`          ``bounds``
+``pnr``                   :mod:`repro.pnr.passes`           ``pnr``
+``pipeline_sim``          :mod:`repro.perf.passes`          ``pipeline``
+``bitstream``             :mod:`repro.config_gen.passes`    ``bitstream``
+========================  ================================  ==========
+
+Custom passes subclass :class:`CompilePass` and register themselves with
+:func:`register_pass`; see ``ARCHITECTURE.md`` for a worked example.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids layer imports
+    from ..arch.params import FPSAConfig
+    from ..graph.graph import ComputationalGraph
+    from ..synthesizer.synthesizer import SynthesisOptions
+    from .cache import StageCache
+
+__all__ = [
+    "CompileOptions",
+    "CompileContext",
+    "CompilePass",
+    "PassManager",
+    "PassTiming",
+    "PassError",
+    "PassDependencyError",
+    "UnknownPassError",
+    "register_pass",
+    "available_passes",
+    "resolve_passes",
+    "default_pass_names",
+    "ARTIFACTS",
+]
+
+#: artifact slots a pass may provide on the :class:`CompileContext`.
+ARTIFACTS = (
+    "coreops",
+    "mapping",
+    "performance",
+    "bounds",
+    "pnr",
+    "pipeline",
+    "bitstream",
+)
+
+#: context fields available before any pass runs.
+_INITIAL_ARTIFACTS = ("graph", "config", "options")
+
+
+class PassError(RuntimeError):
+    """Base class for pipeline construction/execution errors."""
+
+
+class PassDependencyError(PassError):
+    """A pass requires an artifact no earlier pass provides."""
+
+
+class UnknownPassError(PassError):
+    """A pass name does not appear in the registry."""
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """The compile request: everything that parameterises a compilation.
+
+    These are exactly the keyword arguments of
+    :meth:`repro.core.compiler.FPSACompiler.compile`; passes read them from
+    ``ctx.options`` instead of receiving long argument lists.
+    """
+
+    duplication_degree: int = 1
+    pe_budget: int | None = None
+    detailed_schedule: bool = False
+    run_pnr: bool = False
+    emit_bitstream: bool = False
+    max_schedule_reuse: int | None = None
+    pnr_channel_width: int | None = None
+    pnr_seed: int = 0
+
+
+@dataclass
+class CompileContext:
+    """The shared artifact bag one compilation flows through.
+
+    The front half (``graph``, ``config``, ``options``,
+    ``synthesis_options``) is the immutable input; the back half is filled
+    in by the passes.  Artifacts are also reachable by name through
+    :meth:`get` / :meth:`set` / :meth:`has`, which is what the
+    :class:`PassManager` and the stage cache use.
+    """
+
+    graph: "ComputationalGraph"
+    config: "FPSAConfig"
+    options: CompileOptions = field(default_factory=CompileOptions)
+    synthesis_options: "SynthesisOptions | None" = None
+
+    coreops: Any = None
+    mapping: Any = None
+    performance: Any = None
+    bounds: Any = None
+    pnr: Any = None
+    pipeline: Any = None
+    bitstream: Any = None
+
+    def resolved_synthesis_options(self) -> "SynthesisOptions":
+        """The synthesis options in effect (defaults derive from the PE)."""
+        if self.synthesis_options is not None:
+            return self.synthesis_options
+        from ..synthesizer.synthesizer import SynthesisOptions
+
+        return SynthesisOptions.from_pe(self.config.pe)
+
+    def has(self, name: str) -> bool:
+        self._check_readable(name)
+        return getattr(self, name) is not None
+
+    def get(self, name: str) -> Any:
+        self._check_readable(name)
+        return getattr(self, name)
+
+    def set(self, name: str, value: Any) -> None:
+        if name not in ARTIFACTS:
+            raise KeyError(f"unknown artifact {name!r}; known: {ARTIFACTS}")
+        setattr(self, name, value)
+
+    @staticmethod
+    def _check_readable(name: str) -> None:
+        # the initial context fields are readable (a pass may require them)
+        # but only real artifacts are writable
+        if name not in ARTIFACTS and name not in _INITIAL_ARTIFACTS:
+            raise KeyError(
+                f"unknown artifact {name!r}; known: {ARTIFACTS + _INITIAL_ARTIFACTS}"
+            )
+
+
+class CompilePass:
+    """One stage of the compilation pipeline.
+
+    Subclasses set the three class attributes and implement :meth:`run`.
+    A pass that can be cached returns a stable content-addressed key from
+    :meth:`cache_key`; returning ``None`` (the default) opts out.
+    """
+
+    #: unique pass name (also the registry key and the CLI spelling).
+    name: str = "<unnamed>"
+    #: artifact names that must be present on the context before running.
+    requires: tuple[str, ...] = ()
+    #: artifact names this pass fills in.
+    provides: tuple[str, ...] = ()
+
+    def run(self, ctx: CompileContext) -> None:
+        raise NotImplementedError
+
+    def cache_key(self, ctx: CompileContext) -> str | None:
+        """Content-addressed cache key, or ``None`` when not cacheable."""
+        del ctx
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+@dataclass(frozen=True)
+class PassTiming:
+    """Wall-clock record of one pass execution."""
+
+    name: str
+    seconds: float
+    cached: bool
+    provides: tuple[str, ...]
+
+
+class PassManager:
+    """Run an ordered, dependency-checked list of passes.
+
+    Dependencies are validated at construction time: every pass's
+    ``requires`` must be provided by an earlier pass (or be one of the
+    initial context fields), so mis-ordered or incomplete pipelines fail
+    before any work is done.
+    """
+
+    def __init__(self, passes: Iterable[CompilePass]):
+        self.passes = list(passes)
+        names = [p.name for p in self.passes]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise PassError(f"duplicate passes in pipeline: {sorted(duplicates)}")
+        self._validate_dependencies()
+
+    def _validate_dependencies(self) -> None:
+        provided: set[str] = set(_INITIAL_ARTIFACTS)
+        for p in self.passes:
+            missing = [r for r in p.requires if r not in provided]
+            if missing:
+                raise PassDependencyError(
+                    f"pass {p.name!r} requires {missing} but only "
+                    f"{sorted(provided)} are available at that point; "
+                    f"reorder the pipeline or add the producing pass"
+                )
+            provided.update(p.provides)
+
+    def run(
+        self, ctx: CompileContext, cache: "StageCache | None" = None
+    ) -> list[PassTiming]:
+        """Execute the passes over ``ctx``; returns the per-pass timings."""
+        timings: list[PassTiming] = []
+        for p in self.passes:
+            missing = [r for r in p.requires if not ctx.has(r)]
+            if missing:
+                raise PassDependencyError(
+                    f"pass {p.name!r} is missing required artifacts {missing} "
+                    f"at run time (an earlier pass produced nothing?)"
+                )
+            start = time.perf_counter()
+            cached = False
+            key = p.cache_key(ctx) if cache is not None else None
+            if key is not None:
+                hit = cache.get(key)
+                if hit is not None:
+                    for artifact, value in hit.items():
+                        ctx.set(artifact, value)
+                    cached = True
+            if not cached:
+                p.run(ctx)
+                if key is not None:
+                    cache.put(key, {a: ctx.get(a) for a in p.provides})
+            timings.append(
+                PassTiming(
+                    name=p.name,
+                    seconds=time.perf_counter() - start,
+                    cached=cached,
+                    provides=p.provides,
+                )
+            )
+        return timings
+
+
+# --------------------------------------------------------------------------
+# pass registry
+# --------------------------------------------------------------------------
+
+_REGISTRY: dict[str, type[CompilePass]] = {}
+_BUILTINS_LOADED = False
+
+
+def register_pass(cls: type[CompilePass]) -> type[CompilePass]:
+    """Class decorator: make a pass available to :func:`resolve_passes`."""
+    if not isinstance(getattr(cls, "name", None), str) or not cls.name:
+        raise PassError(f"pass class {cls.__name__} must set a 'name' attribute")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def _ensure_builtin_passes() -> None:
+    """Import the layer pass modules so their registrations run.
+
+    Lazy on purpose: the layer modules import this module, so importing
+    them from the top level here would be circular.
+    """
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    from ..config_gen import passes as _a  # noqa: F401
+    from ..mapper import passes as _b  # noqa: F401
+    from ..perf import passes as _c  # noqa: F401
+    from ..pnr import passes as _d  # noqa: F401
+    from ..synthesizer import passes as _e  # noqa: F401
+
+    _BUILTINS_LOADED = True
+
+
+def available_passes() -> dict[str, type[CompilePass]]:
+    """Registry snapshot: pass name -> pass class."""
+    _ensure_builtin_passes()
+    return dict(_REGISTRY)
+
+
+def resolve_passes(names: Sequence[str]) -> list[CompilePass]:
+    """Instantiate registered passes by name, preserving order."""
+    registry = available_passes()
+    passes = []
+    for name in names:
+        try:
+            passes.append(registry[name]())
+        except KeyError:
+            raise UnknownPassError(
+                f"unknown pass {name!r}; known passes: {sorted(registry)}"
+            ) from None
+    return passes
+
+
+def default_pass_names(options: CompileOptions) -> list[str]:
+    """The pass list :meth:`FPSACompiler.compile` runs for ``options``."""
+    names = ["synthesis", "mapping", "perf", "bounds"]
+    if options.run_pnr:
+        names.append("pnr")
+    if options.detailed_schedule:
+        names.append("pipeline_sim")
+    if options.emit_bitstream:
+        names.append("bitstream")
+    return names

@@ -16,6 +16,7 @@ from ..perf.metrics import PerformanceReport
 from ..perf.pipeline_sim import PipelineSimulationResult
 from ..pnr.pnr import PnRResult
 from ..synthesizer.coreop import CoreOpGraph
+from .pipeline import PassTiming
 
 __all__ = ["DeploymentResult"]
 
@@ -42,36 +43,56 @@ class DeploymentResult:
     pipeline:
         Cycle-level pipeline simulation (``None`` unless a detailed schedule
         was produced).
+    timings:
+        Per-pass wall-clock timings from the pass manager.
+
+    Partial compiles (``FPSACompiler.compile(..., passes=...)``) leave the
+    artifacts of the omitted passes as ``None``.
+
+    When the stage cache is enabled (the default), artifacts may be shared
+    by reference with other results of equivalent compiles — treat them as
+    read-only, or compile with caching disabled before mutating them.
     """
 
     graph: ComputationalGraph
-    coreops: CoreOpGraph
-    mapping: MappingResult
-    performance: PerformanceReport
-    bounds: UtilizationBounds
+    coreops: CoreOpGraph | None = None
+    mapping: MappingResult | None = None
+    performance: PerformanceReport | None = None
+    bounds: UtilizationBounds | None = None
     pnr: PnRResult | None = None
     pipeline: PipelineSimulationResult | None = None
     bitstream: FPSABitstream | None = None
+    timings: list[PassTiming] | None = None
 
     @property
     def model(self) -> str:
         return self.graph.name
 
+    def _require(self, artifact: str):
+        value = getattr(self, artifact)
+        if value is None:
+            raise ValueError(
+                f"the {artifact!r} artifact was not produced by this compile "
+                f"(it ran a partial pass list); include the producing pass or "
+                f"run the full pipeline"
+            )
+        return value
+
     @property
     def throughput_samples_per_s(self) -> float:
-        return self.performance.throughput_samples_per_s
+        return self._require("performance").throughput_samples_per_s
 
     @property
     def latency_us(self) -> float:
-        return self.performance.latency_us
+        return self._require("performance").latency_us
 
     @property
     def area_mm2(self) -> float:
-        return self.performance.area_mm2
+        return self._require("performance").area_mm2
 
     @property
     def duplication_degree(self) -> int:
-        return self.mapping.duplication_degree
+        return self._require("mapping").duplication_degree
 
     def energy(self, config: FPSAConfig | None = None) -> EnergyReport:
         """Estimated dynamic energy of one inference.
@@ -82,13 +103,15 @@ class DeploymentResult:
         per bit-segment.
         """
         config = config if config is not None else FPSAConfig()
-        allocation = self.mapping.allocation
+        coreops = self._require("coreops")
+        mapping = self._require("mapping")
+        allocation = mapping.allocation
         vmm_per_inference = allocation.replication * sum(
             group.reuse * group.min_pes(config.pe.rows, config.pe.logical_cols)
-            for group in self.coreops.groups()
+            for group in coreops.groups()
         )
-        traffic = traffic_values_per_sample(self.coreops)
-        netlist = self.mapping.netlist
+        traffic = traffic_values_per_sample(coreops)
+        netlist = mapping.netlist
         mix = BlockMix(
             n_pe=netlist.n_pe,
             n_smb=netlist.n_smb,
@@ -108,27 +131,63 @@ class DeploymentResult:
         report = self.energy(config)
         if report.total_pj <= 0:
             return 0.0
-        ops_per_pj = self.performance.ops_per_sample / report.total_pj
+        ops_per_pj = self._require("performance").ops_per_sample / report.total_pj
         return ops_per_pj  # ops/pJ == TOPS/W
 
+    def timings_table(self) -> str:
+        """Fixed-width table of the per-pass wall-clock timings."""
+        if not self.timings:
+            return "(no pass timings recorded)"
+        header = f"{'pass':<14} {'wall ms':>10} {'cached':>7}  provides"
+        lines = [header, "-" * len(header)]
+        for timing in self.timings:
+            lines.append(
+                f"{timing.name:<14} {timing.seconds * 1e3:>10.2f} "
+                f"{'yes' if timing.cached else 'no':>7}  {', '.join(timing.provides)}"
+            )
+        total = sum(t.seconds for t in self.timings)
+        lines.append("-" * len(header))
+        lines.append(f"{'total':<14} {total * 1e3:>10.2f}")
+        return "\n".join(lines)
+
     def summary(self) -> str:
-        """Human-readable deployment report."""
+        """Human-readable deployment report.
+
+        Lines whose artifacts were not produced (partial compiles) are
+        omitted.
+        """
         lines = [
-            f"deployment of {self.model!r} on FPSA "
-            f"(duplication degree {self.duplication_degree})",
+            f"deployment of {self.model!r} on FPSA",
             f"  weights: {self.graph.total_params():,}   "
             f"ops/inference: {self.graph.total_ops():,}",
-            f"  PEs: {self.mapping.netlist.n_pe}   SMBs: {self.mapping.netlist.n_smb}   "
-            f"CLBs: {self.mapping.netlist.n_clb}",
-            f"  chip area: {self.area_mm2:.2f} mm^2",
-            f"  throughput: {self.throughput_samples_per_s:,.1f} samples/s",
-            f"  latency: {self.latency_us:.2f} us",
-            f"  real performance: {self.performance.real_ops / 1e12:.3f} TOPS "
-            f"({self.performance.computational_density_ops_per_mm2 / 1e12:.3f} TOPS/mm^2)",
-            f"  bounds (TOPS/mm^2): peak {self.bounds.peak_density / 1e12:.2f}, "
-            f"spatial {self.bounds.spatial_bound / 1e12:.2f}, "
-            f"temporal {self.bounds.temporal_bound / 1e12:.2f}",
         ]
+        if self.mapping is not None:
+            lines[0] += f" (duplication degree {self.duplication_degree})"
+            lines.append(
+                f"  PEs: {self.mapping.netlist.n_pe}   SMBs: {self.mapping.netlist.n_smb}   "
+                f"CLBs: {self.mapping.netlist.n_clb}"
+            )
+        if self.performance is not None:
+            lines.extend([
+                f"  chip area: {self.area_mm2:.2f} mm^2",
+                f"  throughput: {self.throughput_samples_per_s:,.1f} samples/s",
+                f"  latency: {self.latency_us:.2f} us",
+                f"  real performance: {self.performance.real_ops / 1e12:.3f} TOPS "
+                f"({self.performance.computational_density_ops_per_mm2 / 1e12:.3f} TOPS/mm^2)",
+            ])
+        if self.bounds is not None:
+            lines.append(
+                f"  bounds (TOPS/mm^2): peak {self.bounds.peak_density / 1e12:.2f}, "
+                f"spatial {self.bounds.spatial_bound / 1e12:.2f}, "
+                f"temporal {self.bounds.temporal_bound / 1e12:.2f}"
+            )
+        if self.timings is not None:
+            total_ms = sum(t.seconds for t in self.timings) * 1e3
+            cached = sum(1 for t in self.timings if t.cached)
+            lines.append(
+                f"  compile: {len(self.timings)} passes in {total_ms:.1f} ms "
+                f"({cached} cached)"
+            )
         if self.pnr is not None:
             lines.append(f"  {self.pnr.summary()}")
         if self.bitstream is not None:

@@ -9,6 +9,7 @@ from .allocation import (
 from .control import ControlPlan, plan_control
 from .mapper import MappingResult, SpatialTemporalMapper
 from .netlist import Block, BlockType, FunctionBlockNetlist, Net, build_netlist
+from .passes import MappingPass
 from .schedule import (
     Schedule,
     ScheduledOp,
@@ -36,4 +37,5 @@ __all__ = [
     "plan_control",
     "MappingResult",
     "SpatialTemporalMapper",
+    "MappingPass",
 ]

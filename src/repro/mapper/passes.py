@@ -1,0 +1,51 @@
+"""The spatial-to-temporal mapping stage as a compilation pass."""
+
+from __future__ import annotations
+
+from ..core.cache import config_fingerprint, coreops_fingerprint, fingerprint
+from ..core.pipeline import CompileContext, CompilePass, register_pass
+from .mapper import SpatialTemporalMapper
+
+__all__ = ["MappingPass", "mapping_fingerprint"]
+
+
+def mapping_fingerprint(ctx: CompileContext) -> str:
+    """Fingerprint of everything that determines the mapping result.
+
+    Keyed on the ``coreops`` artifact the pass actually consumes (not the
+    graph it was synthesized from), so a custom core-op producer can never
+    alias a standard-pipeline cache entry.
+    """
+    options = ctx.options
+    return fingerprint(
+        "mapping",
+        coreops_fingerprint(ctx.coreops),
+        config_fingerprint(ctx.config),
+        options.duplication_degree,
+        options.pe_budget,
+        options.detailed_schedule,
+        options.max_schedule_reuse,
+    )
+
+
+@register_pass
+class MappingPass(CompilePass):
+    """Map the core-op graph onto function blocks (allocation + netlist
+    + control plan, plus the detailed schedule when requested)."""
+
+    name = "mapping"
+    requires = ("coreops",)
+    provides = ("mapping",)
+
+    def run(self, ctx: CompileContext) -> None:
+        options = ctx.options
+        ctx.mapping = SpatialTemporalMapper(ctx.config).map(
+            ctx.coreops,
+            duplication_degree=options.duplication_degree,
+            pe_budget=options.pe_budget,
+            detailed_schedule=options.detailed_schedule,
+            max_schedule_reuse=options.max_schedule_reuse,
+        )
+
+    def cache_key(self, ctx: CompileContext) -> str:
+        return mapping_fingerprint(ctx)

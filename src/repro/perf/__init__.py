@@ -20,6 +20,7 @@ from .comm import (
     mean_route_segments,
 )
 from .metrics import LatencyBreakdown, PerformanceReport, geometric_mean
+from .passes import BoundsPass, PerfPass, PipelineSimPass
 from .pipeline_sim import PipelineSimulationResult, PipelineSimulator
 
 __all__ = [
@@ -45,4 +46,7 @@ __all__ = [
     "AreaSweepPoint",
     "PipelineSimulationResult",
     "PipelineSimulator",
+    "PerfPass",
+    "BoundsPass",
+    "PipelineSimPass",
 ]

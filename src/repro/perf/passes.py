@@ -1,0 +1,59 @@
+"""The performance-model stages as compilation passes."""
+
+from __future__ import annotations
+
+from ..core.pipeline import CompileContext, CompilePass, register_pass
+from .analytic import FPSAArchitecture, evaluate_design_point
+from .bounds import compute_bounds
+from .pipeline_sim import PipelineSimulator
+
+__all__ = ["PerfPass", "BoundsPass", "PipelineSimPass"]
+
+
+@register_pass
+class PerfPass(CompilePass):
+    """Evaluate the analytic pipelined performance model."""
+
+    name = "perf"
+    requires = ("coreops", "mapping")
+    provides = ("performance",)
+
+    def run(self, ctx: CompileContext) -> None:
+        ctx.performance = evaluate_design_point(
+            ctx.coreops,
+            ctx.mapping.allocation,
+            ctx.graph.total_ops(),
+            FPSAArchitecture(ctx.config),
+            config=ctx.config,
+        )
+
+
+@register_pass
+class BoundsPass(CompilePass):
+    """Compute the peak / spatial / temporal computational-density bounds."""
+
+    name = "bounds"
+    requires = ("coreops", "mapping")
+    provides = ("bounds",)
+
+    def run(self, ctx: CompileContext) -> None:
+        ctx.bounds = compute_bounds(
+            ctx.coreops, ctx.mapping.allocation, ctx.graph.total_ops(), ctx.config
+        )
+
+
+@register_pass
+class PipelineSimPass(CompilePass):
+    """Run the cycle-level pipeline simulator on the detailed schedule.
+
+    Leaves ``pipeline`` as ``None`` when the mapping carries no detailed
+    schedule (the simulator needs instance-level scheduling).
+    """
+
+    name = "pipeline_sim"
+    requires = ("mapping",)
+    provides = ("pipeline",)
+
+    def run(self, ctx: CompileContext) -> None:
+        if ctx.mapping.schedule is not None:
+            ctx.pipeline = PipelineSimulator(ctx.config.pe).run(ctx.mapping.schedule)

@@ -2,6 +2,7 @@
 
 from .fabric import FabricGrid, Site
 from .placement import Placement, SimulatedAnnealingPlacer
+from .passes import PnRPass
 from .pnr import PlaceAndRoute, PnRResult
 from .routing import PathFinderRouter, RoutedNet, RoutingError, RoutingResult
 from .rrgraph import RRNode, RoutingResourceGraph
@@ -23,4 +24,5 @@ __all__ = [
     "analyze_timing",
     "PnRResult",
     "PlaceAndRoute",
+    "PnRPass",
 ]

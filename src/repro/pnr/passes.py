@@ -1,0 +1,37 @@
+"""The placement & routing stage as a compilation pass."""
+
+from __future__ import annotations
+
+from ..core.cache import config_fingerprint, fingerprint, netlist_fingerprint
+from ..core.pipeline import CompileContext, CompilePass, register_pass
+from .pnr import PlaceAndRoute
+
+__all__ = ["PnRPass"]
+
+
+@register_pass
+class PnRPass(CompilePass):
+    """Simulated-annealing placement + PathFinder routing of the netlist."""
+
+    name = "pnr"
+    requires = ("mapping",)
+    provides = ("pnr",)
+
+    def run(self, ctx: CompileContext) -> None:
+        options = ctx.options
+        ctx.pnr = PlaceAndRoute(
+            ctx.config,
+            channel_width=options.pnr_channel_width,
+            seed=options.pnr_seed,
+        ).run(ctx.mapping.netlist)
+
+    def cache_key(self, ctx: CompileContext) -> str:
+        # keyed on the netlist artifact actually routed, so any mapping
+        # producer (standard or custom) gets a correct cache entry
+        return fingerprint(
+            "pnr",
+            netlist_fingerprint(ctx.mapping.netlist),
+            config_fingerprint(ctx.config),
+            ctx.options.pnr_channel_width,
+            ctx.options.pnr_seed,
+        )

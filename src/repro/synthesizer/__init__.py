@@ -12,6 +12,7 @@ from .coreop import (
     expand,
 )
 from .lowering import LoweringContext, LoweringError
+from .passes import SynthesisPass
 from .splitting import Tile, TilePlan, plan_tiling, reduction_tree_width
 from .synthesizer import NeuralSynthesizer, SynthesisOptions, synthesize
 
@@ -34,4 +35,5 @@ __all__ = [
     "NeuralSynthesizer",
     "SynthesisOptions",
     "synthesize",
+    "SynthesisPass",
 ]

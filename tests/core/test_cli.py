@@ -24,6 +24,21 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["deploy", "NotAModel"])
 
+    def test_pipeline_flags(self):
+        args = build_parser().parse_args(
+            ["deploy", "LeNet", "--passes", "synthesis,mapping", "--no-cache", "--explain"]
+        )
+        assert args.passes == ["synthesis", "mapping"]
+        assert args.no_cache is True
+        assert args.explain is True
+
+    def test_sweep_arguments(self):
+        args = build_parser().parse_args(
+            ["sweep", "LeNet", "--duplication", "1", "4", "--jobs", "2"]
+        )
+        assert args.duplication == [1, 4]
+        assert args.jobs == 2
+
 
 class TestCommands:
     def test_models_command(self, capsys):
@@ -56,3 +71,28 @@ class TestCommands:
         assert main(["experiments", "table2"]) == 0
         out = capsys.readouterr().out
         assert "Table 2" in out
+
+    def test_deploy_with_explain_prints_timings(self, capsys):
+        assert main(["deploy", "LeNet", "--explain", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "synthesis" in out
+        assert "wall ms" in out
+
+    def test_deploy_with_pass_subset(self, capsys):
+        assert main(["deploy", "LeNet", "--passes", "synthesis,mapping"]) == 0
+        out = capsys.readouterr().out
+        assert "PEs:" in out
+        assert "throughput" not in out
+
+    def test_passes_command(self, capsys):
+        assert main(["passes", "--model", "LeNet"]) == 0
+        out = capsys.readouterr().out
+        assert "registered passes:" in out
+        for name in ("synthesis", "mapping", "perf", "bounds", "pnr"):
+            assert name in out
+
+    def test_sweep_command(self, capsys):
+        assert main(["sweep", "LeNet", "--duplication", "1", "2", "--jobs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "duplication" in out
+        assert "samples/s" in out
