@@ -46,6 +46,24 @@ def main() -> None:
             f"{scaled.area_mm2:6.2f} mm^2 "
             f"({scaled.performance.computational_density_ops_per_mm2 / 1e12:.2f} TOPS/mm^2)"
         )
+    print()
+
+    print("service layer: the same compile as a wire-level request/response")
+    client = repro.FPSAClient()
+    response = client.compile(
+        repro.CompileRequest(model="LeNet", duplication_degree=4)
+    )
+    rebuilt = repro.CompileResponse.from_json(response.to_json())
+    assert rebuilt == response, "wire round trip must be lossless"
+    print(
+        f"  status: {response.status}   "
+        f"throughput: {response.summary.performance['throughput_samples_per_s']:,.0f} samples/s   "
+        f"stage cache: {response.timings.cache_hits} hit(s), "
+        f"{response.timings.cache_misses} miss(es)"
+    )
+    failed = client.compile(repro.CompileRequest(model="LeNet", pe_budget=1))
+    print(f"  a failed compile surfaces a typed payload: [{failed.error.code}] "
+          f"{failed.error.message}")
 
 
 if __name__ == "__main__":

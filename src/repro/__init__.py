@@ -19,11 +19,14 @@ The package is organised the same way as the paper's system stack:
 * :mod:`repro.variation` — device variation and the splice/add study.
 * :mod:`repro.experiments` — one module per paper figure/table.
 * :mod:`repro.core` — the public end-to-end compiler API.
+* :mod:`repro.service` — the versioned wire-level service layer
+  (request/response schemas, job manager, artifact store).
+* :mod:`repro.errors` — the typed :class:`FPSAError` exception hierarchy.
 """
 
 from __future__ import annotations
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from .core import (
     DeploymentResult,
@@ -34,6 +37,22 @@ from .core import (
     deploy_many,
     deploy_model,
 )
+from .errors import (
+    CapacityError,
+    FPSAError,
+    InvalidRequestError,
+    MappingError,
+    PnRError,
+    SynthesisError,
+    UnknownModelError,
+)
+from .service import (
+    ArtifactStore,
+    CompileRequest,
+    CompileResponse,
+    FPSAClient,
+    JobManager,
+)
 
 __all__ = [
     "FPSACompiler",
@@ -43,5 +62,17 @@ __all__ = [
     "deploy_many",
     "DeployPoint",
     "StageCache",
+    "FPSAClient",
+    "CompileRequest",
+    "CompileResponse",
+    "JobManager",
+    "ArtifactStore",
+    "FPSAError",
+    "InvalidRequestError",
+    "UnknownModelError",
+    "SynthesisError",
+    "MappingError",
+    "PnRError",
+    "CapacityError",
     "__version__",
 ]

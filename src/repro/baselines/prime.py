@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..arch.params import FPSAConfig, PrimePEParams
+from ..arch.params import PrimePEParams
 from ..perf.comm import CommunicationModel, SharedBusComm
 
 __all__ = ["PrimeArchitecture", "PRIME_PUBLISHED"]

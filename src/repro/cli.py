@@ -5,22 +5,40 @@ Usage (after ``pip install -e .``)::
     python -m repro deploy VGG16 --duplication 64
     python -m repro deploy LeNet --duplication 4 --detailed --pnr --bitstream out.json
     python -m repro deploy LeNet --passes synthesis,mapping --explain
+    python -m repro deploy AlexNet --json --store runs/
     python -m repro sweep AlexNet --duplication 1 4 16 64 --jobs 4
+    python -m repro serve-batch requests.json --jobs 4 --store runs/
+    python -m repro serve-batch --model LeNet --duplication 1 4 --json
+    python -m repro jobs --model LeNet --duplication 1 4 16 --jobs 2
+    python -m repro runs --store runs/
+    python -m repro runs --store runs/ --show RUN_ID
     python -m repro passes --model LeNet
     python -m repro models
     python -m repro experiments fig6 table3
+
+Every compile-facing subcommand accepts ``--json`` to emit the wire-level
+:class:`~repro.service.schemas.CompileResponse` payloads instead of the
+human-readable tables, so the CLI output can be piped straight into other
+tools (or back into ``serve-batch``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 
-from .core.api import DeployPoint, deploy_many
-from .core.compiler import FPSACompiler
 from .core.pipeline import PassError, available_passes
+from .errors import FPSAError, InvalidRequestError
 from .experiments.runner import EXPERIMENTS, run_all
-from .models.zoo import MODEL_BUILDERS, PAPER_TABLE3, build_model, model_names
+from .models.zoo import MODEL_BUILDERS, PAPER_TABLE3, model_names
+from .service import (
+    ArtifactStore,
+    CompileRequest,
+    FPSAClient,
+    JobManager,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -37,6 +55,21 @@ def _positive_int(spec: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"expected a positive integer, got {spec}")
     return value
+
+
+def _add_json_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit wire-level JSON instead of the human-readable output",
+    )
+
+
+def _add_store_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="persist every response (and bitstream) to this artifact-store "
+        "directory",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -78,8 +111,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     deploy.add_argument(
         "--explain", action="store_true",
-        help="print the resolved pass list with per-pass wall-clock timings",
+        help="print the resolved pass list with per-pass wall-clock timings "
+        "and the stage-cache hit/miss counters",
     )
+    _add_json_flag(deploy)
+    _add_store_flag(deploy)
 
     sweep = subparsers.add_parser(
         "sweep", help="batch-deploy one model across several duplication degrees"
@@ -98,6 +134,64 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--no-cache", action="store_true", help="bypass the stage cache",
     )
+    _add_json_flag(sweep)
+    _add_store_flag(sweep)
+
+    serve_batch = subparsers.add_parser(
+        "serve-batch",
+        help="serve a batch of CompileRequests through the job manager",
+    )
+    serve_batch.add_argument(
+        "requests", nargs="?", metavar="FILE", default=None,
+        help="JSON file holding a list of CompileRequest objects ('-' for "
+        "stdin); omit it to build requests from --model/--duplication",
+    )
+    serve_batch.add_argument(
+        "--model", choices=sorted(MODEL_BUILDERS), default=None,
+        help="model for generated requests (when no FILE is given)",
+    )
+    serve_batch.add_argument(
+        "--duplication", type=_positive_int, nargs="+", default=[1],
+        metavar="D", help="duplication degrees for generated requests",
+    )
+    serve_batch.add_argument(
+        "--jobs", type=_positive_int, default=None,
+        help="worker processes (default: auto)",
+    )
+    _add_json_flag(serve_batch)
+    _add_store_flag(serve_batch)
+
+    jobs = subparsers.add_parser(
+        "jobs", help="submit a batch and watch the job lifecycle "
+        "(QUEUED/RUNNING/DONE/FAILED)"
+    )
+    jobs.add_argument(
+        "--model", choices=sorted(MODEL_BUILDERS), default="LeNet",
+        help="model to submit (default: LeNet)",
+    )
+    jobs.add_argument(
+        "--duplication", type=_positive_int, nargs="+", default=[1, 4],
+        metavar="D", help="one job per duplication degree",
+    )
+    jobs.add_argument(
+        "--jobs", type=_positive_int, default=2, help="worker processes",
+    )
+    _add_json_flag(jobs)
+
+    runs = subparsers.add_parser(
+        "runs", help="list or reload past runs from an artifact store"
+    )
+    runs.add_argument(
+        "--store", metavar="DIR", required=True, help="artifact-store directory"
+    )
+    runs.add_argument(
+        "--show", metavar="RUN_ID", default=None,
+        help="print the stored response of one run instead of the index",
+    )
+    runs.add_argument(
+        "--model", default=None, help="only list runs of this model",
+    )
+    _add_json_flag(runs)
 
     passes = subparsers.add_parser(
         "passes", help="show the compilation pass pipeline and its timings"
@@ -112,8 +206,12 @@ def build_parser() -> argparse.ArgumentParser:
     passes.add_argument(
         "--no-cache", action="store_true", help="bypass the stage cache",
     )
+    _add_json_flag(passes)
 
-    subparsers.add_parser("models", help="list the benchmark models and their Table 3 data")
+    models = subparsers.add_parser(
+        "models", help="list the benchmark models and their Table 3 data"
+    )
+    _add_json_flag(models)
 
     experiments = subparsers.add_parser(
         "experiments", help="regenerate the paper's tables and figures"
@@ -123,6 +221,19 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"experiments to run (default: all). Known: {', '.join(sorted(EXPERIMENTS))}",
     )
     return parser
+
+
+def _client(args: argparse.Namespace) -> FPSAClient:
+    store = ArtifactStore(args.store) if getattr(args, "store", None) else None
+    cache = False if getattr(args, "no_cache", False) else None
+    return FPSAClient(cache=cache, store=store)
+
+
+def _print_error(response_error) -> None:
+    print(
+        f"error [{response_error.code}] {response_error.message}",
+        file=sys.stderr,
+    )
 
 
 def _command_deploy(args: argparse.Namespace) -> int:
@@ -136,22 +247,35 @@ def _command_deploy(args: argparse.Namespace) -> int:
                     f"not in --passes; it will not run",
                     file=sys.stderr,
                 )
-    compiler = FPSACompiler(cache=False if args.no_cache else None)
-    result = compiler.compile(
-        build_model(args.model),
+    request = CompileRequest(
+        model=args.model,
         duplication_degree=args.duplication,
         pe_budget=args.pe_budget,
         detailed_schedule=args.detailed,
         run_pnr=args.pnr,
         emit_bitstream=args.bitstream is not None,
-        passes=args.passes,
+        passes=tuple(args.passes) if args.passes is not None else None,
     )
-    print(result.summary())
-    if args.explain:
-        print()
-        print(result.timings_table())
+    served = _client(args).serve(request)
+    response = served.response
+    if not response.ok:
+        # --json must emit the same CompileResponse shape as the ok path
+        if args.json:
+            print(response.to_json(indent=2))
+        else:
+            _print_error(response.error)
+        return 1
+    if args.json:
+        print(response.to_json(indent=2))
+    else:
+        result = served.result
+        print(result.summary())
+        if args.explain:
+            print()
+            print(result.timings_table())
     if args.bitstream is not None:
-        if result.bitstream is None:
+        result = served.result
+        if result is None or result.bitstream is None:
             print(
                 "warning: no bitstream was produced (the 'bitstream' pass did "
                 "not run); nothing written",
@@ -164,33 +288,201 @@ def _command_deploy(args: argparse.Namespace) -> int:
         else:
             with open(args.bitstream, "w", encoding="utf-8") as handle:
                 handle.write(payload)
-            print(f"bitstream written to {args.bitstream}")
+            print(f"bitstream written to {args.bitstream}", file=sys.stderr)
     return 0
 
 
-def _command_sweep(args: argparse.Namespace) -> int:
-    points = [DeployPoint(args.model, degree) for degree in args.duplication]
-    results = deploy_many(
-        points, jobs=args.jobs, cache=False if args.no_cache else None
-    )
-    header = (f"{'duplication':>11} {'PEs':>8} {'area mm^2':>10} "
+def _print_response_table(responses) -> None:
+    header = (f"{'model':<14} {'dup':>5} {'status':<8} {'PEs':>8} {'area mm^2':>10} "
               f"{'samples/s':>14} {'latency us':>11}")
-    print(f"sweep of {args.model} over duplication degrees {args.duplication}")
     print(header)
     print("-" * len(header))
-    for degree, result in zip(args.duplication, results):
+    for response in responses:
+        request = response.request
+        if response.ok:
+            summary = response.summary
+            blocks = summary.blocks or {}
+            perf = summary.performance or {}
+            print(
+                f"{request.model:<14} {request.duplication_degree:>5} "
+                f"{response.status:<8} {blocks.get('n_pe', 0):>8} "
+                f"{perf.get('area_mm2', 0.0):>10.2f} "
+                f"{perf.get('throughput_samples_per_s', 0.0):>14,.1f} "
+                f"{perf.get('latency_us', 0.0):>11.2f}"
+            )
+        else:
+            print(
+                f"{request.model:<14} {request.duplication_degree:>5} "
+                f"{response.status:<8} [{response.error.code}] "
+                f"{response.error.message}"
+            )
+
+
+def _print_responses_json(responses) -> None:
+    print(json.dumps([r.to_dict() for r in responses], indent=2, sort_keys=True))
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    requests = [
+        CompileRequest(model=args.model, duplication_degree=degree)
+        for degree in args.duplication
+    ]
+    responses = _client(args).compile_batch(requests, jobs=args.jobs)
+    if args.json:
+        _print_responses_json(responses)
+    else:
+        print(f"sweep of {args.model} over duplication degrees {args.duplication}")
+        _print_response_table(responses)
+    return 0 if all(r.ok for r in responses) else 1
+
+
+def _load_requests_file(path: str) -> list[CompileRequest]:
+    if path == "-":
+        payload = sys.stdin.read()
+    else:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = handle.read()
+    try:
+        data = json.loads(payload)
+    except ValueError as exc:
+        raise InvalidRequestError(f"requests file is not valid JSON: {exc}") from exc
+    if isinstance(data, dict):
+        data = [data]
+    if not isinstance(data, list) or not all(isinstance(e, dict) for e in data):
+        raise InvalidRequestError(
+            "requests file must hold a CompileRequest object or a list of them"
+        )
+    return [CompileRequest.from_dict(entry) for entry in data]
+
+
+def _command_serve_batch(args: argparse.Namespace) -> int:
+    if args.requests is not None:
+        requests = _load_requests_file(args.requests)
+    elif args.model is not None:
+        requests = [
+            CompileRequest(model=args.model, duplication_degree=degree)
+            for degree in args.duplication
+        ]
+    else:
+        raise InvalidRequestError(
+            "serve-batch needs a requests FILE or --model/--duplication"
+        )
+    store = ArtifactStore(args.store) if args.store else None
+    with JobManager(max_workers=args.jobs, store=store) as manager:
+        job_ids = manager.submit_batch(requests)
+        responses = [manager.result(job_id) for job_id in job_ids]
+    if args.json:
+        _print_responses_json(responses)
+    else:
+        print(f"served {len(responses)} request(s)")
+        _print_response_table(responses)
+        if store is not None:
+            print(f"responses persisted to {args.store}")
+    return 0 if all(r.ok for r in responses) else 1
+
+
+def _command_jobs(args: argparse.Namespace) -> int:
+    requests = [
+        CompileRequest(model=args.model, duplication_degree=degree)
+        for degree in args.duplication
+    ]
+    observed: dict[str, list[str]] = {}
+    with JobManager(max_workers=args.jobs) as manager:
+        job_ids = manager.submit_batch(requests)
+        pending = set(job_ids)
+        while pending:
+            for job_id in job_ids:
+                info = manager.status(job_id)
+                states = observed.setdefault(job_id, [])
+                if not states or states[-1] != info.state.value:
+                    states.append(info.state.value)
+                if info.state.finished:
+                    pending.discard(job_id)
+            if pending:
+                time.sleep(0.05)
+        infos = [manager.status(job_id) for job_id in job_ids]
+    if args.json:
+        print(json.dumps(
+            [
+                dict(info.to_dict(), observed_states=observed[info.job_id])
+                for info in infos
+            ],
+            indent=2, sort_keys=True,
+        ))
+        return 0
+    header = f"{'job':<10} {'model':<14} {'dup':>5} {'state':<8} lifecycle"
+    print(header)
+    print("-" * len(header))
+    for info, request in zip(infos, requests):
         print(
-            f"{degree:>11} {result.mapping.netlist.n_pe:>8} {result.area_mm2:>10.2f} "
-            f"{result.throughput_samples_per_s:>14,.1f} {result.latency_us:>11.2f}"
+            f"{info.job_id:<10} {info.model:<14} {request.duplication_degree:>5} "
+            f"{info.state.value:<8} {' -> '.join(observed[info.job_id])}"
+        )
+    return 0 if all(info.state.value == "done" for info in infos) else 1
+
+
+def _command_runs(args: argparse.Namespace) -> int:
+    store = ArtifactStore(args.store)
+    if args.show is not None:
+        response = store.load(args.show)
+        if args.json:
+            print(response.to_json(indent=2))
+        else:
+            _print_response_table([response])
+        return 0
+    records = store.list_runs(model=args.model)
+    if args.json:
+        print(json.dumps([r.to_dict() for r in records], indent=2, sort_keys=True))
+        return 0
+    if not records:
+        print(f"no runs in store {args.store}")
+        return 0
+    header = (f"{'run id':<18} {'model':<14} {'dup':>5} {'status':<8} "
+              f"{'bitstream':<9} created")
+    print(header)
+    print("-" * len(header))
+    for record in records:
+        created = time.strftime(
+            "%Y-%m-%d %H:%M:%S", time.localtime(record.created_at)
+        )
+        print(
+            f"{record.run_id:<18} {record.model:<14} "
+            f"{record.duplication_degree:>5} {record.status:<8} "
+            f"{'yes' if record.has_bitstream else 'no':<9} {created}"
         )
     return 0
 
 
 def _command_passes(args: argparse.Namespace) -> int:
-    compiler = FPSACompiler(cache=False if args.no_cache else None)
-    result = compiler.compile(
-        build_model(args.model), duplication_degree=args.duplication
+    client = _client(args)
+    result = client.deploy(
+        CompileRequest(model=args.model, duplication_degree=args.duplication)
     )
+    if args.json:
+        print(json.dumps(
+            {
+                "timings": [
+                    {
+                        "name": t.name,
+                        "seconds": t.seconds,
+                        "cached": t.cached,
+                        "provides": list(t.provides),
+                    }
+                    for t in result.timings or ()
+                ],
+                "cache_hits": result.cache_hits,
+                "cache_misses": result.cache_misses,
+                "registered_passes": {
+                    name: {
+                        "requires": list(cls().requires),
+                        "provides": list(cls().provides),
+                    }
+                    for name, cls in sorted(available_passes().items())
+                },
+            },
+            indent=2, sort_keys=True,
+        ))
+        return 0
     print(f"pass pipeline (timed compiling {args.model}, "
           f"duplication degree {args.duplication}):")
     print(result.timings_table())
@@ -205,7 +497,22 @@ def _command_passes(args: argparse.Namespace) -> int:
 
 
 def _command_models(args: argparse.Namespace) -> int:
-    del args
+    if args.json:
+        print(json.dumps(
+            {
+                name: {
+                    "dataset": ref.dataset,
+                    "weights": ref.weights,
+                    "ops": ref.ops,
+                    "paper_throughput_samples_per_s": ref.throughput_samples_per_s,
+                    "paper_latency_us": ref.latency_us,
+                    "paper_area_mm2": ref.area_mm2,
+                }
+                for name, ref in ((n, PAPER_TABLE3[n]) for n in model_names())
+            },
+            indent=2, sort_keys=True,
+        ))
+        return 0
     header = (f"{'model':<14} {'dataset':<10} {'weights':>12} {'ops':>14} "
               f"{'paper samples/s':>16} {'paper area mm^2':>16}")
     print(header)
@@ -235,13 +542,16 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "deploy": _command_deploy,
         "sweep": _command_sweep,
+        "serve-batch": _command_serve_batch,
+        "jobs": _command_jobs,
+        "runs": _command_runs,
         "passes": _command_passes,
         "models": _command_models,
         "experiments": _command_experiments,
     }
     try:
         return handlers[args.command](args)
-    except PassError as error:
+    except (PassError, FPSAError) as error:
         print(f"{parser.prog}: error: {error}", file=sys.stderr)
         return 2
 

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
 from ..arch.params import FPSAConfig
+from ..errors import InvalidRequestError
 from ..graph.graph import ComputationalGraph
 from ..models.zoo import build_model
 from ..synthesizer.synthesizer import SynthesisOptions
@@ -70,16 +71,22 @@ class DeployPoint:
 
     @classmethod
     def coerce(cls, point: Any) -> "DeployPoint":
-        """Accept a DeployPoint, a model name/graph, or a (model, degree) pair."""
+        """Accept a DeployPoint, a model name/graph, or a (model, degree) pair.
+
+        The pair form accepts both tuples and lists (JSON round-trips turn
+        tuples into lists).
+        """
         if isinstance(point, cls):
             return point
         if isinstance(point, (str, ComputationalGraph)):
             return cls(model=point)
-        if isinstance(point, tuple) and len(point) == 2:
+        if isinstance(point, (tuple, list)) and len(point) == 2:
             return cls(model=point[0], duplication_degree=point[1])
-        raise TypeError(
-            f"cannot interpret {point!r} as a deploy point; expected a "
-            f"DeployPoint, a model name, a graph, or a (model, degree) pair"
+        raise InvalidRequestError(
+            f"cannot interpret {point!r} of type {type(point).__name__} as a "
+            f"deploy point; expected a DeployPoint, a model name, a graph, or "
+            f"a (model, degree) pair",
+            details={"type": type(point).__name__},
         )
 
     def graph(self) -> ComputationalGraph:
@@ -153,13 +160,17 @@ def deploy_many(
     Results in the same order as ``points``, identical to calling
     :func:`deploy` on each point sequentially.
     """
+    # materialize generator inputs exactly once, before any validation can
+    # raise, so callers never see a half-consumed iterable
     resolved = [DeployPoint.coerce(p) for p in points]
+    if jobs is not None and jobs < 1:
+        raise InvalidRequestError(
+            f"jobs must be >= 1, got {jobs}", details={"jobs": jobs}
+        )
     if not resolved:
         return []
     if jobs is None:
         jobs = min(len(resolved), os.cpu_count() or 1, _MAX_AUTO_JOBS)
-    if jobs < 1:
-        raise ValueError(f"jobs must be >= 1, got {jobs}")
     if jobs == 1 or len(resolved) == 1:
         return [_deploy_point((p, config, common_kwargs, cache)) for p in resolved]
     # a StageCache instance holds a lock and cannot cross process boundaries;

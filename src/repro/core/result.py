@@ -134,6 +134,16 @@ class DeploymentResult:
         ops_per_pj = self._require("performance").ops_per_sample / report.total_pj
         return ops_per_pj  # ops/pJ == TOPS/W
 
+    @property
+    def cache_hits(self) -> int:
+        """Passes of this compile served from the stage cache."""
+        return sum(1 for t in self.timings or () if t.cached)
+
+    @property
+    def cache_misses(self) -> int:
+        """Passes of this compile that had to run (not served from cache)."""
+        return sum(1 for t in self.timings or () if not t.cached)
+
     def timings_table(self) -> str:
         """Fixed-width table of the per-pass wall-clock timings."""
         if not self.timings:
@@ -148,6 +158,9 @@ class DeploymentResult:
         total = sum(t.seconds for t in self.timings)
         lines.append("-" * len(header))
         lines.append(f"{'total':<14} {total * 1e3:>10.2f}")
+        lines.append(
+            f"stage cache: {self.cache_hits} hit(s), {self.cache_misses} miss(es)"
+        )
         return "\n".join(lines)
 
     def summary(self) -> str:

@@ -1,0 +1,138 @@
+"""The typed exception hierarchy of the FPSA toolchain.
+
+Every error the compilation service can surface derives from
+:class:`FPSAError`, carries a stable machine-readable ``code``, and maps to
+(and back from) a structured error payload, so in-process callers catch
+typed exceptions while wire-level callers receive the same information as
+JSON (see :mod:`repro.service.schemas`).
+
+The hierarchy is flat under the base class::
+
+    FPSAError
+      +-- InvalidRequestError   malformed request / argument (code invalid_request)
+      +-- UnknownModelError     model name not in the zoo     (code unknown_model)
+      +-- SynthesisError        neural-synthesizer failure    (code synthesis_error)
+      +-- MappingError          spatial-to-temporal mapping   (code mapping_error)
+      +-- PnRError              placement & routing failure   (code pnr_error)
+      +-- CapacityError         design does not fit a budget  (code capacity_error)
+
+For backward compatibility each subclass also derives from the builtin
+exception the toolchain historically raised at the same sites
+(``ValueError``, ``TypeError``, ``KeyError``, ``RuntimeError``), so
+pre-existing ``except ValueError`` call sites keep working.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+__all__ = [
+    "FPSAError",
+    "InvalidRequestError",
+    "UnknownModelError",
+    "SynthesisError",
+    "MappingError",
+    "PnRError",
+    "CapacityError",
+    "ERROR_CODES",
+    "error_from_payload",
+]
+
+
+class FPSAError(Exception):
+    """Base class of every typed toolchain error.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description.
+    details:
+        Optional JSON-serializable mapping with machine-readable context
+        (offending values, budgets, model names, ...).
+    """
+
+    #: stable machine-readable identifier, also the payload ``code`` field.
+    code: str = "fpsa_error"
+
+    def __init__(self, message: str, *, details: Mapping[str, Any] | None = None):
+        super().__init__(message)
+        self.message = str(message)
+        self.details: dict[str, Any] = dict(details or {})
+
+    def __str__(self) -> str:
+        # KeyError (a base of UnknownModelError) would repr() the message;
+        # always show it verbatim instead.
+        return self.message
+
+    def payload(self) -> dict[str, Any]:
+        """The structured error payload responses carry for this error."""
+        return {
+            "code": self.code,
+            "type": type(self).__name__,
+            "message": self.message,
+            "details": dict(self.details),
+        }
+
+
+class InvalidRequestError(FPSAError, ValueError, TypeError):
+    """A request (or call argument) is malformed or out of range."""
+
+    code = "invalid_request"
+
+
+class UnknownModelError(FPSAError, KeyError):
+    """A model name does not appear in the model zoo."""
+
+    code = "unknown_model"
+
+
+class SynthesisError(FPSAError, ValueError):
+    """The neural synthesizer cannot lower the computational graph."""
+
+    code = "synthesis_error"
+
+
+class MappingError(FPSAError, ValueError):
+    """The spatial-to-temporal mapper cannot map the core-op graph."""
+
+    code = "mapping_error"
+
+
+class PnRError(FPSAError, RuntimeError):
+    """Placement & routing failed on the function-block netlist."""
+
+    code = "pnr_error"
+
+
+class CapacityError(FPSAError, ValueError):
+    """The design does not fit a stated resource budget (PEs, sites, ...)."""
+
+    code = "capacity_error"
+
+
+#: payload ``code`` -> exception class, for rehydrating wire errors.
+ERROR_CODES: dict[str, type[FPSAError]] = {
+    cls.code: cls
+    for cls in (
+        FPSAError,
+        InvalidRequestError,
+        UnknownModelError,
+        SynthesisError,
+        MappingError,
+        PnRError,
+        CapacityError,
+    )
+}
+
+
+def error_from_payload(payload: Mapping[str, Any]) -> FPSAError:
+    """Reconstruct a typed exception from a structured error payload.
+
+    Unknown codes (a newer server, or a wrapped non-FPSA exception) degrade
+    to the :class:`FPSAError` base class rather than failing.
+    """
+    cls = ERROR_CODES.get(str(payload.get("code", "")), FPSAError)
+    return cls(
+        str(payload.get("message", "unknown error")),
+        details=payload.get("details") or {},
+    )

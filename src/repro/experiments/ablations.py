@@ -14,9 +14,12 @@ Four ablations quantify design decisions the paper discusses in prose:
   (FP-PRIME) and how much from the simplified PE (FPSA).
 * **duplication sweep**: throughput/area scaling across duplication degrees.
 
-All sweeps run through the pass-based compilation pipeline
-(:func:`repro.core.deploy_many` and partial compiles), so repeated
-invocations share the stage cache and batch points can compile in parallel.
+All sweeps run through the service layer (:class:`repro.service.FPSAClient`
+over :class:`~repro.service.schemas.CompileRequest`), so repeated
+invocations share the stage cache, batch points can compile in parallel,
+and every compile is expressible as wire data.  Ablations that need live
+artifact objects (core-op graphs, allocations) use the client's
+artifact-level ``deploy``; the wire-level sweep uses ``compile_batch``.
 """
 
 from __future__ import annotations
@@ -24,12 +27,10 @@ from __future__ import annotations
 from ..arch.params import FPSAConfig
 from ..baselines.fp_prime import FPPrimeArchitecture
 from ..baselines.prime import PrimeArchitecture
-from ..core.api import DeployPoint, deploy_many
-from ..core.compiler import FPSACompiler
 from ..models.zoo import build_model
 from ..perf.analytic import FPSAArchitecture, evaluate_design_point
 from ..perf.comm import CommContext, ReconfigurableRoutingComm
-from ..synthesizer.synthesizer import SynthesisOptions
+from ..service import CompileRequest, FPSAClient
 from .common import ExperimentResult
 
 __all__ = [
@@ -46,10 +47,12 @@ _FRONTEND_PASSES = ("synthesis", "mapping")
 def run_spike_transmission(model: str = "VGG16", duplication_degree: int = 64) -> ExperimentResult:
     """Section 7.1 ablation: spike-train vs spike-count transmission."""
     config = FPSAConfig()
-    partial = FPSACompiler(config).compile(
-        build_model(model),
-        duplication_degree=duplication_degree,
-        passes=_FRONTEND_PASSES,
+    partial = FPSAClient(config=config).deploy(
+        CompileRequest(
+            model=model,
+            duplication_degree=duplication_degree,
+            passes=_FRONTEND_PASSES,
+        )
     )
     allocation = partial.mapping.allocation
     n_blocks = allocation.total_pes
@@ -100,22 +103,22 @@ def run_spike_transmission(model: str = "VGG16", duplication_degree: int = 64) -
 def run_pooling_synthesis(model: str = "GoogLeNet", duplication_degree: int = 16) -> ExperimentResult:
     """Section 7.3 ablation: the PE cost of synthesizing pooling to core-ops.
 
-    The two synthesis variants run as one :func:`deploy_many` batch over the
-    front-end passes, so the graph is built once and both points share the
-    cache/parallel machinery of the pipeline.
+    The two synthesis variants run as two front-end-only service requests
+    differing only in the ``synthesis_options`` wire field; the shared
+    client gives them one stage cache.
     """
     config = FPSAConfig()
-    graph = build_model(model)
-    points = [
-        DeployPoint(
-            graph,
-            duplication_degree=duplication_degree,
-            synthesis_options=SynthesisOptions.from_pe(config.pe, lower_pooling=lower),
+    client = FPSAClient(config=config)
+    with_pool_result, without_pool_result = (
+        client.deploy(
+            CompileRequest(
+                model=model,
+                duplication_degree=duplication_degree,
+                passes=_FRONTEND_PASSES,
+                synthesis_options={"lower_pooling": lower},
+            )
         )
         for lower in (True, False)
-    ]
-    with_pool_result, without_pool_result = deploy_many(
-        points, config=config, jobs=1, passes=_FRONTEND_PASSES
     )
     with_pool = with_pool_result.coreops
     alloc_with = with_pool_result.mapping.allocation
@@ -157,8 +160,12 @@ def run_speedup_decomposition(model: str = "VGG16", duplication_degree: int = 64
     """Decompose the FPSA speedup into routing and PE contributions."""
     config = FPSAConfig()
     graph = build_model(model)
-    partial = FPSACompiler(config).compile(
-        graph, duplication_degree=duplication_degree, passes=_FRONTEND_PASSES
+    partial = FPSAClient(config=config).deploy(
+        CompileRequest(
+            model=model,
+            duplication_degree=duplication_degree,
+            passes=_FRONTEND_PASSES,
+        )
     )
     coreops = partial.coreops
     allocation = partial.mapping.allocation
@@ -194,29 +201,35 @@ def run_duplication_sweep(
 ) -> ExperimentResult:
     """Throughput/area scaling across duplication degrees.
 
-    Deploys every degree as one :func:`deploy_many` batch; pass ``jobs``
-    greater than 1 to spread the compiles over a process pool.
+    Runs entirely at the wire level: one :class:`CompileRequest` per
+    degree through :meth:`FPSAClient.compile_batch`, reading the numbers
+    off the serialized :class:`~repro.service.schemas.ResultSummary` — the
+    same data a remote front-end would see.  Pass ``jobs`` greater than 1
+    to spread the compiles over the job manager's process pool.
     """
-    graph = build_model(model)
-    results = deploy_many([DeployPoint(graph, degree) for degree in degrees], jobs=jobs)
+    requests = [
+        CompileRequest(model=model, duplication_degree=degree) for degree in degrees
+    ]
+    responses = FPSAClient().compile_batch(requests, jobs=jobs)
 
     result = ExperimentResult(
         name="Ablation: duplication sweep",
         description=f"Throughput/area scaling of {model} across duplication degrees "
-        f"(batched through deploy_many).",
+        f"(batched through the service layer).",
         columns=[
             "duplication", "total_pes", "area_mm2",
             "throughput_samples_per_s", "latency_us", "temporal_utilization",
         ],
     )
-    for degree, deployment in zip(degrees, results):
+    for degree, response in zip(degrees, responses):
+        summary = response.raise_for_status().summary
         result.add_row(
             duplication=degree,
-            total_pes=deployment.mapping.netlist.n_pe,
-            area_mm2=deployment.area_mm2,
-            throughput_samples_per_s=deployment.throughput_samples_per_s,
-            latency_us=deployment.latency_us,
-            temporal_utilization=deployment.mapping.allocation.temporal_utilization(),
+            total_pes=summary.blocks["n_pe"],
+            area_mm2=summary.performance["area_mm2"],
+            throughput_samples_per_s=summary.performance["throughput_samples_per_s"],
+            latency_us=summary.performance["latency_us"],
+            temporal_utilization=summary.bounds["temporal_utilization"],
         )
     result.add_note(
         "duplicating the bottleneck weight groups trades area for throughput; "

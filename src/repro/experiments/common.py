@@ -90,3 +90,13 @@ class ExperimentResult:
     def column(self, name: str) -> list[Any]:
         """Extract one column across all rows."""
         return [row.get(name) for row in self.rows]
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (the ``--json`` output of the runner/CLI)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "columns": self.columns or (list(self.rows[0]) if self.rows else []),
+            "rows": self.rows,
+            "notes": list(self.notes),
+        }

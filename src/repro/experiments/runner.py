@@ -1,7 +1,16 @@
-"""Run every experiment and collect the results (the EXPERIMENTS.md source)."""
+"""Run every experiment and collect the results (the EXPERIMENTS.md source).
+
+The runner is a front-end of the service layer: experiment compiles flow
+through :class:`repro.service.FPSAClient`, failures surface as typed
+:class:`~repro.errors.FPSAError`\\ s, and ``main`` can emit the collected
+results as JSON for downstream tooling.
+"""
 
 from __future__ import annotations
 
+import json
+
+from ..errors import InvalidRequestError
 from . import ablations, fig2, fig6, fig7, fig8, fig9, motivation, table1, table2, table3
 from .common import ExperimentResult
 
@@ -26,23 +35,35 @@ EXPERIMENTS = {
 
 
 def run_all(names: list[str] | None = None) -> dict[str, ExperimentResult]:
-    """Run the selected experiments (all of them by default)."""
+    """Run the selected experiments (all of them by default).
+
+    Unknown names raise :class:`~repro.errors.InvalidRequestError` before
+    any experiment runs.
+    """
     selected = names if names is not None else list(EXPERIMENTS)
-    results: dict[str, ExperimentResult] = {}
-    for name in selected:
-        try:
-            runner = EXPERIMENTS[name]
-        except KeyError:
-            raise KeyError(f"unknown experiment {name!r}; known: {sorted(EXPERIMENTS)}") from None
-        results[name] = runner()
-    return results
+    unknown = [name for name in selected if name not in EXPERIMENTS]
+    if unknown:
+        raise InvalidRequestError(
+            f"unknown experiment(s) {unknown}; known: {sorted(EXPERIMENTS)}",
+            details={"unknown": unknown, "known": sorted(EXPERIMENTS)},
+        )
+    return {name: EXPERIMENTS[name]() for name in selected}
 
 
 def main() -> None:  # pragma: no cover - CLI convenience
     import sys
 
-    names = sys.argv[1:] or None
-    for name, result in run_all(names).items():
+    argv = sys.argv[1:]
+    as_json = "--json" in argv
+    names = [a for a in argv if a != "--json"] or None
+    results = run_all(names)
+    if as_json:
+        print(json.dumps(
+            {name: result.to_dict() for name, result in results.items()},
+            indent=2, sort_keys=True,
+        ))
+        return
+    for result in results.values():
         print(result.format())
         print()
 

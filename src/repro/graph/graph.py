@@ -9,7 +9,7 @@ core-op graph, the function-block netlist and finally the chip configuration.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator
 
 from .ops import InputOp, Operation

@@ -16,7 +16,6 @@ Only inference-time behaviour is modelled; training-only attributes
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from .tensor import TensorSpec

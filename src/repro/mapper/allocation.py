@@ -19,6 +19,7 @@ import math
 from dataclasses import dataclass
 
 from ..arch.params import PEParams
+from ..errors import InvalidRequestError, MappingError
 from ..synthesizer.coreop import CoreOpGraph, WeightGroup
 
 __all__ = [
@@ -141,12 +142,18 @@ def allocate(
     keeps its iteration count at or below the resulting bottleneck.
     """
     if duplication_degree <= 0:
-        raise ValueError("duplication_degree must be positive")
+        raise InvalidRequestError(
+            f"duplication_degree must be positive, got {duplication_degree}",
+            details={"duplication_degree": duplication_degree},
+        )
     pe = pe if pe is not None else PEParams()
 
     groups = coreops.groups()
     if not groups:
-        raise ValueError(f"core-op graph {coreops.name!r} has no groups to allocate")
+        raise MappingError(
+            f"core-op graph {coreops.name!r} has no groups to allocate",
+            details={"model": coreops.name},
+        )
 
     max_reuse = coreops.max_reuse_degree
     bottleneck_dup = min(duplication_degree, max_reuse)

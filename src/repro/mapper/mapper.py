@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..arch.params import FPSAConfig
+from ..errors import CapacityError
 from ..synthesizer.coreop import CoreOpGraph
 from .allocation import AllocationResult, allocate, allocate_for_pe_budget
 from .control import ControlPlan, plan_control
@@ -106,9 +107,15 @@ class SpatialTemporalMapper:
         if pe_budget is not None:
             allocation = allocate_for_pe_budget(coreops, pe_budget, pe)
             if allocation is None:
-                raise ValueError(
+                minimum = allocate(coreops, 1, pe).total_pes
+                raise CapacityError(
                     f"model {coreops.name!r} needs at least "
-                    f"{allocate(coreops, 1, pe).total_pes} PEs; budget is {pe_budget}"
+                    f"{minimum} PEs; budget is {pe_budget}",
+                    details={
+                        "model": coreops.name,
+                        "minimum_pes": minimum,
+                        "pe_budget": pe_budget,
+                    },
                 )
         else:
             allocation = allocate(coreops, duplication_degree, pe)

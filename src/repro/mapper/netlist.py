@@ -15,7 +15,7 @@ import math
 from dataclasses import dataclass, field
 
 from ..arch.params import FPSAConfig
-from ..synthesizer.coreop import GRAPH_INPUT, GRAPH_OUTPUT, CoreOpGraph
+from ..synthesizer.coreop import CoreOpGraph
 from .allocation import AllocationResult
 
 __all__ = ["BlockType", "Block", "Net", "FunctionBlockNetlist", "build_netlist"]

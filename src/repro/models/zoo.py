@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from ..errors import UnknownModelError
 from ..graph import ComputationalGraph
 from .alexnet import build_alexnet
 from .cifar_vgg import build_cifar_vgg17
@@ -102,7 +103,8 @@ def build_model(name: str) -> ComputationalGraph:
     try:
         builder = MODEL_BUILDERS[name]
     except KeyError:
-        raise KeyError(
-            f"unknown model {name!r}; available: {sorted(MODEL_BUILDERS)}"
+        raise UnknownModelError(
+            f"unknown model {name!r}; available: {sorted(MODEL_BUILDERS)}",
+            details={"model": name, "available": sorted(MODEL_BUILDERS)},
         ) from None
     return builder()

@@ -12,6 +12,7 @@ import math
 import random
 from dataclasses import dataclass, field
 
+from ..errors import CapacityError
 from ..mapper.netlist import BlockType, FunctionBlockNetlist, Net
 from .fabric import FabricGrid
 
@@ -76,9 +77,10 @@ class SimulatedAnnealingPlacer:
 
         sites = [s.position for s in fabric.sites()]
         if len(core_blocks) > len(sites):
-            raise ValueError(
+            raise CapacityError(
                 f"netlist has {len(core_blocks)} blocks but the fabric only has "
-                f"{len(sites)} sites"
+                f"{len(sites)} sites",
+                details={"blocks": len(core_blocks), "sites": len(sites)},
             )
         rng.shuffle(sites)
         for block, site in zip(core_blocks, sites):
@@ -86,7 +88,10 @@ class SimulatedAnnealingPlacer:
 
         io_sites = [s.position for s in fabric.io_sites()]
         if len(io_blocks) > len(io_sites):
-            raise ValueError("not enough I/O sites for the netlist's I/O blocks")
+            raise CapacityError(
+                "not enough I/O sites for the netlist's I/O blocks",
+                details={"io_blocks": len(io_blocks), "io_sites": len(io_sites)},
+            )
         rng.shuffle(io_sites)
         for block, site in zip(io_blocks, io_sites):
             placement.positions[block] = site

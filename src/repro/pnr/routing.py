@@ -12,6 +12,7 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 
+from ..errors import PnRError
 from ..mapper.netlist import FunctionBlockNetlist, Net
 from .placement import Placement
 from .rrgraph import RRNode, RoutingResourceGraph
@@ -19,8 +20,12 @@ from .rrgraph import RRNode, RoutingResourceGraph
 __all__ = ["RoutedNet", "RoutingResult", "PathFinderRouter", "RoutingError"]
 
 
-class RoutingError(RuntimeError):
-    """Raised when the router cannot find a legal routing."""
+class RoutingError(PnRError):
+    """Raised when the router cannot find a legal routing.
+
+    A :class:`~repro.errors.PnRError` (and, transitively, a
+    ``RuntimeError``, which it was before the typed hierarchy existed).
+    """
 
 
 @dataclass

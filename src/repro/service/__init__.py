@@ -1,0 +1,66 @@
+"""The versioned service layer of the FPSA toolchain.
+
+This package is the wire-ready surface every front-end shares — the CLI,
+the experiment harnesses, and any future HTTP/queue service:
+
+* :mod:`~repro.service.schemas` — versioned, JSON-round-trippable
+  :class:`CompileRequest` / :class:`CompileResponse` dataclasses.
+* :mod:`~repro.service.client` — :func:`serve_request` (the single
+  execution choke point) and the in-process :class:`FPSAClient`.
+* :mod:`~repro.service.jobs` — the async :class:`JobManager`
+  (QUEUED/RUNNING/DONE/FAILED) over the batch process pool.
+* :mod:`~repro.service.store` — the content-addressed :class:`ArtifactStore`
+  for durable, comparable run results.
+
+The typed error hierarchy the service maps to structured payloads lives in
+:mod:`repro.errors` (re-exported here for convenience).
+"""
+
+from ..errors import (
+    CapacityError,
+    FPSAError,
+    InvalidRequestError,
+    MappingError,
+    PnRError,
+    SynthesisError,
+    UnknownModelError,
+    error_from_payload,
+)
+from .client import FPSAClient, ServedCompile, serve_request
+from .jobs import JobInfo, JobManager, JobState
+from .schemas import (
+    SCHEMA_VERSION,
+    CompileRequest,
+    CompileResponse,
+    CompileTimings,
+    ErrorPayload,
+    PassTimingEntry,
+    ResultSummary,
+)
+from .store import ArtifactStore, RunRecord
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "CompileRequest",
+    "CompileResponse",
+    "CompileTimings",
+    "PassTimingEntry",
+    "ResultSummary",
+    "ErrorPayload",
+    "FPSAClient",
+    "ServedCompile",
+    "serve_request",
+    "JobManager",
+    "JobState",
+    "JobInfo",
+    "ArtifactStore",
+    "RunRecord",
+    "FPSAError",
+    "InvalidRequestError",
+    "UnknownModelError",
+    "SynthesisError",
+    "MappingError",
+    "PnRError",
+    "CapacityError",
+    "error_from_payload",
+]

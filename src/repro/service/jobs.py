@@ -1,0 +1,327 @@
+"""Async job management over the compilation service.
+
+The :class:`JobManager` wraps the same process-pool machinery
+:func:`repro.core.api.deploy_many` uses for batch deployment, but exposes
+it with service semantics: ``submit`` returns immediately with a job id,
+jobs move through the QUEUED -> RUNNING -> DONE/FAILED lifecycle, and
+``result`` hands back the wire-level
+:class:`~repro.service.schemas.CompileResponse` (failures included, as
+structured error payloads — a FAILED job never raises unless asked to).
+
+Requests and responses cross the worker boundary as plain dicts, so the
+pool exercises exactly the wire schemas an out-of-process front-end would.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import sys
+import threading
+import time
+from concurrent.futures import (
+    CancelledError,
+    Executor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from dataclasses import dataclass
+from enum import Enum
+from typing import TYPE_CHECKING, Any, Iterable
+
+from ..arch.params import FPSAConfig
+from ..core.api import _MAX_AUTO_JOBS, _worker_private_cache
+from ..core.cache import StageCache
+from ..errors import InvalidRequestError
+from .client import serve_request
+from .schemas import CompileRequest, CompileResponse, ErrorPayload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .store import ArtifactStore
+
+__all__ = ["JobState", "JobInfo", "JobManager"]
+
+
+class JobState(str, Enum):
+    """Lifecycle of one submitted compile job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+    @property
+    def finished(self) -> bool:
+        return self in (JobState.DONE, JobState.FAILED)
+
+
+@dataclass(frozen=True)
+class JobInfo:
+    """Point-in-time snapshot of one job's state."""
+
+    job_id: str
+    model: str
+    state: JobState
+    error: ErrorPayload | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "model": self.model,
+            "state": self.state.value,
+            "error": self.error.to_dict() if self.error else None,
+        }
+
+
+def _execute_job(
+    request_dict: dict[str, Any],
+    config: FPSAConfig | None,
+    cache: StageCache | bool | str | None,
+) -> tuple[dict[str, Any], str | None]:
+    """Worker entry point (module-level so process pools can pickle it).
+
+    Returns the response as a wire dict plus the emitted bitstream JSON (if
+    any) so the parent can persist both to an artifact store.  ``cache`` is
+    the manager's setting; the ``"__private__"`` sentinel (a private
+    StageCache cannot cross a process boundary) becomes one per-worker
+    private cache, exactly as in :func:`repro.core.api.deploy_many`.
+    """
+    if cache == "__private__":
+        cache = _worker_private_cache()
+    request = CompileRequest.from_dict(request_dict)
+    served = serve_request(request, config=config, cache=cache)
+    bitstream = None
+    if served.result is not None and served.result.bitstream is not None:
+        bitstream = served.result.bitstream.to_json()
+    return served.response.to_dict(), bitstream
+
+
+class _Job:
+    """Internal bookkeeping of one submitted request."""
+
+    def __init__(self, job_id: str, request: CompileRequest):
+        self.job_id = job_id
+        self.request = request
+        self.future: Future | None = None
+        self.response: CompileResponse | None = None
+        self.finished = threading.Event()
+        self.cancelled = False
+
+
+class JobManager:
+    """Submit compile requests to a worker pool and track their lifecycle.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool size; ``None`` picks ``min(cpu_count, 8)``.
+    config:
+        Hardware configuration served to every job.
+    cache:
+        Stage-cache setting forwarded to every job (see
+        :class:`~repro.core.compiler.FPSACompiler`): ``None`` shares each
+        worker's process-wide cache, ``False`` disables caching, and a
+        private :class:`StageCache` becomes one fresh private cache per
+        process-pool worker (thread workers share the instance directly).
+    store:
+        When given, every finished job's response (and bitstream) is
+        persisted as the results arrive in the parent process.
+    use_processes:
+        ``True`` (the default) runs jobs on a process pool, isolating the
+        heavy compiles exactly like ``deploy_many``; ``False`` uses threads
+        (in-process, shares the stage cache — useful for tests and for
+        cache-friendly sweeps of cheap models).
+
+    The manager is a context manager; leaving the ``with`` block shuts the
+    pool down after the submitted jobs finish.
+    """
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        config: FPSAConfig | None = None,
+        cache: StageCache | bool | None = None,
+        store: "ArtifactStore | None" = None,
+        use_processes: bool = True,
+    ):
+        if max_workers is not None and max_workers < 1:
+            raise InvalidRequestError(
+                f"max_workers must be >= 1, got {max_workers}",
+                details={"max_workers": max_workers},
+            )
+        if max_workers is None:
+            # same auto sizing as deploy_many's process pool
+            max_workers = min(os.cpu_count() or 1, _MAX_AUTO_JOBS)
+        pool_cls: type[Executor] = ProcessPoolExecutor if use_processes else ThreadPoolExecutor
+        self._pool: Executor = pool_cls(max_workers=max_workers)
+        self.config = config
+        # a StageCache instance cannot cross a process boundary; preserve the
+        # isolation a private cache asks for with one private cache per worker
+        self._worker_cache: StageCache | bool | str | None = (
+            "__private__"
+            if use_processes and isinstance(cache, StageCache)
+            else cache
+        )
+        self.store = store
+        self._jobs: dict[str, _Job] = {}
+        self._lock = threading.Lock()
+        self._counter = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+
+    def submit(self, request: CompileRequest | str | dict) -> str:
+        """Queue one request; returns its job id immediately."""
+        if isinstance(request, str):
+            request = CompileRequest(model=request)
+        elif isinstance(request, dict):
+            request = CompileRequest.from_dict(request)
+        with self._lock:
+            job_id = f"job-{next(self._counter):04d}"
+            job = _Job(job_id, request)
+            self._jobs[job_id] = job
+        try:
+            future = self._pool.submit(
+                _execute_job, request.to_dict(), self.config, self._worker_cache
+            )
+        except Exception:
+            # e.g. submit after shutdown: don't leave an orphan job that
+            # wait_all()/result() would block on forever
+            with self._lock:
+                self._jobs.pop(job_id, None)
+            raise
+        job.future = future
+        future.add_done_callback(lambda f, j=job: self._finish(j, f))
+        return job_id
+
+    def submit_batch(self, requests: Iterable[CompileRequest | str | dict]) -> list[str]:
+        """Queue a batch of requests; returns their job ids in order."""
+        return [self.submit(request) for request in requests]
+
+    def _finish(self, job: _Job, future: Future) -> None:
+        try:
+            response_dict, bitstream = future.result()
+            response = CompileResponse.from_dict(response_dict)
+        except CancelledError:
+            response = CompileResponse(
+                request=job.request,
+                status="error",
+                error=ErrorPayload(
+                    code="cancelled",
+                    type="CancelledError",
+                    message="job was cancelled before it ran",
+                ),
+            )
+            bitstream = None
+        except Exception as exc:  # noqa: BLE001 - worker crashed; report, don't hang
+            response = CompileResponse(
+                request=job.request,
+                status="error",
+                error=ErrorPayload.from_exception(exc),
+            )
+            bitstream = None
+        job.response = response
+        try:
+            if self.store is not None:
+                self.store.save(response, bitstream_json=bitstream)
+        except Exception as exc:  # noqa: BLE001 - persistence must never lose the job
+            print(
+                f"warning: failed to persist job {job.job_id}: {exc}",
+                file=sys.stderr,
+            )
+        finally:
+            job.finished.set()
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+
+    def _get(self, job_id: str) -> _Job:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise InvalidRequestError(
+                f"unknown job id {job_id!r}", details={"job_id": job_id}
+            ) from None
+
+    def status(self, job_id: str) -> JobInfo:
+        """Snapshot of one job's lifecycle state."""
+        job = self._get(job_id)
+        if job.response is not None:
+            state = JobState.DONE if job.response.ok else JobState.FAILED
+            return JobInfo(job_id, job.request.model, state, error=job.response.error)
+        future = job.future
+        # a completed future whose done callback has not filled in the
+        # response yet must still read RUNNING, never regress to QUEUED
+        if future is not None and (future.running() or future.done()):
+            return JobInfo(job_id, job.request.model, JobState.RUNNING)
+        return JobInfo(job_id, job.request.model, JobState.QUEUED)
+
+    def jobs(self) -> list[JobInfo]:
+        """Snapshots of every submitted job, in submission order."""
+        with self._lock:
+            ids = list(self._jobs)
+        return [self.status(job_id) for job_id in ids]
+
+    def result(self, job_id: str, timeout: float | None = None) -> CompileResponse:
+        """Block until the job finishes; returns its response.
+
+        FAILED jobs return normally with the structured error payload on
+        the response; call ``response.raise_for_status()`` for the typed
+        exception.
+        """
+        job = self._get(job_id)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        if job.response is None and job.future is not None:
+            try:
+                job.future.result(timeout=timeout)
+            except CancelledError:
+                pass  # _finish synthesizes the cancelled response
+            except Exception:  # noqa: BLE001 - surfaced via the error payload
+                pass
+        # the future can complete a hair before its done callback has filled
+        # in job.response; wait on the callback against the same deadline
+        remaining = (
+            None if deadline is None else max(0.0, deadline - time.monotonic())
+        )
+        if not job.finished.wait(timeout=remaining):
+            raise TimeoutError(
+                f"job {job_id!r} did not finish within {timeout} s"
+            )
+        assert job.response is not None
+        return job.response
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a QUEUED job; returns whether cancellation succeeded.
+
+        A cancelled job moves to FAILED with a ``cancelled`` error payload.
+        RUNNING and finished jobs cannot be cancelled.
+        """
+        job = self._get(job_id)
+        if job.future is None or job.response is not None:
+            return False
+        cancelled = job.future.cancel()
+        if cancelled:
+            job.cancelled = True
+        return cancelled
+
+    def wait_all(self, timeout: float | None = None) -> list[CompileResponse]:
+        """Block until every submitted job finishes; responses in order."""
+        with self._lock:
+            ids = list(self._jobs)
+        return [self.result(job_id, timeout=timeout) for job_id in ids]
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "JobManager":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

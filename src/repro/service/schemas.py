@@ -1,0 +1,496 @@
+"""Versioned, JSON-round-trippable request/response schemas.
+
+These dataclasses are the wire surface of the compilation service: every
+field is a plain JSON type (or a nested schema of plain JSON types), so a
+:class:`CompileRequest` / :class:`CompileResponse` survives
+``to_json``/``from_json`` losslessly and can cross process, queue or HTTP
+boundaries unchanged.
+
+Every schema carries a ``schema_version``; deserialization rejects versions
+it does not understand with :class:`~repro.errors.InvalidRequestError`, so
+a newer client cannot silently feed a misinterpreted payload to an older
+server (or vice versa).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Mapping
+
+from ..errors import FPSAError, InvalidRequestError, error_from_payload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..arch.params import FPSAConfig
+    from ..core.pipeline import PassTiming
+    from ..core.result import DeploymentResult
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "CompileRequest",
+    "CompileResponse",
+    "CompileTimings",
+    "PassTimingEntry",
+    "ResultSummary",
+    "ErrorPayload",
+]
+
+#: current wire-schema version; bump on any incompatible field change.
+SCHEMA_VERSION = 1
+
+
+def _check_schema_version(version: Any, schema: str) -> int:
+    if version != SCHEMA_VERSION:
+        raise InvalidRequestError(
+            f"unsupported {schema} schema_version {version!r}; "
+            f"this build understands version {SCHEMA_VERSION}",
+            details={"schema": schema, "got": version, "supported": SCHEMA_VERSION},
+        )
+    return SCHEMA_VERSION
+
+
+def _check_known_fields(data: Mapping[str, Any], cls: type, schema: str) -> None:
+    known = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise InvalidRequestError(
+            f"unknown field(s) {unknown} in {schema} payload",
+            details={"schema": schema, "unknown_fields": unknown},
+        )
+
+
+def _require(data: Mapping[str, Any], key: str, schema: str) -> Any:
+    try:
+        return data[key]
+    except KeyError:
+        raise InvalidRequestError(
+            f"{schema} payload is missing required field {key!r}",
+            details={"schema": schema, "missing_field": key},
+        ) from None
+
+
+def _load_json(payload: str | bytes, schema: str) -> dict[str, Any]:
+    try:
+        data = json.loads(payload)
+    except (TypeError, ValueError) as exc:
+        raise InvalidRequestError(
+            f"{schema} payload is not valid JSON: {exc}", details={"schema": schema}
+        ) from exc
+    if not isinstance(data, dict):
+        raise InvalidRequestError(
+            f"{schema} payload must be a JSON object, got {type(data).__name__}",
+            details={"schema": schema},
+        )
+    return data
+
+
+@dataclass(frozen=True)
+class CompileRequest:
+    """One compilation of one model-zoo entry, as wire data.
+
+    The fields mirror the keyword arguments of
+    :meth:`repro.core.compiler.FPSACompiler.compile`; ``synthesis_options``
+    holds keyword overrides for
+    :meth:`repro.synthesizer.synthesizer.SynthesisOptions.from_pe` (e.g.
+    ``{"lower_pooling": false}``), and ``tags`` is free-form caller
+    metadata carried through responses and the artifact store untouched.
+    """
+
+    model: str
+    duplication_degree: int = 1
+    pe_budget: int | None = None
+    detailed_schedule: bool = False
+    run_pnr: bool = False
+    emit_bitstream: bool = False
+    max_schedule_reuse: int | None = None
+    pnr_channel_width: int | None = None
+    pnr_seed: int = 0
+    passes: tuple[str, ...] | None = None
+    use_cache: bool = True
+    synthesis_options: dict[str, Any] | None = None
+    tags: dict[str, str] = field(default_factory=dict)
+    schema_version: int = SCHEMA_VERSION
+
+    def __post_init__(self):
+        _check_schema_version(self.schema_version, "CompileRequest")
+        if not isinstance(self.model, str) or not self.model:
+            raise InvalidRequestError(
+                f"model must be a non-empty model-zoo name, got {self.model!r}",
+                details={"model": repr(self.model)},
+            )
+        # type-check before comparing: a JSON string like "4" must become a
+        # typed error, not a raw TypeError from the < comparison
+        if not isinstance(self.duplication_degree, int) or self.duplication_degree < 1:
+            raise InvalidRequestError(
+                f"duplication_degree must be an integer >= 1, "
+                f"got {self.duplication_degree!r}",
+                details={"duplication_degree": repr(self.duplication_degree)},
+            )
+        if self.pe_budget is not None and (
+            not isinstance(self.pe_budget, int) or self.pe_budget < 1
+        ):
+            raise InvalidRequestError(
+                f"pe_budget must be an integer >= 1, got {self.pe_budget!r}",
+                details={"pe_budget": repr(self.pe_budget)},
+            )
+        if self.passes is not None:
+            object.__setattr__(self, "passes", tuple(self.passes))
+
+    def to_dict(self) -> dict[str, Any]:
+        data = dataclasses.asdict(self)
+        data["passes"] = list(self.passes) if self.passes is not None else None
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CompileRequest":
+        _check_schema_version(data.get("schema_version", SCHEMA_VERSION), "CompileRequest")
+        _check_known_fields(data, cls, "CompileRequest")
+        if "model" not in data:
+            raise InvalidRequestError("CompileRequest payload is missing 'model'")
+        kwargs = dict(data)
+        if kwargs.get("passes") is not None:
+            kwargs["passes"] = tuple(kwargs["passes"])
+        kwargs.setdefault("schema_version", SCHEMA_VERSION)
+        return cls(**kwargs)
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, payload: str | bytes) -> "CompileRequest":
+        return cls.from_dict(_load_json(payload, "CompileRequest"))
+
+    def fingerprint(self) -> str:
+        """Content-addressed identity of this request (tags excluded)."""
+        data = self.to_dict()
+        data.pop("tags")
+        canonical = json.dumps(data, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def compile_kwargs(self) -> dict[str, Any]:
+        """The keyword arguments for :meth:`FPSACompiler.compile`."""
+        return {
+            "duplication_degree": self.duplication_degree,
+            "pe_budget": self.pe_budget,
+            "detailed_schedule": self.detailed_schedule,
+            "run_pnr": self.run_pnr,
+            "emit_bitstream": self.emit_bitstream,
+            "max_schedule_reuse": self.max_schedule_reuse,
+            "pnr_channel_width": self.pnr_channel_width,
+            "pnr_seed": self.pnr_seed,
+            "passes": self.passes,
+            "use_cache": self.use_cache,
+        }
+
+
+@dataclass(frozen=True)
+class PassTimingEntry:
+    """Wire form of one :class:`~repro.core.pipeline.PassTiming`."""
+
+    name: str
+    seconds: float
+    cached: bool
+    provides: tuple[str, ...]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "seconds": self.seconds,
+            "cached": self.cached,
+            "provides": list(self.provides),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PassTimingEntry":
+        _check_known_fields(data, cls, "PassTimingEntry")
+        return cls(
+            name=str(_require(data, "name", "PassTimingEntry")),
+            seconds=float(_require(data, "seconds", "PassTimingEntry")),
+            cached=bool(_require(data, "cached", "PassTimingEntry")),
+            provides=tuple(data.get("provides") or ()),
+        )
+
+
+@dataclass(frozen=True)
+class CompileTimings:
+    """Per-pass wall-clock timings plus the stage-cache hit/miss counters."""
+
+    passes: tuple[PassTimingEntry, ...]
+    total_seconds: float
+    cache_hits: int
+    cache_misses: int
+
+    @classmethod
+    def from_pass_timings(
+        cls, timings: "list[PassTiming] | None"
+    ) -> "CompileTimings | None":
+        if timings is None:
+            return None
+        entries = tuple(
+            PassTimingEntry(
+                name=t.name, seconds=t.seconds, cached=t.cached,
+                provides=tuple(t.provides),
+            )
+            for t in timings
+        )
+        return cls(
+            passes=entries,
+            total_seconds=sum(t.seconds for t in timings),
+            cache_hits=sum(1 for t in timings if t.cached),
+            cache_misses=sum(1 for t in timings if not t.cached),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "passes": [p.to_dict() for p in self.passes],
+            "total_seconds": self.total_seconds,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CompileTimings":
+        _check_known_fields(data, cls, "CompileTimings")
+        return cls(
+            passes=tuple(PassTimingEntry.from_dict(p) for p in data.get("passes", ())),
+            total_seconds=float(_require(data, "total_seconds", "CompileTimings")),
+            cache_hits=int(_require(data, "cache_hits", "CompileTimings")),
+            cache_misses=int(_require(data, "cache_misses", "CompileTimings")),
+        )
+
+
+@dataclass(frozen=True)
+class ResultSummary:
+    """Serializable distillation of a :class:`DeploymentResult`.
+
+    Sections whose artifacts a (partial) compile did not produce are
+    ``None``; the present ones are flat JSON objects so the summary
+    round-trips losslessly.
+    """
+
+    model: str
+    duplication_degree: int | None = None
+    blocks: dict[str, int] | None = None
+    performance: dict[str, float] | None = None
+    bounds: dict[str, float] | None = None
+    energy: dict[str, float] | None = None
+    pnr: dict[str, float] | None = None
+    pipeline: dict[str, float] | None = None
+    bitstream: dict[str, Any] | None = None
+
+    @classmethod
+    def from_result(
+        cls, result: "DeploymentResult", config: "FPSAConfig | None" = None
+    ) -> "ResultSummary":
+        """Distill the wire-relevant numbers out of a live compile result."""
+        duplication = blocks = performance = bounds = energy = None
+        pnr = pipeline = bitstream = None
+        if result.mapping is not None:
+            netlist = result.mapping.netlist
+            duplication = result.mapping.duplication_degree
+            blocks = {
+                "n_pe": netlist.n_pe,
+                "n_smb": netlist.n_smb,
+                "n_clb": netlist.n_clb,
+            }
+        if result.performance is not None:
+            report = result.performance
+            performance = {
+                "area_mm2": report.area_mm2,
+                "throughput_samples_per_s": report.throughput_samples_per_s,
+                "latency_us": report.latency_us,
+                "ops_per_sample": report.ops_per_sample,
+                "real_tops": report.real_ops / 1e12,
+                "tops_per_mm2": report.computational_density_ops_per_mm2 / 1e12,
+                "utilization": report.utilization,
+            }
+        if result.bounds is not None:
+            bounds = {
+                "peak_density_tops_per_mm2": result.bounds.peak_density / 1e12,
+                "spatial_bound_tops_per_mm2": result.bounds.spatial_bound / 1e12,
+                "temporal_bound_tops_per_mm2": result.bounds.temporal_bound / 1e12,
+                "spatial_utilization": result.bounds.spatial_utilization,
+                "temporal_utilization": result.bounds.temporal_utilization,
+            }
+        if result.coreops is not None and result.mapping is not None:
+            report = result.energy(config)
+            energy = {
+                "pe_pj": report.pe_pj,
+                "smb_pj": report.smb_pj,
+                "clb_pj": report.clb_pj,
+                "routing_pj": report.routing_pj,
+                "total_pj": report.total_pj,
+            }
+            if result.performance is not None:
+                # ops/pJ == TOPS/W, from the report already in hand
+                energy["tops_per_w"] = (
+                    result.performance.ops_per_sample / report.total_pj
+                    if report.total_pj > 0
+                    else 0.0
+                )
+        if result.pnr is not None:
+            pnr = {
+                "channel_width": float(result.pnr.channel_width),
+                "total_wirelength": float(result.pnr.total_wirelength),
+                "critical_path_ns": result.pnr.critical_path_ns,
+                "mean_route_segments": result.pnr.mean_route_segments,
+            }
+        if result.pipeline is not None:
+            pipeline = {
+                "initiation_interval_cycles": float(
+                    result.pipeline.initiation_interval_cycles
+                ),
+                "makespan_cycles": float(result.pipeline.makespan_cycles),
+                "latency_us": result.pipeline.latency_us,
+                "throughput_samples_per_s": result.pipeline.throughput_samples_per_s,
+            }
+        if result.bitstream is not None:
+            bitstream = {"emitted": True, "summary": result.bitstream.summary()}
+        return cls(
+            model=result.model,
+            duplication_degree=duplication,
+            blocks=blocks,
+            performance=performance,
+            bounds=bounds,
+            energy=energy,
+            pnr=pnr,
+            pipeline=pipeline,
+            bitstream=bitstream,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ResultSummary":
+        _check_known_fields(data, cls, "ResultSummary")
+        if "model" not in data:
+            raise InvalidRequestError("ResultSummary payload is missing 'model'")
+        blocks = data.get("blocks")
+        return cls(
+            model=str(data["model"]),
+            duplication_degree=data.get("duplication_degree"),
+            blocks={k: int(v) for k, v in blocks.items()} if blocks else blocks,
+            performance=data.get("performance"),
+            bounds=data.get("bounds"),
+            energy=data.get("energy"),
+            pnr=data.get("pnr"),
+            pipeline=data.get("pipeline"),
+            bitstream=data.get("bitstream"),
+        )
+
+
+@dataclass(frozen=True)
+class ErrorPayload:
+    """Wire form of one :class:`~repro.errors.FPSAError`."""
+
+    code: str
+    type: str
+    message: str
+    details: dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_exception(cls, exc: BaseException) -> "ErrorPayload":
+        """Map any exception to a payload; non-FPSA errors become ``internal``."""
+        if isinstance(exc, FPSAError):
+            return cls(**exc.payload())
+        return cls(
+            code="internal",
+            type=type(exc).__name__,
+            message=str(exc) or type(exc).__name__,
+            details={},
+        )
+
+    def to_exception(self) -> FPSAError:
+        """Rehydrate the typed exception this payload describes."""
+        return error_from_payload(self.to_dict())
+
+    def to_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ErrorPayload":
+        _check_known_fields(data, cls, "ErrorPayload")
+        return cls(
+            code=str(_require(data, "code", "ErrorPayload")),
+            type=str(data.get("type", "FPSAError")),
+            message=str(data.get("message", "")),
+            details=dict(data.get("details") or {}),
+        )
+
+
+@dataclass(frozen=True)
+class CompileResponse:
+    """The service's answer to one :class:`CompileRequest`.
+
+    ``status`` is ``"ok"`` (with a ``summary``) or ``"error"`` (with a
+    structured ``error`` payload).  ``timings`` is present whenever the
+    pipeline ran far enough to record pass timings, and carries the
+    stage-cache hit/miss counters of the compile.
+    """
+
+    request: CompileRequest
+    status: str
+    summary: ResultSummary | None = None
+    timings: CompileTimings | None = None
+    error: ErrorPayload | None = None
+    schema_version: int = SCHEMA_VERSION
+
+    def __post_init__(self):
+        _check_schema_version(self.schema_version, "CompileResponse")
+        if self.status not in ("ok", "error"):
+            raise InvalidRequestError(
+                f"status must be 'ok' or 'error', got {self.status!r}"
+            )
+        if self.status == "ok" and self.summary is None:
+            raise InvalidRequestError("an 'ok' response requires a summary")
+        if self.status == "error" and self.error is None:
+            raise InvalidRequestError("an 'error' response requires an error payload")
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def raise_for_status(self) -> "CompileResponse":
+        """Raise the typed exception of an error response; return self if ok."""
+        if self.error is not None:
+            raise self.error.to_exception()
+        return self
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema_version": self.schema_version,
+            "status": self.status,
+            "request": self.request.to_dict(),
+            "summary": self.summary.to_dict() if self.summary else None,
+            "timings": self.timings.to_dict() if self.timings else None,
+            "error": self.error.to_dict() if self.error else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CompileResponse":
+        _check_schema_version(data.get("schema_version", SCHEMA_VERSION), "CompileResponse")
+        _check_known_fields(data, cls, "CompileResponse")
+        if "request" not in data or "status" not in data:
+            raise InvalidRequestError(
+                "CompileResponse payload requires 'request' and 'status'"
+            )
+        summary = data.get("summary")
+        timings = data.get("timings")
+        error = data.get("error")
+        return cls(
+            request=CompileRequest.from_dict(data["request"]),
+            status=str(data["status"]),
+            summary=ResultSummary.from_dict(summary) if summary else None,
+            timings=CompileTimings.from_dict(timings) if timings else None,
+            error=ErrorPayload.from_dict(error) if error else None,
+        )
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, payload: str | bytes) -> "CompileResponse":
+        return cls.from_dict(_load_json(payload, "CompileResponse"))

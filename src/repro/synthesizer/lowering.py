@@ -29,6 +29,7 @@ from ..graph.ops import (
     LRN,
     MaxPool2d,
 )
+from ..errors import SynthesisError
 from ..graph.tensor import TensorSpec
 from .coreop import GRAPH_INPUT, CoreOpGraph, WeightGroup
 from .splitting import plan_tiling
@@ -36,8 +37,12 @@ from .splitting import plan_tiling
 __all__ = ["LoweringContext", "LoweringError"]
 
 
-class LoweringError(ValueError):
-    """Raised when an operation cannot be lowered to core-ops."""
+class LoweringError(SynthesisError):
+    """Raised when an operation cannot be lowered to core-ops.
+
+    A :class:`~repro.errors.SynthesisError` (and, transitively, a
+    ``ValueError``, which it was before the typed hierarchy existed).
+    """
 
 
 @dataclass

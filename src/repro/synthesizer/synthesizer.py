@@ -8,7 +8,7 @@ of :mod:`repro.synthesizer.lowering`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..arch.params import PEParams
 from ..graph.graph import ComputationalGraph, GraphNode

@@ -1,0 +1,80 @@
+"""Tests of the deploy/deploy_many convenience API (and its coercions)."""
+
+import pytest
+
+from repro.core.api import DeployPoint, deploy_many
+from repro.errors import InvalidRequestError
+
+
+class TestDeployPointCoerce:
+    def test_accepts_existing_point(self):
+        point = DeployPoint("LeNet", 4)
+        assert DeployPoint.coerce(point) is point
+
+    def test_accepts_model_name(self):
+        point = DeployPoint.coerce("LeNet")
+        assert point.model == "LeNet"
+        assert point.duplication_degree == 1
+
+    def test_accepts_tuple_pair(self):
+        point = DeployPoint.coerce(("LeNet", 4))
+        assert (point.model, point.duplication_degree) == ("LeNet", 4)
+
+    def test_accepts_list_pair(self):
+        # JSON round-trips turn tuples into lists; both must coerce
+        point = DeployPoint.coerce(["LeNet", 4])
+        assert (point.model, point.duplication_degree) == ("LeNet", 4)
+
+    def test_rejects_wrong_arity(self):
+        with pytest.raises(InvalidRequestError):
+            DeployPoint.coerce(("LeNet", 4, 5))
+        with pytest.raises(InvalidRequestError):
+            DeployPoint.coerce(["LeNet"])
+
+    def test_rejects_unknown_type_with_type_name(self):
+        with pytest.raises(InvalidRequestError) as excinfo:
+            DeployPoint.coerce(42)
+        assert "int" in str(excinfo.value)
+        assert excinfo.value.details["type"] == "int"
+        # legacy callers caught TypeError at this site
+        with pytest.raises(TypeError):
+            DeployPoint.coerce(42)
+
+
+class TestDeployMany:
+    def test_generator_points_materialized_exactly_once(self):
+        calls = []
+
+        def points():
+            for degree in (1, 2):
+                calls.append(degree)
+                yield ("MLP-500-100", degree)
+
+        results = deploy_many(points(), jobs=1)
+        assert calls == [1, 2]
+        assert [r.duplication_degree for r in results] == [1, 2]
+
+    def test_invalid_jobs_is_typed_and_raised_before_compiling(self):
+        consumed = []
+
+        def points():
+            consumed.append(True)
+            yield "MLP-500-100"
+
+        with pytest.raises(InvalidRequestError):
+            deploy_many(points(), jobs=0)
+        # the generator was materialized (exactly once) but nothing compiled
+        assert consumed == [True]
+        # legacy callers caught ValueError at this site
+        with pytest.raises(ValueError):
+            deploy_many(["MLP-500-100"], jobs=-1)
+
+    def test_empty_batch(self):
+        assert deploy_many([]) == []
+
+    def test_mixed_point_forms(self):
+        results = deploy_many(
+            ["MLP-500-100", ("MLP-500-100", 2), DeployPoint("MLP-500-100", 3)],
+            jobs=1,
+        )
+        assert [r.duplication_degree for r in results] == [1, 2, 3]

@@ -96,3 +96,119 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "duplication" in out
         assert "samples/s" in out
+
+
+class TestServiceCommands:
+    def test_deploy_json_output(self, capsys):
+        assert main(["deploy", "MLP-500-100", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["status"] == "ok"
+        assert data["request"]["model"] == "MLP-500-100"
+        assert data["summary"]["performance"]["throughput_samples_per_s"] > 0
+        assert data["timings"]["cache_misses"] >= 0
+
+    def test_deploy_failure_is_structured(self, capsys):
+        # --json emits the same CompileResponse shape on failure as on success
+        assert main(["deploy", "MLP-500-100", "--pe-budget", "1", "--json"]) == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["status"] == "error"
+        assert data["error"]["code"] == "capacity_error"
+        assert data["request"]["model"] == "MLP-500-100"
+
+    def test_deploy_explain_shows_cache_counters(self, capsys):
+        assert main(["deploy", "MLP-500-100", "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "stage cache:" in out
+        assert "hit(s)" in out
+
+    def test_deploy_persists_to_store(self, tmp_path, capsys):
+        store_dir = tmp_path / "runs"
+        assert main(["deploy", "MLP-500-100", "--store", str(store_dir)]) == 0
+        capsys.readouterr()
+        assert main(["runs", "--store", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "MLP-500-100" in out
+        assert "ok" in out
+
+    def test_sweep_json_output(self, capsys):
+        assert main(["sweep", "MLP-500-100", "--duplication", "1", "2", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert len(data) == 2
+        assert [d["request"]["duplication_degree"] for d in data] == [1, 2]
+
+    def test_serve_batch_generated_requests(self, capsys):
+        assert main([
+            "serve-batch", "--model", "MLP-500-100",
+            "--duplication", "1", "2", "--jobs", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "served 2 request(s)" in out
+
+    def test_serve_batch_from_file(self, tmp_path, capsys):
+        requests_file = tmp_path / "requests.json"
+        requests_file.write_text(json.dumps([
+            {"model": "MLP-500-100"},
+            {"model": "MLP-500-100", "duplication_degree": 2},
+        ]))
+        assert main(["serve-batch", str(requests_file), "--jobs", "1", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert [d["status"] for d in data] == ["ok", "ok"]
+
+    def test_serve_batch_reports_failures(self, tmp_path, capsys):
+        requests_file = tmp_path / "requests.json"
+        requests_file.write_text(json.dumps([
+            {"model": "MLP-500-100"},
+            {"model": "MLP-500-100", "pe_budget": 1},
+        ]))
+        assert main(["serve-batch", str(requests_file), "--jobs", "1"]) == 1
+        out = capsys.readouterr().out
+        assert "capacity_error" in out
+
+    def test_serve_batch_rejects_non_object_entries(self, tmp_path, capsys):
+        requests_file = tmp_path / "requests.json"
+        requests_file.write_text("[1, 2]")
+        assert main(["serve-batch", str(requests_file)]) == 2
+        assert "must hold a CompileRequest" in capsys.readouterr().err
+
+    def test_serve_batch_without_input_rejected(self, capsys):
+        assert main(["serve-batch"]) == 2
+        err = capsys.readouterr().err
+        assert "serve-batch needs" in err
+
+    def test_runs_show_round_trip(self, tmp_path, capsys):
+        store_dir = tmp_path / "runs"
+        assert main([
+            "serve-batch", "--model", "MLP-500-100", "--duplication", "1",
+            "--jobs", "1", "--store", str(store_dir),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["runs", "--store", str(store_dir), "--json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert len(records) == 1
+        run_id = records[0]["run_id"]
+        assert main(["runs", "--store", str(store_dir), "--show", run_id, "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["request"]["model"] == "MLP-500-100"
+        assert data["status"] == "ok"
+
+    def test_jobs_command_lifecycle(self, capsys):
+        assert main([
+            "jobs", "--model", "MLP-500-100", "--duplication", "1", "2",
+            "--jobs", "2", "--json",
+        ]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert len(data) == 2
+        assert all(entry["state"] == "done" for entry in data)
+        assert all(entry["observed_states"][-1] == "done" for entry in data)
+
+    def test_models_json(self, capsys):
+        assert main(["models", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert "VGG16" in data
+        assert data["LeNet"]["dataset"] == "MNIST"
+
+    def test_passes_json(self, capsys):
+        assert main(["passes", "--model", "MLP-500-100", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert "synthesis" in data["registered_passes"]
+        assert data["cache_hits"] + data["cache_misses"] == len(data["timings"])

@@ -311,5 +311,14 @@ class TestRunner:
         assert set(results) == {"table1", "table2"}
 
     def test_unknown_experiment_rejected(self):
-        with pytest.raises(KeyError):
+        from repro.errors import InvalidRequestError
+
+        with pytest.raises(InvalidRequestError):
             run_all(["figure42"])
+
+    def test_unknown_experiment_rejected_before_any_runs(self):
+        # validation happens up front: a bad name alongside good ones runs nothing
+        from repro.errors import InvalidRequestError
+
+        with pytest.raises(InvalidRequestError, match="figure42"):
+            run_all(["table1", "figure42"])

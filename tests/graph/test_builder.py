@@ -1,9 +1,7 @@
 """Tests of the fluent graph builder."""
 
-import pytest
-
 from repro.graph.builder import GraphBuilder
-from repro.graph.ops import Conv2d, ReLU
+from repro.graph.ops import ReLU
 
 
 class TestGraphBuilder:

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.graph.graph import ComputationalGraph, GraphValidationError
-from repro.graph.ops import Add, Conv2d, Dense, InputOp, ReLU
+from repro.graph.ops import Add, Dense, InputOp, ReLU
 
 
 def small_graph() -> ComputationalGraph:

@@ -1,7 +1,5 @@
 """Tests of the control-logic planner."""
 
-import pytest
-
 from repro.mapper.allocation import allocate
 from repro.mapper.control import plan_control
 from repro.mapper.netlist import build_netlist

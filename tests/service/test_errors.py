@@ -1,0 +1,118 @@
+"""Tests of the typed FPSAError hierarchy and its payload mapping."""
+
+import pytest
+
+from repro.errors import (
+    ERROR_CODES,
+    CapacityError,
+    FPSAError,
+    InvalidRequestError,
+    MappingError,
+    PnRError,
+    SynthesisError,
+    UnknownModelError,
+    error_from_payload,
+)
+
+ALL_ERRORS = [
+    FPSAError,
+    InvalidRequestError,
+    UnknownModelError,
+    SynthesisError,
+    MappingError,
+    PnRError,
+    CapacityError,
+]
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("cls", ALL_ERRORS)
+    def test_every_error_is_an_fpsa_error(self, cls):
+        assert issubclass(cls, FPSAError)
+        assert isinstance(cls.code, str) and cls.code
+
+    def test_codes_are_unique(self):
+        codes = [cls.code for cls in ALL_ERRORS]
+        assert len(codes) == len(set(codes))
+        assert set(ERROR_CODES) == set(codes)
+
+    def test_legacy_builtin_compatibility(self):
+        # pre-hierarchy call sites caught builtins; the typed errors must
+        # still satisfy those isinstance checks
+        assert issubclass(InvalidRequestError, ValueError)
+        assert issubclass(InvalidRequestError, TypeError)
+        assert issubclass(UnknownModelError, KeyError)
+        assert issubclass(SynthesisError, ValueError)
+        assert issubclass(MappingError, ValueError)
+        assert issubclass(PnRError, RuntimeError)
+        assert issubclass(CapacityError, ValueError)
+
+    def test_str_is_the_plain_message(self):
+        # KeyError would repr() the message; the hierarchy must not
+        error = UnknownModelError("no model named 'X'")
+        assert str(error) == "no model named 'X'"
+
+    def test_details_default_to_empty_dict(self):
+        assert FPSAError("boom").details == {}
+        assert FPSAError("boom", details={"a": 1}).details == {"a": 1}
+
+
+class TestPayloadMapping:
+    def test_payload_shape(self):
+        error = CapacityError("too big", details={"pe_budget": 4})
+        payload = error.payload()
+        assert payload == {
+            "code": "capacity_error",
+            "type": "CapacityError",
+            "message": "too big",
+            "details": {"pe_budget": 4},
+        }
+
+    @pytest.mark.parametrize("cls", ALL_ERRORS)
+    def test_round_trip_through_payload(self, cls):
+        error = cls("some message", details={"key": "value"})
+        rebuilt = error_from_payload(error.payload())
+        assert type(rebuilt) is cls
+        assert rebuilt.message == "some message"
+        assert rebuilt.details == {"key": "value"}
+
+    def test_unknown_code_degrades_to_base_class(self):
+        rebuilt = error_from_payload({"code": "from_the_future", "message": "hi"})
+        assert type(rebuilt) is FPSAError
+        assert rebuilt.message == "hi"
+
+
+class TestRaiseSites:
+    def test_unknown_model(self):
+        from repro.models.zoo import build_model
+
+        with pytest.raises(UnknownModelError) as excinfo:
+            build_model("NotAModel")
+        assert "NotAModel" in str(excinfo.value)
+        # legacy callers catching KeyError still work
+        with pytest.raises(KeyError):
+            build_model("NotAModel")
+
+    def test_lowering_error_is_synthesis_error(self):
+        from repro.synthesizer.lowering import LoweringError
+
+        assert issubclass(LoweringError, SynthesisError)
+
+    def test_routing_error_is_pnr_error(self):
+        from repro.pnr.routing import RoutingError
+
+        assert issubclass(RoutingError, PnRError)
+
+    def test_allocation_rejects_bad_duplication(self, mlp_coreops):
+        from repro.mapper.allocation import allocate
+
+        with pytest.raises(InvalidRequestError):
+            allocate(mlp_coreops, duplication_degree=0)
+
+    def test_pe_budget_too_small_is_capacity_error(self, mlp_coreops, config):
+        from repro.mapper.mapper import SpatialTemporalMapper
+
+        with pytest.raises(CapacityError) as excinfo:
+            SpatialTemporalMapper(config).map(mlp_coreops, pe_budget=1)
+        assert excinfo.value.details["pe_budget"] == 1
+        assert excinfo.value.details["minimum_pes"] > 1

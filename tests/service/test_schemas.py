@@ -1,0 +1,235 @@
+"""Tests of the versioned request/response wire schemas."""
+
+import json
+
+import pytest
+
+from repro.errors import CapacityError, InvalidRequestError, UnknownModelError
+from repro.service import (
+    SCHEMA_VERSION,
+    CompileRequest,
+    CompileResponse,
+    CompileTimings,
+    ErrorPayload,
+    ResultSummary,
+    serve_request,
+)
+
+
+class TestCompileRequest:
+    def test_defaults(self):
+        request = CompileRequest(model="LeNet")
+        assert request.schema_version == SCHEMA_VERSION
+        assert request.duplication_degree == 1
+        assert request.use_cache is True
+        assert request.passes is None
+
+    def test_json_round_trip(self):
+        request = CompileRequest(
+            model="LeNet",
+            duplication_degree=8,
+            detailed_schedule=True,
+            passes=("synthesis", "mapping"),
+            synthesis_options={"lower_pooling": False},
+            tags={"sweep": "s1"},
+        )
+        rebuilt = CompileRequest.from_json(request.to_json())
+        assert rebuilt == request
+        # and the JSON itself is a plain object
+        assert json.loads(request.to_json())["model"] == "LeNet"
+
+    def test_passes_normalize_to_tuple(self):
+        request = CompileRequest(model="LeNet", passes=["synthesis", "mapping"])
+        assert request.passes == ("synthesis", "mapping")
+        assert CompileRequest.from_dict(request.to_dict()) == request
+
+    def test_unknown_schema_version_rejected(self):
+        with pytest.raises(InvalidRequestError) as excinfo:
+            CompileRequest(model="LeNet", schema_version=99)
+        assert excinfo.value.details["got"] == 99
+        payload = CompileRequest(model="LeNet").to_dict()
+        payload["schema_version"] = 0
+        with pytest.raises(InvalidRequestError):
+            CompileRequest.from_dict(payload)
+
+    def test_unknown_fields_rejected(self):
+        payload = CompileRequest(model="LeNet").to_dict()
+        payload["frobnicate"] = True
+        with pytest.raises(InvalidRequestError) as excinfo:
+            CompileRequest.from_dict(payload)
+        assert "frobnicate" in str(excinfo.value)
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(InvalidRequestError):
+            CompileRequest(model="")
+        with pytest.raises(InvalidRequestError):
+            CompileRequest(model="LeNet", duplication_degree=0)
+        with pytest.raises(InvalidRequestError):
+            CompileRequest(model="LeNet", pe_budget=0)
+        with pytest.raises(InvalidRequestError):
+            CompileRequest.from_dict({"duplication_degree": 2})
+
+    def test_wrongly_typed_numerics_rejected(self):
+        # JSON strings where integers belong must be a typed rejection,
+        # not a raw TypeError from the range comparison
+        with pytest.raises(InvalidRequestError):
+            CompileRequest(model="LeNet", duplication_degree="4")
+        with pytest.raises(InvalidRequestError):
+            CompileRequest.from_dict({"model": "LeNet", "pe_budget": "128"})
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(InvalidRequestError):
+            CompileRequest.from_json("{not json")
+        with pytest.raises(InvalidRequestError):
+            CompileRequest.from_json("[1, 2, 3]")
+
+    def test_fingerprint_is_stable_and_ignores_tags(self):
+        a = CompileRequest(model="LeNet", duplication_degree=4)
+        b = CompileRequest(model="LeNet", duplication_degree=4, tags={"run": "x"})
+        c = CompileRequest(model="LeNet", duplication_degree=8)
+        assert a.fingerprint() == b.fingerprint()
+        assert a.fingerprint() != c.fingerprint()
+
+
+class TestServeAndRoundTrip:
+    def test_full_flow_response_round_trips_losslessly(self):
+        request = CompileRequest(
+            model="LeNet",
+            duplication_degree=4,
+            detailed_schedule=True,
+            run_pnr=True,
+            emit_bitstream=True,
+        )
+        response = serve_request(request).response
+        assert response.ok
+        # every artifact section made it into the summary
+        summary = response.summary
+        for section in ("blocks", "performance", "bounds", "energy",
+                        "pnr", "pipeline", "bitstream"):
+            assert getattr(summary, section) is not None, section
+        rebuilt = CompileResponse.from_json(response.to_json())
+        assert rebuilt == response
+        assert rebuilt.to_json() == response.to_json()
+
+    def test_partial_compile_sections_are_none(self):
+        request = CompileRequest(model="MLP-500-100", passes=("synthesis", "mapping"))
+        response = serve_request(request).response
+        assert response.ok
+        assert response.summary.blocks is not None
+        assert response.summary.performance is None
+        assert response.summary.pnr is None
+        assert CompileResponse.from_json(response.to_json()) == response
+
+    def test_timings_carry_cache_counters(self):
+        from repro.core.cache import StageCache
+
+        cache = StageCache()
+        request = CompileRequest(model="MLP-500-100", duplication_degree=2)
+        cold = serve_request(request, cache=cache).response
+        warm = serve_request(request, cache=cache).response
+        assert cold.timings.cache_hits == 0
+        assert cold.timings.cache_misses > 0
+        assert warm.timings.cache_hits > 0
+        assert warm.timings.cache_hits + warm.timings.cache_misses == len(
+            warm.timings.passes
+        )
+
+    def test_failed_compile_maps_to_error_payload(self):
+        response = serve_request(
+            CompileRequest(model="MLP-500-100", pe_budget=1)
+        ).response
+        assert not response.ok
+        assert response.summary is None
+        assert response.error.code == "capacity_error"
+        assert response.error.type == "CapacityError"
+        rebuilt = CompileResponse.from_json(response.to_json())
+        assert rebuilt == response
+        with pytest.raises(CapacityError):
+            rebuilt.raise_for_status()
+
+    def test_unknown_model_maps_to_error_payload(self):
+        response = serve_request(CompileRequest(model="NotAModel")).response
+        assert response.error.code == "unknown_model"
+        with pytest.raises(UnknownModelError):
+            response.raise_for_status()
+
+    def test_bad_pass_list_is_invalid_request_not_internal(self):
+        response = serve_request(
+            CompileRequest(model="MLP-500-100", passes=("bogus",))
+        ).response
+        assert response.error.code == "invalid_request"
+        assert "bogus" in response.error.message
+
+    def test_bad_synthesis_options_is_invalid_request(self):
+        response = serve_request(
+            CompileRequest(model="MLP-500-100", synthesis_options={"bogus": 1})
+        ).response
+        assert response.error.code == "invalid_request"
+        assert response.error.details["synthesis_options"] == {"bogus": 1}
+
+    def test_response_rejects_unknown_schema_version(self):
+        response = serve_request(CompileRequest(model="MLP-500-100")).response
+        payload = response.to_dict()
+        payload["schema_version"] = 2
+        with pytest.raises(InvalidRequestError):
+            CompileResponse.from_dict(payload)
+
+    def test_response_status_invariants(self):
+        request = CompileRequest(model="MLP-500-100")
+        with pytest.raises(InvalidRequestError):
+            CompileResponse(request=request, status="ok")  # missing summary
+        with pytest.raises(InvalidRequestError):
+            CompileResponse(request=request, status="error")  # missing error
+        with pytest.raises(InvalidRequestError):
+            CompileResponse(
+                request=request, status="maybe",
+                summary=ResultSummary(model="MLP-500-100"),
+            )
+
+
+class TestErrorPayload:
+    def test_non_fpsa_exception_becomes_internal(self):
+        payload = ErrorPayload.from_exception(ZeroDivisionError("division by zero"))
+        assert payload.code == "internal"
+        assert payload.type == "ZeroDivisionError"
+        assert payload.to_exception().message == "division by zero"
+
+    def test_round_trip(self):
+        payload = ErrorPayload(
+            code="mapping_error", type="MappingError",
+            message="no groups", details={"model": "X"},
+        )
+        assert ErrorPayload.from_dict(payload.to_dict()) == payload
+
+    def test_missing_required_field_is_typed(self):
+        with pytest.raises(InvalidRequestError) as excinfo:
+            ErrorPayload.from_dict({"type": "MappingError", "message": "x"})
+        assert excinfo.value.details["missing_field"] == "code"
+
+
+class TestCompileTimings:
+    def test_from_none_is_none(self):
+        assert CompileTimings.from_pass_timings(None) is None
+
+    def test_round_trip(self):
+        from repro.core.pipeline import PassTiming
+
+        timings = CompileTimings.from_pass_timings([
+            PassTiming("synthesis", 0.25, False, ("coreops",)),
+            PassTiming("mapping", 0.05, True, ("mapping",)),
+        ])
+        assert timings.cache_hits == 1
+        assert timings.cache_misses == 1
+        assert timings.total_seconds == pytest.approx(0.30)
+        assert CompileTimings.from_dict(timings.to_dict()) == timings
+
+    def test_truncated_payload_is_typed(self):
+        # a hand-edited/truncated stored response must fail with the typed
+        # error, not a raw KeyError
+        with pytest.raises(InvalidRequestError):
+            CompileTimings.from_dict({"passes": [], "cache_hits": 0, "cache_misses": 1})
+        with pytest.raises(InvalidRequestError):
+            CompileTimings.from_dict({
+                "passes": [{"name": "synthesis"}],
+                "total_seconds": 0.1, "cache_hits": 0, "cache_misses": 1,
+            })

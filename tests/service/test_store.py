@@ -1,0 +1,124 @@
+"""Tests of the content-addressed ArtifactStore."""
+
+import json
+
+import pytest
+
+from repro.errors import InvalidRequestError
+from repro.service import (
+    ArtifactStore,
+    CompileRequest,
+    FPSAClient,
+    serve_request,
+)
+
+
+@pytest.fixture
+def response():
+    return serve_request(CompileRequest(model="MLP-500-100")).response
+
+
+class TestSaveLoad:
+    def test_save_and_reload(self, tmp_path, response):
+        store = ArtifactStore(tmp_path)
+        run_id = store.save(response)
+        assert run_id in store
+        assert len(store) == 1
+        assert store.load(run_id) == response
+
+    def test_content_addressing_dedupes(self, tmp_path, response):
+        store = ArtifactStore(tmp_path)
+        assert store.save(response) == store.save(response)
+        assert len(store) == 1
+
+    def test_content_addressing_ignores_cache_state(self, tmp_path):
+        # the same request served cold and warm (different cache hit/miss
+        # counters and pass timings) must land on the same run directory
+        from repro.core.cache import StageCache
+
+        cache = StageCache()
+        request = CompileRequest(model="MLP-500-100", duplication_degree=2)
+        cold = serve_request(request, cache=cache).response
+        warm = serve_request(request, cache=cache).response
+        assert cold.timings.cache_hits != warm.timings.cache_hits
+        store = ArtifactStore(tmp_path)
+        assert store.save(cold) == store.save(warm)
+        assert len(store) == 1
+
+    def test_distinct_requests_get_distinct_runs(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        a = serve_request(CompileRequest(model="MLP-500-100")).response
+        b = serve_request(CompileRequest(model="MLP-500-100", duplication_degree=2)).response
+        assert store.save(a) != store.save(b)
+        assert len(store) == 2
+
+    def test_bitstream_persisted(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        served = serve_request(
+            CompileRequest(model="MLP-500-100", emit_bitstream=True)
+        )
+        bitstream = served.result.bitstream.to_json()
+        run_id = store.save(served.response, bitstream_json=bitstream)
+        stored = store.load_bitstream(run_id)
+        assert stored == bitstream
+        assert json.loads(stored)["model"] == "MLP-500-100"
+
+    def test_missing_bitstream_is_none(self, tmp_path, response):
+        store = ArtifactStore(tmp_path)
+        assert store.load_bitstream(store.save(response)) is None
+
+    def test_unknown_run_rejected(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        with pytest.raises(InvalidRequestError):
+            store.load("no-such-run")
+
+    def test_error_responses_are_also_persisted(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        failed = serve_request(CompileRequest(model="MLP-500-100", pe_budget=1)).response
+        run_id = store.save(failed)
+        assert store.load(run_id).error.code == "capacity_error"
+        assert store.list_runs(status="error")[0].run_id == run_id
+
+
+class TestIndex:
+    def test_list_runs_filters(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.save(serve_request(CompileRequest(model="MLP-500-100")).response)
+        store.save(serve_request(CompileRequest(model="LeNet")).response)
+        assert {r.model for r in store.list_runs()} == {"MLP-500-100", "LeNet"}
+        assert [r.model for r in store.list_runs(model="LeNet")] == ["LeNet"]
+        assert store.latest("LeNet").model == "LeNet"
+        assert store.latest("VGG16") is None
+
+    def test_index_survives_reopen(self, tmp_path, response):
+        run_id = ArtifactStore(tmp_path).save(response)
+        reopened = ArtifactStore(tmp_path)
+        assert run_id in reopened
+        assert reopened.load(run_id) == response
+
+
+class TestClientIntegration:
+    def test_client_auto_persists(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        client = FPSAClient(store=store)
+        response = client.compile(CompileRequest(model="MLP-500-100"))
+        assert response.ok
+        assert len(store) == 1
+        assert store.load(store.list_runs()[0].run_id) == response
+
+    def test_client_persists_bitstream(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        client = FPSAClient(store=store)
+        client.compile(CompileRequest(model="MLP-500-100", emit_bitstream=True))
+        record = store.list_runs()[0]
+        assert record.has_bitstream
+        assert store.load_bitstream(record.run_id) is not None
+
+    def test_job_manager_persists(self, tmp_path):
+        from repro.service import JobManager
+
+        store = ArtifactStore(tmp_path)
+        with JobManager(max_workers=2, use_processes=False, store=store) as jm:
+            jm.submit_batch(["MLP-500-100", "LeNet"])
+            jm.wait_all()
+        assert len(store) == 2

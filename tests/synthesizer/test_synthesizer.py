@@ -5,7 +5,7 @@ import pytest
 from repro.graph.builder import GraphBuilder
 from repro.models import build_model
 from repro.synthesizer.coreop import GRAPH_OUTPUT
-from repro.synthesizer.synthesizer import NeuralSynthesizer, SynthesisOptions, synthesize
+from repro.synthesizer.synthesizer import SynthesisOptions, synthesize
 
 
 class TestSynthesisOptions:

@@ -5,7 +5,7 @@ import pytest
 from repro.core.compiler import FPSACompiler
 from repro.graph import GraphBuilder
 from repro.models import PAPER_TABLE3, build_model
-from repro.perf.analytic import FPSAArchitecture, evaluate_design_point
+from repro.perf.analytic import FPSAArchitecture
 from repro.synthesizer import synthesize
 
 
