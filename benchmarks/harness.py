@@ -1,0 +1,19 @@
+#!/usr/bin/env python
+"""Standalone entry point for the P&R perf-regression benchmark harness.
+
+Equivalent to ``python -m repro bench``; the implementation lives in
+:mod:`repro.bench`.  Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/harness.py --models lenet,mlp
+    PYTHONPATH=src python benchmarks/harness.py --models all --check-regression
+
+The report lands in ``BENCH_pnr.json``; the committed copy of that file is
+the perf-trajectory baseline that ``--check-regression`` compares against.
+"""
+
+import sys
+
+from repro.bench import main
+
+if __name__ == "__main__":
+    sys.exit(main())

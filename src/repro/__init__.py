@@ -22,11 +22,14 @@ The package is organised the same way as the paper's system stack:
 * :mod:`repro.service` — the versioned wire-level service layer
   (request/response schemas, job manager, artifact store).
 * :mod:`repro.errors` — the typed :class:`FPSAError` exception hierarchy.
+* :mod:`repro.bench` — the P&R perf-regression benchmark harness
+  (``repro bench``, ``BENCH_pnr.json``).
+* :mod:`repro.seeding` — master-seed derivation for stochastic stages.
 """
 
 from __future__ import annotations
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from .core import (
     DeploymentResult,

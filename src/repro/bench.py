@@ -1,0 +1,430 @@
+"""Perf-regression benchmark harness for the compile pipeline's P&R hot path.
+
+``run_bench`` pushes a set of model-zoo entries through the full pipeline
+(synthesis -> mapping -> perf -> bounds -> P&R) via the service layer,
+records per-stage wall-clock seconds (including the P&R-internal
+place/route split), stage-cache behaviour (a second, warm compile of every
+request), and solution-quality metrics (routed wirelength, critical path),
+and emits the result as a ``BENCH_pnr.json`` report.  ``compare_reports``
+diffs a fresh report against a committed baseline with configurable
+wall-time and quality thresholds, so CI can fail on perf regressions
+without flaking on machine noise.
+
+The CLI front-ends are ``repro bench`` (see :mod:`repro.cli`) and the
+standalone ``benchmarks/harness.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from .core.cache import StageCache
+from .errors import InvalidRequestError
+from .models.zoo import BENCHMARK_MODELS, MODEL_BUILDERS
+from .service import CompileRequest, FPSAClient
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "DEFAULT_BENCH_MODELS",
+    "DEFAULT_REPORT_PATH",
+    "BenchEntry",
+    "BenchReport",
+    "resolve_bench_models",
+    "run_bench",
+    "compare_reports",
+    "main",
+]
+
+BENCH_SCHEMA_VERSION = 1
+
+#: report file at the repository root; the committed copy is the baseline.
+DEFAULT_REPORT_PATH = "BENCH_pnr.json"
+
+#: models benchmarked by default: the slice of the zoo whose P&R runs in
+#: seconds.  The big ImageNet models are reachable via --models: their
+#: thousand-block netlists now *place* in seconds, but negotiated-congestion
+#: routing at realistic channel widths still takes tens of minutes.
+DEFAULT_BENCH_MODELS = ("MLP-500-100", "LeNet", "CIFAR-VGG17")
+
+_MODEL_ALIASES = {
+    "mlp": "MLP-500-100",
+    "mlp-500-100": "MLP-500-100",
+    "lenet": "LeNet",
+    "cifar": "CIFAR-VGG17",
+    "cifar-vgg17": "CIFAR-VGG17",
+    "alexnet": "AlexNet",
+    "vgg": "VGG16",
+    "vgg16": "VGG16",
+    "googlenet": "GoogLeNet",
+    "resnet50": "ResNet50",
+    "resnet152": "ResNet152",
+}
+
+
+def resolve_bench_models(specs: Iterable[str] | str | None) -> list[str]:
+    """Resolve user model specs (aliases, ``all``) to zoo names."""
+    if specs is None:
+        return list(DEFAULT_BENCH_MODELS)
+    if isinstance(specs, str):
+        specs = [s.strip() for s in specs.split(",") if s.strip()]
+    resolved: list[str] = []
+    for spec in specs:
+        if spec.lower() in ("all", "zoo"):
+            names: Sequence[str] = BENCHMARK_MODELS
+        else:
+            name = _MODEL_ALIASES.get(spec.lower(), spec)
+            if name not in MODEL_BUILDERS:
+                raise InvalidRequestError(
+                    f"unknown bench model {spec!r}; known: "
+                    f"{sorted(MODEL_BUILDERS)} (or aliases {sorted(_MODEL_ALIASES)})",
+                    details={"model": spec},
+                )
+            names = (name,)
+        for name in names:
+            if name not in resolved:
+                resolved.append(name)
+    if not resolved:
+        raise InvalidRequestError("no bench models given")
+    return resolved
+
+
+@dataclass(frozen=True)
+class BenchEntry:
+    """One benchmarked compile: timings, cache behaviour and P&R quality."""
+
+    model: str
+    duplication_degree: int
+    channel_width: int
+    seed: int
+    blocks: dict[str, int] = field(default_factory=dict)
+    #: cold-compile wall-clock seconds per pipeline pass (``pnr`` included).
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    #: P&R-internal split (place / rrgraph / route / timing).
+    pnr_stage_seconds: dict[str, float] = field(default_factory=dict)
+    total_seconds: float = 0.0
+    #: warm re-compile of the identical request through the same stage cache.
+    warm_seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    warm_cache_hits: int = 0
+    #: routed-solution quality: equal-or-better is the bar optimizations
+    #: must clear.
+    quality: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def pnr_seconds(self) -> float:
+        return self.stage_seconds.get("pnr", 0.0)
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BenchEntry":
+        return cls(
+            model=str(data["model"]),
+            duplication_degree=int(data.get("duplication_degree", 1)),
+            channel_width=int(data.get("channel_width", 0)),
+            seed=int(data.get("seed", 0)),
+            blocks={k: int(v) for k, v in (data.get("blocks") or {}).items()},
+            stage_seconds=dict(data.get("stage_seconds") or {}),
+            pnr_stage_seconds=dict(data.get("pnr_stage_seconds") or {}),
+            total_seconds=float(data.get("total_seconds", 0.0)),
+            warm_seconds=float(data.get("warm_seconds", 0.0)),
+            cache_hits=int(data.get("cache_hits", 0)),
+            cache_misses=int(data.get("cache_misses", 0)),
+            warm_cache_hits=int(data.get("warm_cache_hits", 0)),
+            quality=dict(data.get("quality") or {}),
+        )
+
+
+@dataclass
+class BenchReport:
+    """A full benchmark run: one :class:`BenchEntry` per model."""
+
+    entries: list[BenchEntry] = field(default_factory=list)
+    created_at: float = 0.0
+    schema_version: int = BENCH_SCHEMA_VERSION
+
+    @property
+    def total_pnr_seconds(self) -> float:
+        return sum(e.pnr_seconds for e in self.entries)
+
+    def entry(self, model: str, duplication_degree: int) -> BenchEntry | None:
+        for e in self.entries:
+            if e.model == model and e.duplication_degree == duplication_degree:
+                return e
+        return None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema_version": self.schema_version,
+            "created_at": self.created_at,
+            "total_pnr_seconds": self.total_pnr_seconds,
+            "entries": [e.to_dict() for e in self.entries],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BenchReport":
+        version = data.get("schema_version", BENCH_SCHEMA_VERSION)
+        if version != BENCH_SCHEMA_VERSION:
+            raise InvalidRequestError(
+                f"unsupported bench report schema_version {version!r}; "
+                f"this build understands {BENCH_SCHEMA_VERSION}",
+                details={"got": version, "supported": BENCH_SCHEMA_VERSION},
+            )
+        return cls(
+            entries=[BenchEntry.from_dict(e) for e in data.get("entries", ())],
+            created_at=float(data.get("created_at", 0.0)),
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "BenchReport":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+
+def run_bench(
+    models: Iterable[str] | str | None = None,
+    duplication_degree: int = 1,
+    channel_width: int = 24,
+    seed: int = 0,
+    progress=None,
+) -> BenchReport:
+    """Benchmark the full pipeline (with P&R) over the given models.
+
+    Every model is compiled twice through a private stage cache: cold
+    (every pass runs, timed per stage) and warm (the identical request
+    again, recording how much of the pipeline the cache absorbs).
+    """
+    report = BenchReport(created_at=time.time())
+    for model in resolve_bench_models(models):
+        if progress is not None:
+            progress(f"bench {model} (duplication {duplication_degree}) ...")
+        client = FPSAClient(cache=StageCache())
+        request = CompileRequest(
+            model=model,
+            duplication_degree=duplication_degree,
+            run_pnr=True,
+            pnr_channel_width=channel_width,
+            seed=seed,
+        )
+        cold = client.serve(request)
+        cold.response.raise_for_status()
+        warm = client.serve(request)
+        warm.response.raise_for_status()
+
+        summary = cold.response.summary
+        timings = cold.response.timings
+        warm_timings = warm.response.timings
+        pnr = summary.pnr or {}
+        pnr_stage_seconds = {
+            key.removesuffix("_seconds"): value
+            for key, value in pnr.items()
+            if key.endswith("_seconds")
+        }
+        quality = {
+            key: value for key, value in pnr.items() if not key.endswith("_seconds")
+        }
+        report.entries.append(
+            BenchEntry(
+                model=model,
+                duplication_degree=duplication_degree,
+                channel_width=channel_width,
+                seed=seed,
+                blocks=dict(summary.blocks or {}),
+                stage_seconds=timings.seconds_by_stage(),
+                pnr_stage_seconds=pnr_stage_seconds,
+                total_seconds=timings.total_seconds,
+                warm_seconds=warm_timings.total_seconds,
+                cache_hits=timings.cache_hits,
+                cache_misses=timings.cache_misses,
+                warm_cache_hits=warm_timings.cache_hits,
+                quality=quality,
+            )
+        )
+    return report
+
+
+def compare_reports(
+    current: BenchReport,
+    baseline: BenchReport,
+    time_threshold: float = 2.5,
+    quality_tolerance: float = 0.10,
+) -> list[str]:
+    """Regressions of ``current`` against ``baseline``; empty when clean.
+
+    A model regresses when its P&R wall-time exceeds the baseline by more
+    than ``time_threshold``x (generous by default: benchmarks run on
+    heterogeneous machines) or when a quality metric (total wirelength,
+    critical path) worsens by more than ``quality_tolerance`` relative.
+    """
+    if time_threshold <= 0:
+        raise InvalidRequestError("time_threshold must be positive")
+    if quality_tolerance < 0:
+        raise InvalidRequestError("quality_tolerance must be >= 0")
+    regressions: list[str] = []
+    for entry in current.entries:
+        base = baseline.entry(entry.model, entry.duplication_degree)
+        if base is None:
+            continue
+        if base.pnr_seconds > 0 and entry.pnr_seconds > base.pnr_seconds * time_threshold:
+            regressions.append(
+                f"{entry.model}: P&R took {entry.pnr_seconds:.3f}s, more than "
+                f"{time_threshold:.1f}x the baseline {base.pnr_seconds:.3f}s"
+            )
+        for metric in ("total_wirelength", "critical_path_ns"):
+            now = entry.quality.get(metric)
+            was = base.quality.get(metric)
+            if now is None or was is None or was <= 0:
+                continue
+            if now > was * (1.0 + quality_tolerance):
+                regressions.append(
+                    f"{entry.model}: {metric} worsened to {now:g} "
+                    f"(baseline {was:g}, tolerance {quality_tolerance:.0%})"
+                )
+    return regressions
+
+
+def format_table(report: BenchReport) -> str:
+    """Human-readable per-model table of a report."""
+    header = (
+        f"{'model':<14} {'dup':>4} {'blocks':>7} {'pnr s':>8} {'place s':>8} "
+        f"{'route s':>8} {'total s':>8} {'warm s':>8} {'wirelen':>8} {'crit ns':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for e in report.entries:
+        n_blocks = sum(e.blocks.values())
+        lines.append(
+            f"{e.model:<14} {e.duplication_degree:>4} {n_blocks:>7} "
+            f"{e.pnr_seconds:>8.3f} "
+            f"{e.pnr_stage_seconds.get('place', 0.0):>8.3f} "
+            f"{e.pnr_stage_seconds.get('route', 0.0):>8.3f} "
+            f"{e.total_seconds:>8.3f} {e.warm_seconds:>8.3f} "
+            f"{e.quality.get('total_wirelength', 0.0):>8.0f} "
+            f"{e.quality.get('critical_path_ns', 0.0):>8.2f}"
+        )
+    lines.append(
+        f"{'TOTAL':<14} {'':>4} {'':>7} {report.total_pnr_seconds:>8.3f}"
+    )
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Run the P&R perf benchmark over the model zoo and "
+        "compare against a committed baseline.",
+    )
+    add_bench_arguments(parser)
+    return parser
+
+
+def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
+    """The bench flags, shared by ``repro bench`` and benchmarks/harness.py."""
+    parser.add_argument(
+        "--models", default=None, metavar="LIST",
+        help="comma-separated models (aliases like lenet,mlp,cifar or 'all'; "
+        f"default: {','.join(DEFAULT_BENCH_MODELS)})",
+    )
+    parser.add_argument(
+        "--duplication", type=int, default=1, help="duplication degree (default: 1)",
+    )
+    parser.add_argument(
+        "--channel-width", type=int, default=24,
+        help="routing channel width (default: 24)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="master seed for the compiles",
+    )
+    parser.add_argument(
+        "--output", metavar="FILE", default=DEFAULT_REPORT_PATH,
+        help=f"write the report here (default: {DEFAULT_REPORT_PATH})",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE", default=DEFAULT_REPORT_PATH,
+        help="baseline report to compare against with --check-regression "
+        f"(default: the committed {DEFAULT_REPORT_PATH})",
+    )
+    parser.add_argument(
+        "--check-regression", action="store_true",
+        help="exit non-zero when the run regresses against the baseline",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=2.5,
+        help="wall-time regression threshold, x baseline (default: 2.5)",
+    )
+    parser.add_argument(
+        "--quality-tolerance", type=float, default=0.10,
+        help="relative quality (wirelength/critical-path) tolerance "
+        "(default: 0.10)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the report as JSON on stdout instead of the table",
+    )
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    """Execute a parsed bench invocation; returns the exit code."""
+    # load the baseline before the report file gets overwritten: the
+    # default --output and --baseline are the same committed path
+    baseline = None
+    if args.check_regression:
+        try:
+            baseline = BenchReport.load(args.baseline)
+        except FileNotFoundError:
+            print(
+                f"bench: no baseline at {args.baseline}; skipping the "
+                f"regression check",
+                file=sys.stderr,
+            )
+        except (ValueError, InvalidRequestError) as exc:
+            # a corrupt or incompatible baseline must fail loudly, not crash
+            print(f"bench: unreadable baseline {args.baseline}: {exc}", file=sys.stderr)
+            return 2
+    progress = None if args.json else lambda msg: print(msg, file=sys.stderr)
+    report = run_bench(
+        models=args.models,
+        duplication_degree=args.duplication,
+        channel_width=args.channel_width,
+        seed=args.seed,
+        progress=progress,
+    )
+    if args.output:
+        report.save(args.output)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(format_table(report))
+        if args.output:
+            print(f"\nreport written to {args.output}")
+    if baseline is not None:
+        regressions = compare_reports(
+            report,
+            baseline,
+            time_threshold=args.threshold,
+            quality_tolerance=args.quality_tolerance,
+        )
+        if regressions:
+            for line in regressions:
+                print(f"REGRESSION: {line}", file=sys.stderr)
+            return 1
+        print("no regressions against the baseline", file=sys.stderr)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    return run_from_args(build_parser().parse_args(argv))

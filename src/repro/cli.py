@@ -14,6 +14,7 @@ Usage (after ``pip install -e .``)::
     python -m repro runs --store runs/ --show RUN_ID
     python -m repro passes --model LeNet
     python -m repro models
+    python -m repro bench --models lenet,mlp --check-regression
     python -m repro experiments fig6 table3
 
 Every compile-facing subcommand accepts ``--json`` to emit the wire-level
@@ -29,6 +30,8 @@ import json
 import sys
 import time
 
+from .bench import add_bench_arguments
+from .bench import run_from_args as _run_bench_args
 from .core.pipeline import PassError, available_passes
 from .errors import FPSAError, InvalidRequestError
 from .experiments.runner import EXPERIMENTS, run_all
@@ -212,6 +215,13 @@ def build_parser() -> argparse.ArgumentParser:
         "models", help="list the benchmark models and their Table 3 data"
     )
     _add_json_flag(models)
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="run the P&R perf benchmark over the model zoo and compare "
+        "against the committed BENCH_pnr.json baseline",
+    )
+    add_bench_arguments(bench)
 
     experiments = subparsers.add_parser(
         "experiments", help="regenerate the paper's tables and figures"
@@ -547,6 +557,7 @@ def main(argv: list[str] | None = None) -> int:
         "runs": _command_runs,
         "passes": _command_passes,
         "models": _command_models,
+        "bench": _run_bench_args,
         "experiments": _command_experiments,
     }
     try:

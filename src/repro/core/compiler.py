@@ -82,6 +82,7 @@ class FPSACompiler:
         max_schedule_reuse: int | None = None,
         pnr_channel_width: int | None = None,
         pnr_seed: int = 0,
+        seed: int | None = None,
         passes: Sequence[str] | None = None,
         use_cache: bool = True,
     ) -> DeploymentResult:
@@ -107,6 +108,12 @@ class FPSACompiler:
             Assemble the chip configuration (crossbar programming, routing
             switches, control plane, buffer map) from the mapping and, when
             available, the P&R result.
+        seed:
+            Master seed for every stochastic stage.  When set, each stage
+            (currently P&R placement) derives its own stream with
+            :func:`repro.seeding.derive_seed`, making repeated compiles of
+            the same inputs bit-identical; it takes precedence over the
+            stage-local ``pnr_seed``.
         passes:
             Explicit pass-name list to run instead of the default pipeline,
             e.g. ``("synthesis", "mapping")`` for a front-end-only compile.
@@ -135,6 +142,7 @@ class FPSACompiler:
             max_schedule_reuse=max_schedule_reuse,
             pnr_channel_width=pnr_channel_width,
             pnr_seed=pnr_seed,
+            seed=seed,
         )
         names = list(passes) if passes is not None else default_pass_names(options)
         manager = PassManager(resolve_passes(names))

@@ -97,6 +97,16 @@ class CompileOptions:
     max_schedule_reuse: int | None = None
     pnr_channel_width: int | None = None
     pnr_seed: int = 0
+    seed: int | None = None
+
+    def effective_pnr_seed(self) -> int:
+        """The placer seed in effect: derived from the master ``seed`` when
+        one is set, otherwise the stage-local ``pnr_seed``."""
+        if self.seed is not None:
+            from ..seeding import derive_seed
+
+            return derive_seed(self.seed, "pnr")
+        return self.pnr_seed
 
 
 @dataclass

@@ -22,6 +22,7 @@ from ..variation.accuracy import AccuracyModel, accuracy_sweep
 from ..variation.devices import measured_cell
 from ..variation.montecarlo import SyntheticTask, run_montecarlo
 from ..variation.representation import normalized_deviation
+from ..seeding import derive_seed
 from .common import ExperimentResult
 
 __all__ = ["run", "PAPER_ANCHORS"]
@@ -39,8 +40,14 @@ def run(
     model: AccuracyModel | None = None,
     montecarlo: bool = True,
     montecarlo_trials: int = 3,
+    seed: int = 0,
 ) -> ExperimentResult:
-    """Regenerate Figure 9 (normalized accuracy vs number of cells)."""
+    """Regenerate Figure 9 (normalized accuracy vs number of cells).
+
+    ``seed`` is the single master seed of the experiment: the synthetic
+    task and every Monte-Carlo trial derive their streams from it (see
+    :mod:`repro.seeding`), so reruns are bit-identical.
+    """
     cell = cell if cell is not None else measured_cell()
     model = model if model is not None else AccuracyModel()
     cells = list(n_cells_list)
@@ -56,13 +63,14 @@ def run(
         ],
     )
 
-    task = SyntheticTask()
+    task = SyntheticTask(seed=derive_seed(seed, "montecarlo-task"))
     for method in ("splice", "add"):
         for point in accuracy_sweep(method, cells, cell, model):
             mc_value = float("nan")
             if montecarlo:
                 mc = run_montecarlo(
-                    method, point.n_cells, cell=cell, task=task, trials=montecarlo_trials
+                    method, point.n_cells, cell=cell, task=task, trials=montecarlo_trials,
+                    seed=derive_seed(seed, f"montecarlo-{method}-{point.n_cells}"),
                 )
                 mc_value = mc.normalized_accuracy
             result.add_row(

@@ -22,7 +22,7 @@ class PnRPass(CompilePass):
         ctx.pnr = PlaceAndRoute(
             ctx.config,
             channel_width=options.pnr_channel_width,
-            seed=options.pnr_seed,
+            seed=options.effective_pnr_seed(),
         ).run(ctx.mapping.netlist)
 
     def cache_key(self, ctx: CompileContext) -> str:
@@ -33,5 +33,5 @@ class PnRPass(CompilePass):
             netlist_fingerprint(ctx.mapping.netlist),
             config_fingerprint(ctx.config),
             ctx.options.pnr_channel_width,
-            ctx.options.pnr_seed,
+            ctx.options.effective_pnr_seed(),
         )

@@ -9,7 +9,8 @@ the communication critical path that feeds the performance model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 
 from ..arch.params import FPSAConfig
 from ..mapper.netlist import FunctionBlockNetlist
@@ -32,6 +33,8 @@ class PnRResult:
     routing: RoutingResult
     timing: TimingReport
     channel_width: int
+    #: wall-clock seconds of each P&R stage (place / rrgraph / route / timing)
+    stage_seconds: dict[str, float] = field(default_factory=dict)
 
     @property
     def total_wirelength(self) -> int:
@@ -73,14 +76,20 @@ class PlaceAndRoute:
     def run(self, netlist: FunctionBlockNetlist) -> PnRResult:
         """Place and route ``netlist``; raises RoutingError when the fabric's
         channel width is insufficient."""
+        t0 = time.perf_counter()
         fabric = FabricGrid.for_netlist(netlist)
         placement = self.placer.place(netlist, fabric)
+        t1 = time.perf_counter()
 
         width = self.channel_width or self.config.routing.channel_width
         graph = RoutingResourceGraph(fabric, channel_width=width)
+        graph.compiled()  # build the router's integer view inside this stage
+        t2 = time.perf_counter()
         router = PathFinderRouter(graph, max_iterations=self.max_route_iterations)
         routing = router.route(netlist, placement)
+        t3 = time.perf_counter()
         timing = analyze_timing(routing, self.config.routing)
+        t4 = time.perf_counter()
         return PnRResult(
             model=netlist.model,
             fabric=fabric,
@@ -88,4 +97,10 @@ class PlaceAndRoute:
             routing=routing,
             timing=timing,
             channel_width=width,
+            stage_seconds={
+                "place": t1 - t0,
+                "rrgraph": t2 - t1,
+                "route": t3 - t2,
+                "timing": t4 - t3,
+            },
         )

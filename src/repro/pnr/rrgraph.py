@@ -18,7 +18,7 @@ from dataclasses import dataclass
 
 from .fabric import FabricGrid
 
-__all__ = ["RRNode", "RoutingResourceGraph"]
+__all__ = ["RRNode", "CompiledRRGraph", "RoutingResourceGraph"]
 
 
 @dataclass(frozen=True)
@@ -39,6 +39,41 @@ class RRNode:
         return self.kind in ("H", "V")
 
 
+class CompiledRRGraph:
+    """Integer-indexed view of the RRG for the router's hot loop.
+
+    Node ids follow the graph's deterministic construction order, so any
+    computation keyed on ids (heap tie-breaking in particular) is
+    reproducible across processes — unlike iteration over sets of
+    :class:`RRNode`, whose order depends on randomized string hashing.
+    """
+
+    __slots__ = ("nodes", "ids", "neighbors", "is_wire", "base_cost", "x", "y")
+
+    def __init__(self, adjacency: dict[RRNode, list[RRNode]]):
+        self.nodes: list[RRNode] = list(adjacency)
+        self.ids: dict[RRNode, int] = {node: i for i, node in enumerate(self.nodes)}
+        ids = self.ids
+        self.neighbors: list[list[int]] = [
+            [ids[n] for n in adjacency[node]] for node in self.nodes
+        ]
+        self.is_wire: list[bool] = [node.is_wire for node in self.nodes]
+        self.base_cost: list[float] = [
+            1.0 if node.is_wire else 0.5 for node in self.nodes
+        ]
+        self.x: list[int] = [node.x for node in self.nodes]
+        self.y: list[int] = [node.y for node in self.nodes]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def node_id(self, node: RRNode) -> int:
+        try:
+            return self.ids[node]
+        except KeyError:
+            raise KeyError(f"node {node} is not in the routing-resource graph") from None
+
+
 class RoutingResourceGraph:
     """Adjacency structure over :class:`RRNode` objects."""
 
@@ -48,6 +83,7 @@ class RoutingResourceGraph:
         self.fabric = fabric
         self.channel_width = channel_width
         self._adjacency: dict[RRNode, list[RRNode]] = {}
+        self._compiled: CompiledRRGraph | None = None
         self._build()
 
     # ------------------------------------------------------------ construction
@@ -141,3 +177,9 @@ class RoutingResourceGraph:
 
     def wire_count(self) -> int:
         return sum(1 for node in self._adjacency if node.is_wire)
+
+    def compiled(self) -> CompiledRRGraph:
+        """The integer-indexed view of this graph (built once, cached)."""
+        if self._compiled is None:
+            self._compiled = CompiledRRGraph(self._adjacency)
+        return self._compiled

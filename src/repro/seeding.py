@@ -1,0 +1,24 @@
+"""Deterministic seed derivation for every stochastic stage.
+
+A compile carries at most one master ``seed``; each stochastic consumer
+(the simulated-annealing placer, Monte-Carlo variation studies, ...)
+derives its own stage seed from it with :func:`derive_seed`.  Derivation is
+content-addressed (SHA-256 of master seed + stage name), so
+
+* the same request always produces bit-identical results,
+* distinct stages never share a random stream, and
+* adding a new stochastic stage cannot perturb the streams of existing
+  ones — which is what keeps the golden differential tests stable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["derive_seed"]
+
+
+def derive_seed(master_seed: int, stage: str) -> int:
+    """A stable, stage-specific seed derived from one master seed."""
+    digest = hashlib.sha256(f"{master_seed}:{stage}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % (2**31)

@@ -91,7 +91,10 @@ class CompileRequest:
     """One compilation of one model-zoo entry, as wire data.
 
     The fields mirror the keyword arguments of
-    :meth:`repro.core.compiler.FPSACompiler.compile`; ``synthesis_options``
+    :meth:`repro.core.compiler.FPSACompiler.compile`; ``seed`` is the
+    master seed every stochastic stage derives its stream from (see
+    :mod:`repro.seeding`), so repeated compiles of an identical request are
+    bit-identical; ``synthesis_options``
     holds keyword overrides for
     :meth:`repro.synthesizer.synthesizer.SynthesisOptions.from_pe` (e.g.
     ``{"lower_pooling": false}``), and ``tags`` is free-form caller
@@ -107,6 +110,7 @@ class CompileRequest:
     max_schedule_reuse: int | None = None
     pnr_channel_width: int | None = None
     pnr_seed: int = 0
+    seed: int | None = None
     passes: tuple[str, ...] | None = None
     use_cache: bool = True
     synthesis_options: dict[str, Any] | None = None
@@ -134,6 +138,11 @@ class CompileRequest:
             raise InvalidRequestError(
                 f"pe_budget must be an integer >= 1, got {self.pe_budget!r}",
                 details={"pe_budget": repr(self.pe_budget)},
+            )
+        if self.seed is not None and not isinstance(self.seed, int):
+            raise InvalidRequestError(
+                f"seed must be an integer or null, got {self.seed!r}",
+                details={"seed": repr(self.seed)},
             )
         if self.passes is not None:
             object.__setattr__(self, "passes", tuple(self.passes))
@@ -180,6 +189,7 @@ class CompileRequest:
             "max_schedule_reuse": self.max_schedule_reuse,
             "pnr_channel_width": self.pnr_channel_width,
             "pnr_seed": self.pnr_seed,
+            "seed": self.seed,
             "passes": self.passes,
             "use_cache": self.use_cache,
         }
@@ -241,6 +251,10 @@ class CompileTimings:
             cache_hits=sum(1 for t in timings if t.cached),
             cache_misses=sum(1 for t in timings if not t.cached),
         )
+
+    def seconds_by_stage(self) -> dict[str, float]:
+        """Wall-clock seconds keyed by pass name (wire-safe flat mapping)."""
+        return {p.name: p.seconds for p in self.passes}
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -337,6 +351,8 @@ class ResultSummary:
                 "critical_path_ns": result.pnr.critical_path_ns,
                 "mean_route_segments": result.pnr.mean_route_segments,
             }
+            for stage, seconds in result.pnr.stage_seconds.items():
+                pnr[f"{stage}_seconds"] = seconds
         if result.pipeline is not None:
             pipeline = {
                 "initiation_interval_cycles": float(

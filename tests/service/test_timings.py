@@ -1,0 +1,134 @@
+"""CompileTimings propagation and master-seed determinism.
+
+Per-stage wall-clock timings must reach the wire-level
+:class:`CompileResponse` for cache-miss *and* cache-hit compiles, survive
+``to_dict``/``from_dict``, and carry the P&R-internal stage split; and a
+request-level master ``seed`` must make repeated compiles bit-identical.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cache import StageCache
+from repro.core.pipeline import CompileOptions
+from repro.seeding import derive_seed
+from repro.service import CompileRequest, CompileResponse, FPSAClient
+from repro.service.schemas import CompileTimings
+
+
+@pytest.fixture(scope="module")
+def served_pair():
+    """The same P&R request served cold (all misses) then warm (all hits)
+    through one private stage cache."""
+    client = FPSAClient(cache=StageCache())
+    request = CompileRequest(model="MLP-500-100", run_pnr=True, seed=11)
+    cold = client.serve(request)
+    warm = client.serve(request)
+    return cold, warm
+
+
+class TestTimingsPropagation:
+    def test_cold_compile_timings(self, served_pair):
+        cold, _ = served_pair
+        timings = cold.response.timings
+        assert timings is not None
+        assert timings.cache_misses == len(timings.passes)
+        assert timings.cache_hits == 0
+        assert timings.total_seconds >= 0.0
+        assert all(p.seconds >= 0.0 for p in timings.passes)
+        assert "pnr" in timings.seconds_by_stage()
+
+    def test_warm_compile_timings(self, served_pair):
+        _, warm = served_pair
+        timings = warm.response.timings
+        assert timings is not None
+        # the expensive stages are content-addressed and must all hit; the
+        # cheap analytic passes (perf, bounds) opt out of caching
+        cached = {p.name for p in timings.passes if p.cached}
+        assert {"synthesis", "mapping", "pnr"} <= cached
+        assert timings.cache_hits == len(cached)
+        assert timings.cache_hits >= 3
+        assert all(p.seconds >= 0.0 for p in timings.passes)
+
+    @pytest.mark.parametrize("which", ["cold", "warm"])
+    def test_timings_round_trip(self, served_pair, which):
+        served = served_pair[0] if which == "cold" else served_pair[1]
+        timings = served.response.timings
+        assert CompileTimings.from_dict(timings.to_dict()) == timings
+
+    @pytest.mark.parametrize("which", ["cold", "warm"])
+    def test_response_round_trip_preserves_timings(self, served_pair, which):
+        served = served_pair[0] if which == "cold" else served_pair[1]
+        revived = CompileResponse.from_json(served.response.to_json())
+        assert revived.timings == served.response.timings
+
+    def test_pnr_stage_split_on_summary(self, served_pair):
+        cold, _ = served_pair
+        pnr = cold.response.summary.pnr
+        for stage in ("place", "rrgraph", "route", "timing"):
+            assert pnr[f"{stage}_seconds"] >= 0.0
+        # the split must roughly compose to the pnr pass wall time
+        split = sum(v for k, v in pnr.items() if k.endswith("_seconds"))
+        assert split <= cold.response.timings.seconds_by_stage()["pnr"] + 0.1
+
+    def test_seconds_by_stage_matches_pass_list(self, served_pair):
+        cold, _ = served_pair
+        timings = cold.response.timings
+        assert timings.seconds_by_stage() == {
+            p.name: p.seconds for p in timings.passes
+        }
+
+
+class TestMasterSeed:
+    def test_seed_round_trips_through_wire(self):
+        request = CompileRequest(model="LeNet", seed=42)
+        assert CompileRequest.from_json(request.to_json()).seed == 42
+
+    def test_seed_changes_fingerprint(self):
+        a = CompileRequest(model="LeNet", seed=1)
+        b = CompileRequest(model="LeNet", seed=2)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_invalid_seed_rejected(self):
+        from repro.errors import InvalidRequestError
+
+        with pytest.raises(InvalidRequestError):
+            CompileRequest(model="LeNet", seed="not-a-seed")
+
+    def test_effective_pnr_seed(self):
+        assert CompileOptions(pnr_seed=5).effective_pnr_seed() == 5
+        derived = CompileOptions(pnr_seed=5, seed=9).effective_pnr_seed()
+        assert derived == derive_seed(9, "pnr")
+        assert derived != 5
+
+    def test_derived_seeds_are_stage_specific(self):
+        assert derive_seed(0, "pnr") != derive_seed(0, "montecarlo")
+        assert derive_seed(0, "pnr") != derive_seed(1, "pnr")
+        assert derive_seed(3, "pnr") == derive_seed(3, "pnr")
+
+    def test_repeated_compiles_are_bit_identical(self):
+        """Two compiles of the same seeded request on fresh caches agree on
+        every placement coordinate and every quality number."""
+        results = []
+        for _ in range(2):
+            client = FPSAClient(cache=False)
+            served = client.serve(
+                CompileRequest(model="MLP-500-100", run_pnr=True, seed=3)
+            )
+            served.response.raise_for_status()
+            results.append(served)
+        a, b = results
+        assert a.result.pnr.placement.positions == b.result.pnr.placement.positions
+        assert a.result.pnr.total_wirelength == b.result.pnr.total_wirelength
+        assert a.result.pnr.critical_path_ns == b.result.pnr.critical_path_ns
+        assert a.response.summary.pnr["total_wirelength"] == (
+            b.response.summary.pnr["total_wirelength"]
+        )
+
+    def test_distinct_seeds_give_distinct_streams(self):
+        client = FPSAClient(cache=False)
+        a = client.serve(CompileRequest(model="MLP-500-100", run_pnr=True, seed=1))
+        b = client.serve(CompileRequest(model="MLP-500-100", run_pnr=True, seed=2))
+        # distinct master seeds must reach the placer as distinct streams
+        assert a.result.pnr.placement.positions != b.result.pnr.placement.positions
