@@ -12,6 +12,8 @@ The package is organised the same way as the paper's system stack:
 * :mod:`repro.models` — the benchmark network zoo (Table 3).
 * :mod:`repro.synthesizer` — the neural synthesizer (CG -> core-op graph).
 * :mod:`repro.mapper` — the spatial-to-temporal mapper (core-ops -> netlist).
+* :mod:`repro.partition` — multi-chip partitioned compilation (min-cut
+  graph partitioner, per-chip parallel backend, inter-chip link model).
 * :mod:`repro.pnr` — placement & routing on the island-style fabric.
 * :mod:`repro.perf` — performance bounds, the analytic model and the
   pipeline simulator.
@@ -29,7 +31,7 @@ The package is organised the same way as the paper's system stack:
 
 from __future__ import annotations
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from .core import (
     DeploymentResult,
@@ -49,6 +51,7 @@ from .errors import (
     SynthesisError,
     UnknownModelError,
 )
+from .partition import PartitionResult, partition_coreops
 from .service import (
     ArtifactStore,
     CompileRequest,
@@ -64,6 +67,8 @@ __all__ = [
     "deploy_model",
     "deploy_many",
     "DeployPoint",
+    "PartitionResult",
+    "partition_coreops",
     "StageCache",
     "FPSAClient",
     "CompileRequest",

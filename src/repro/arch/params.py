@@ -34,6 +34,7 @@ __all__ = [
     "SMBParams",
     "CLBParams",
     "RoutingParams",
+    "InterChipParams",
     "PrimePEParams",
     "FPSAConfig",
     "UM2_PER_MM2",
@@ -41,6 +42,7 @@ __all__ = [
     "DEFAULT_SMB",
     "DEFAULT_CLB",
     "DEFAULT_ROUTING",
+    "DEFAULT_INTERCHIP",
     "DEFAULT_PRIME_PE",
 ]
 
@@ -308,6 +310,51 @@ class RoutingParams:
 
 
 @dataclass(frozen=True)
+class InterChipParams:
+    """Parameters of the chip-to-chip interconnect of a multi-chip deployment.
+
+    A single FPSA die holds a bounded function-block grid
+    (``max_pes_per_chip``); models that do not fit are sharded across
+    several chips by the graph partitioner (:mod:`repro.partition`), with
+    spike traffic on cut edges crossing serial chip-to-chip links.  Links
+    are far slower than the on-chip routing fabric, which is why the
+    partitioner minimises the cut.
+    """
+
+    #: PE sites available on one chip (the per-chip capacity the
+    #: partitioner packs against; SMB/CLB sites scale along with it).
+    max_pes_per_chip: int = 2048
+    #: usable bandwidth of one chip-to-chip link, bits per nanosecond
+    #: (16 bits/ns = 2 GB/s, a SerDes-class serial link).
+    link_bandwidth_bits_per_ns: float = 16.0
+    #: fixed latency of one chip-boundary crossing (serialisation framing,
+    #: pad drivers, clock-domain crossing), nanoseconds.
+    link_latency_ns: float = 50.0
+    #: full-duplex links available per chip.
+    links_per_chip: int = 4
+    #: off-chip signaling energy per transferred bit, picojoules.
+    energy_per_bit_pj: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_pes_per_chip <= 0:
+            raise ValueError("max_pes_per_chip must be positive")
+        if self.link_bandwidth_bits_per_ns <= 0:
+            raise ValueError("link_bandwidth_bits_per_ns must be positive")
+        if self.link_latency_ns < 0:
+            raise ValueError("link_latency_ns must be non-negative")
+        if self.links_per_chip <= 0:
+            raise ValueError("links_per_chip must be positive")
+
+    def transfer_ns(self, bits: float) -> float:
+        """Latency of moving ``bits`` over one link (framing + serialisation)."""
+        if bits < 0:
+            raise ValueError("bits must be non-negative")
+        if bits == 0:
+            return 0.0
+        return self.link_latency_ns + bits / self.link_bandwidth_bits_per_ns
+
+
+@dataclass(frozen=True)
 class PrimePEParams:
     """Published per-PE parameters of PRIME (Table 2 of the paper).
 
@@ -361,6 +408,7 @@ class FPSAConfig:
     smb: SMBParams = field(default_factory=SMBParams)
     clb: CLBParams = field(default_factory=CLBParams)
     routing: RoutingParams = field(default_factory=RoutingParams)
+    interchip: InterChipParams = field(default_factory=InterChipParams)
 
     #: number of CLBs provisioned per PE for control-signal generation.
     clbs_per_pe: float = 0.125
@@ -422,4 +470,5 @@ DEFAULT_PE = PEParams()
 DEFAULT_SMB = SMBParams()
 DEFAULT_CLB = CLBParams()
 DEFAULT_ROUTING = RoutingParams()
+DEFAULT_INTERCHIP = InterChipParams()
 DEFAULT_PRIME_PE = PrimePEParams()

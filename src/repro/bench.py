@@ -101,6 +101,10 @@ class BenchEntry:
     duplication_degree: int
     channel_width: int
     seed: int
+    #: chip count of the compile (> 1 for a partitioned configuration, with
+    #: per-shard stage timings keyed ``pass@chipN`` and the partition cut
+    #: metrics in ``quality``).
+    num_chips: int = 1
     blocks: dict[str, int] = field(default_factory=dict)
     #: cold-compile wall-clock seconds per pipeline pass (``pnr`` included).
     stage_seconds: dict[str, float] = field(default_factory=dict)
@@ -118,7 +122,12 @@ class BenchEntry:
 
     @property
     def pnr_seconds(self) -> float:
-        return self.stage_seconds.get("pnr", 0.0)
+        """Total P&R wall-time (summed over shards for partitioned runs)."""
+        return sum(
+            seconds
+            for name, seconds in self.stage_seconds.items()
+            if name == "pnr" or name.startswith("pnr@chip")
+        )
 
     def to_dict(self) -> dict[str, Any]:
         return asdict(self)
@@ -130,6 +139,7 @@ class BenchEntry:
             duplication_degree=int(data.get("duplication_degree", 1)),
             channel_width=int(data.get("channel_width", 0)),
             seed=int(data.get("seed", 0)),
+            num_chips=int(data.get("num_chips", 1)),
             blocks={k: int(v) for k, v in (data.get("blocks") or {}).items()},
             stage_seconds=dict(data.get("stage_seconds") or {}),
             pnr_stage_seconds=dict(data.get("pnr_stage_seconds") or {}),
@@ -154,9 +164,15 @@ class BenchReport:
     def total_pnr_seconds(self) -> float:
         return sum(e.pnr_seconds for e in self.entries)
 
-    def entry(self, model: str, duplication_degree: int) -> BenchEntry | None:
+    def entry(
+        self, model: str, duplication_degree: int, num_chips: int = 1
+    ) -> BenchEntry | None:
         for e in self.entries:
-            if e.model == model and e.duplication_degree == duplication_degree:
+            if (
+                e.model == model
+                and e.duplication_degree == duplication_degree
+                and e.num_chips == num_chips
+            ):
                 return e
         return None
 
@@ -196,11 +212,96 @@ class BenchReport:
             return cls.from_dict(json.load(handle))
 
 
+def _bench_one(
+    model: str,
+    duplication_degree: int,
+    channel_width: int,
+    seed: int,
+    num_chips: int = 1,
+) -> BenchEntry:
+    """Benchmark one configuration: a cold and a warm compile through a
+    private stage cache."""
+    client = FPSAClient(cache=StageCache())
+    request = CompileRequest(
+        model=model,
+        duplication_degree=duplication_degree,
+        run_pnr=True,
+        pnr_channel_width=channel_width,
+        seed=seed,
+        num_chips=num_chips if num_chips != 1 else None,
+    )
+    cold = client.serve(request)
+    cold.response.raise_for_status()
+    warm = client.serve(request)
+    warm.response.raise_for_status()
+
+    summary = cold.response.summary
+    timings = cold.response.timings
+    warm_timings = warm.response.timings
+    pnr = summary.pnr or {}
+    pnr_stage_seconds = {
+        key.removesuffix("_seconds"): value
+        for key, value in pnr.items()
+        if key.endswith("_seconds")
+    }
+    quality = {
+        key: value for key, value in pnr.items() if not key.endswith("_seconds")
+    }
+    if summary.partition is not None:
+        # partitioned configurations: guard the cut quality alongside the
+        # per-shard P&R quality (the top-level ``pnr`` section is absent;
+        # wirelength/critical-path come from the shard results instead)
+        quality["cut_size"] = float(summary.partition.get("cut_size", 0))
+        quality["cut_values_per_sample"] = float(
+            summary.partition.get("cut_values_per_sample", 0.0)
+        )
+        wirelength = 0.0
+        critical = 0.0
+        live = cold.result
+        for shard_result in (live.shard_results if live is not None else None) or ():
+            if shard_result.pnr is not None:
+                wirelength += shard_result.pnr.total_wirelength
+                critical = max(critical, shard_result.pnr.critical_path_ns)
+                # keep the place/rrgraph/route/timing split visible for
+                # partitioned runs too, summed over the shards
+                for stage, seconds in shard_result.pnr.stage_seconds.items():
+                    pnr_stage_seconds[stage] = (
+                        pnr_stage_seconds.get(stage, 0.0) + seconds
+                    )
+        if wirelength:
+            quality["total_wirelength"] = wirelength
+        if critical:
+            quality["critical_path_ns"] = critical
+    return BenchEntry(
+        model=model,
+        duplication_degree=duplication_degree,
+        channel_width=channel_width,
+        seed=seed,
+        num_chips=num_chips,
+        blocks=dict(summary.blocks or {}),
+        stage_seconds=timings.seconds_by_stage(),
+        pnr_stage_seconds=pnr_stage_seconds,
+        total_seconds=timings.total_seconds,
+        warm_seconds=warm_timings.total_seconds,
+        cache_hits=timings.cache_hits,
+        cache_misses=timings.cache_misses,
+        warm_cache_hits=warm_timings.cache_hits,
+        quality=quality,
+    )
+
+
+def _largest_model(models: Sequence[str]) -> str:
+    """The largest of the given zoo models (by benchmark-zoo size order)."""
+    ordered = {name: i for i, name in enumerate(BENCHMARK_MODELS)}
+    return max(models, key=lambda m: ordered.get(m, -1))
+
+
 def run_bench(
     models: Iterable[str] | str | None = None,
     duplication_degree: int = 1,
     channel_width: int = 24,
     seed: int = 0,
+    partition_chips: Sequence[int] = (2, 4),
     progress=None,
 ) -> BenchReport:
     """Benchmark the full pipeline (with P&R) over the given models.
@@ -208,53 +309,34 @@ def run_bench(
     Every model is compiled twice through a private stage cache: cold
     (every pass runs, timed per stage) and warm (the identical request
     again, recording how much of the pipeline the cache absorbs).
+
+    ``partition_chips`` additionally benchmarks the *largest* resolved
+    model at those chip counts through the partitioned flow, so the
+    regression gate covers partitioned wall-time and cut quality too.
     """
     report = BenchReport(created_at=time.time())
-    for model in resolve_bench_models(models):
+    resolved = resolve_bench_models(models)
+    for model in resolved:
         if progress is not None:
             progress(f"bench {model} (duplication {duplication_degree}) ...")
-        client = FPSAClient(cache=StageCache())
-        request = CompileRequest(
-            model=model,
-            duplication_degree=duplication_degree,
-            run_pnr=True,
-            pnr_channel_width=channel_width,
-            seed=seed,
-        )
-        cold = client.serve(request)
-        cold.response.raise_for_status()
-        warm = client.serve(request)
-        warm.response.raise_for_status()
-
-        summary = cold.response.summary
-        timings = cold.response.timings
-        warm_timings = warm.response.timings
-        pnr = summary.pnr or {}
-        pnr_stage_seconds = {
-            key.removesuffix("_seconds"): value
-            for key, value in pnr.items()
-            if key.endswith("_seconds")
-        }
-        quality = {
-            key: value for key, value in pnr.items() if not key.endswith("_seconds")
-        }
         report.entries.append(
-            BenchEntry(
-                model=model,
-                duplication_degree=duplication_degree,
-                channel_width=channel_width,
-                seed=seed,
-                blocks=dict(summary.blocks or {}),
-                stage_seconds=timings.seconds_by_stage(),
-                pnr_stage_seconds=pnr_stage_seconds,
-                total_seconds=timings.total_seconds,
-                warm_seconds=warm_timings.total_seconds,
-                cache_hits=timings.cache_hits,
-                cache_misses=timings.cache_misses,
-                warm_cache_hits=warm_timings.cache_hits,
-                quality=quality,
-            )
+            _bench_one(model, duplication_degree, channel_width, seed)
         )
+    if partition_chips:
+        largest = _largest_model(resolved)
+        for chips in partition_chips:
+            if chips <= 1:
+                continue
+            if progress is not None:
+                progress(
+                    f"bench {largest} (duplication {duplication_degree}, "
+                    f"{chips} chips) ..."
+                )
+            report.entries.append(
+                _bench_one(
+                    largest, duplication_degree, channel_width, seed, num_chips=chips
+                )
+            )
     return report
 
 
@@ -277,22 +359,32 @@ def compare_reports(
         raise InvalidRequestError("quality_tolerance must be >= 0")
     regressions: list[str] = []
     for entry in current.entries:
-        base = baseline.entry(entry.model, entry.duplication_degree)
+        base = baseline.entry(entry.model, entry.duplication_degree, entry.num_chips)
         if base is None:
             continue
+        label = entry.model
+        if entry.num_chips > 1:
+            label = f"{entry.model} ({entry.num_chips} chips)"
         if base.pnr_seconds > 0 and entry.pnr_seconds > base.pnr_seconds * time_threshold:
             regressions.append(
-                f"{entry.model}: P&R took {entry.pnr_seconds:.3f}s, more than "
+                f"{label}: P&R took {entry.pnr_seconds:.3f}s, more than "
                 f"{time_threshold:.1f}x the baseline {base.pnr_seconds:.3f}s"
             )
-        for metric in ("total_wirelength", "critical_path_ns"):
+        # cut metrics guard partition quality: a worse partitioner shows up
+        # as more cut edges or more cross-chip traffic at equal inputs
+        for metric in (
+            "total_wirelength",
+            "critical_path_ns",
+            "cut_size",
+            "cut_values_per_sample",
+        ):
             now = entry.quality.get(metric)
             was = base.quality.get(metric)
             if now is None or was is None or was <= 0:
                 continue
             if now > was * (1.0 + quality_tolerance):
                 regressions.append(
-                    f"{entry.model}: {metric} worsened to {now:g} "
+                    f"{label}: {metric} worsened to {now:g} "
                     f"(baseline {was:g}, tolerance {quality_tolerance:.0%})"
                 )
     return regressions
@@ -301,23 +393,25 @@ def compare_reports(
 def format_table(report: BenchReport) -> str:
     """Human-readable per-model table of a report."""
     header = (
-        f"{'model':<14} {'dup':>4} {'blocks':>7} {'pnr s':>8} {'place s':>8} "
-        f"{'route s':>8} {'total s':>8} {'warm s':>8} {'wirelen':>8} {'crit ns':>8}"
+        f"{'model':<14} {'dup':>4} {'chips':>5} {'blocks':>7} {'pnr s':>8} "
+        f"{'place s':>8} {'route s':>8} {'total s':>8} {'warm s':>8} "
+        f"{'wirelen':>8} {'crit ns':>8} {'cut':>5}"
     )
     lines = [header, "-" * len(header)]
     for e in report.entries:
         n_blocks = sum(e.blocks.values())
         lines.append(
-            f"{e.model:<14} {e.duplication_degree:>4} {n_blocks:>7} "
+            f"{e.model:<14} {e.duplication_degree:>4} {e.num_chips:>5} {n_blocks:>7} "
             f"{e.pnr_seconds:>8.3f} "
             f"{e.pnr_stage_seconds.get('place', 0.0):>8.3f} "
             f"{e.pnr_stage_seconds.get('route', 0.0):>8.3f} "
             f"{e.total_seconds:>8.3f} {e.warm_seconds:>8.3f} "
             f"{e.quality.get('total_wirelength', 0.0):>8.0f} "
-            f"{e.quality.get('critical_path_ns', 0.0):>8.2f}"
+            f"{e.quality.get('critical_path_ns', 0.0):>8.2f} "
+            f"{e.quality.get('cut_size', 0.0):>5.0f}"
         )
     lines.append(
-        f"{'TOTAL':<14} {'':>4} {'':>7} {report.total_pnr_seconds:>8.3f}"
+        f"{'TOTAL':<14} {'':>4} {'':>5} {'':>7} {report.total_pnr_seconds:>8.3f}"
     )
     return "\n".join(lines)
 
@@ -348,6 +442,11 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--seed", type=int, default=0, help="master seed for the compiles",
+    )
+    parser.add_argument(
+        "--partition-chips", default="2,4", metavar="LIST",
+        help="also bench the largest model partitioned across these chip "
+        "counts (comma-separated; empty string disables; default: 2,4)",
     )
     parser.add_argument(
         "--output", metavar="FILE", default=DEFAULT_REPORT_PATH,
@@ -396,11 +495,18 @@ def run_from_args(args: argparse.Namespace) -> int:
             print(f"bench: unreadable baseline {args.baseline}: {exc}", file=sys.stderr)
             return 2
     progress = None if args.json else lambda msg: print(msg, file=sys.stderr)
+    spec = getattr(args, "partition_chips", "") or ""
+    try:
+        partition_chips = tuple(int(c) for c in spec.split(",") if c.strip())
+    except ValueError:
+        print(f"bench: invalid --partition-chips {spec!r}", file=sys.stderr)
+        return 2
     report = run_bench(
         models=args.models,
         duplication_degree=args.duplication,
         channel_width=args.channel_width,
         seed=args.seed,
+        partition_chips=partition_chips,
         progress=progress,
     )
     if args.output:

@@ -3,10 +3,12 @@
 Usage (after ``pip install -e .``)::
 
     python -m repro deploy VGG16 --duplication 64
+    python -m repro deploy VGG16 --chips auto
     python -m repro deploy LeNet --duplication 4 --detailed --pnr --bitstream out.json
     python -m repro deploy LeNet --passes synthesis,mapping --explain
     python -m repro deploy AlexNet --json --store runs/
     python -m repro sweep AlexNet --duplication 1 4 16 64 --jobs 4
+    python -m repro sweep CIFAR-VGG17 --duplication 64 --chips 1 2 4
     python -m repro serve-batch requests.json --jobs 4 --store runs/
     python -m repro serve-batch --model LeNet --duplication 1 4 --json
     python -m repro jobs --model LeNet --duplication 1 4 16 --jobs 2
@@ -58,6 +60,32 @@ def _positive_int(spec: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"expected a positive integer, got {spec}")
     return value
+
+
+def _chips(spec: str) -> int | str:
+    """A ``--chips`` value: a positive chip count or the string 'auto'."""
+    if spec.lower() == "auto":
+        return "auto"
+    try:
+        return _positive_int(spec)
+    except (argparse.ArgumentTypeError, ValueError):
+        raise argparse.ArgumentTypeError(
+            f"expected a positive chip count or 'auto', got {spec!r}"
+        ) from None
+
+
+def _add_chips_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--chips", type=_chips, default=None, metavar="N|auto",
+        help="compile across N chips (or 'auto' for the smallest count that "
+        "fits the per-chip PE capacity); models too big for one chip shard "
+        "instead of failing with a capacity error",
+    )
+    parser.add_argument(
+        "--chip-jobs", type=_positive_int, default=None, metavar="J",
+        help="worker processes for the per-shard backend compiles "
+        "(default: sequential, sharing one stage cache)",
+    )
 
 
 def _add_json_flag(parser: argparse.ArgumentParser) -> None:
@@ -117,6 +145,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the resolved pass list with per-pass wall-clock timings "
         "and the stage-cache hit/miss counters",
     )
+    _add_chips_flags(deploy)
     _add_json_flag(deploy)
     _add_store_flag(deploy)
 
@@ -133,6 +162,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the batch (default: 1 — sequential shares "
         "one stage cache across the sweep, which beats a process pool for "
         "cheap compiles; raise it for heavy models)",
+    )
+    sweep.add_argument(
+        "--chips", type=_chips, nargs="+", default=None, metavar="N|auto",
+        help="also sweep chip counts: one request per (duplication, chips) "
+        "combination, e.g. --chips 1 2 4",
     )
     sweep.add_argument(
         "--no-cache", action="store_true", help="bypass the stage cache",
@@ -264,6 +298,8 @@ def _command_deploy(args: argparse.Namespace) -> int:
         detailed_schedule=args.detailed,
         run_pnr=args.pnr,
         emit_bitstream=args.bitstream is not None,
+        num_chips=args.chips,
+        shard_jobs=args.chip_jobs,
         passes=tuple(args.passes) if args.passes is not None else None,
     )
     served = _client(args).serve(request)
@@ -285,14 +321,30 @@ def _command_deploy(args: argparse.Namespace) -> int:
             print(result.timings_table())
     if args.bitstream is not None:
         result = served.result
-        if result is None or result.bitstream is None:
+        payload = None
+        if result is not None and result.bitstream is not None:
+            payload = result.bitstream.to_json()
+        elif result is not None and result.shard_results is not None:
+            # multi-chip compile: bundle the per-chip configurations
+            shard_bitstreams = [r.bitstream for r in result.shard_results]
+            if all(b is not None for b in shard_bitstreams):
+                payload = json.dumps(
+                    {
+                        "model": result.model,
+                        "num_chips": result.partition.num_chips,
+                        "chips": [
+                            json.loads(b.to_json()) for b in shard_bitstreams
+                        ],
+                    },
+                    indent=2,
+                )
+        if payload is None:
             print(
                 "warning: no bitstream was produced (the 'bitstream' pass did "
                 "not run); nothing written",
                 file=sys.stderr,
             )
             return 1
-        payload = result.bitstream.to_json()
         if args.bitstream == "-":
             print(payload)
         else:
@@ -303,26 +355,32 @@ def _command_deploy(args: argparse.Namespace) -> int:
 
 
 def _print_response_table(responses) -> None:
-    header = (f"{'model':<14} {'dup':>5} {'status':<8} {'PEs':>8} {'area mm^2':>10} "
-              f"{'samples/s':>14} {'latency us':>11}")
+    header = (f"{'model':<14} {'dup':>5} {'chips':>6} {'status':<8} {'PEs':>8} "
+              f"{'area mm^2':>10} {'samples/s':>14} {'latency us':>11} {'cut':>6}")
     print(header)
     print("-" * len(header))
     for response in responses:
         request = response.request
+        chips = request.num_chips if request.num_chips is not None else 1
         if response.ok:
             summary = response.summary
             blocks = summary.blocks or {}
             perf = summary.performance or {}
+            partition = summary.partition or {}
+            chips = partition.get("num_chips", chips)
             print(
                 f"{request.model:<14} {request.duplication_degree:>5} "
+                f"{chips!s:>6} "
                 f"{response.status:<8} {blocks.get('n_pe', 0):>8} "
                 f"{perf.get('area_mm2', 0.0):>10.2f} "
                 f"{perf.get('throughput_samples_per_s', 0.0):>14,.1f} "
-                f"{perf.get('latency_us', 0.0):>11.2f}"
+                f"{perf.get('latency_us', 0.0):>11.2f} "
+                f"{partition.get('cut_size', 0):>6}"
             )
         else:
             print(
                 f"{request.model:<14} {request.duplication_degree:>5} "
+                f"{chips!s:>6} "
                 f"{response.status:<8} [{response.error.code}] "
                 f"{response.error.message}"
             )
@@ -333,15 +391,20 @@ def _print_responses_json(responses) -> None:
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
+    chip_points = args.chips if args.chips is not None else [None]
     requests = [
-        CompileRequest(model=args.model, duplication_degree=degree)
+        CompileRequest(model=args.model, duplication_degree=degree, num_chips=chips)
         for degree in args.duplication
+        for chips in chip_points
     ]
     responses = _client(args).compile_batch(requests, jobs=args.jobs)
     if args.json:
         _print_responses_json(responses)
     else:
-        print(f"sweep of {args.model} over duplication degrees {args.duplication}")
+        scope = f"duplication degrees {args.duplication}"
+        if args.chips is not None:
+            scope += f" x chips {args.chips}"
+        print(f"sweep of {args.model} over {scope}")
         _print_response_table(responses)
     return 0 if all(r.ok for r in responses) else 1
 

@@ -23,10 +23,33 @@ from .cache import StageCache
 from .compiler import FPSACompiler
 from .result import DeploymentResult
 
-__all__ = ["deploy", "deploy_model", "deploy_many", "DeployPoint"]
+__all__ = ["deploy", "deploy_model", "deploy_many", "DeployPoint", "run_pool"]
 
 #: upper bound on worker processes when ``jobs`` is not given.
 _MAX_AUTO_JOBS = 8
+
+
+def run_pool(worker, payloads, jobs: int | None = None) -> list:
+    """Map a picklable ``worker`` over ``payloads``, preserving order.
+
+    The process-pool machinery behind :func:`deploy_many`, also ridden by
+    the per-shard backend of :mod:`repro.partition.backend`.  ``jobs=None``
+    picks ``min(len(payloads), cpu_count, 8)``; ``1`` (or a single payload)
+    runs sequentially in this process.
+    """
+    payloads = list(payloads)
+    if jobs is not None and jobs < 1:
+        raise InvalidRequestError(
+            f"jobs must be >= 1, got {jobs}", details={"jobs": jobs}
+        )
+    if not payloads:
+        return []
+    if jobs is None:
+        jobs = min(len(payloads), os.cpu_count() or 1, _MAX_AUTO_JOBS)
+    if jobs == 1 or len(payloads) == 1:
+        return [worker(p) for p in payloads]
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(worker, payloads))
 
 
 def deploy(
@@ -178,5 +201,4 @@ def deploy_many(
     # its own private cache rather than falling back to the shared default.
     worker_cache = cache if cache is None or isinstance(cache, bool) else "__private__"
     payloads: Sequence = [(p, config, common_kwargs, worker_cache) for p in resolved]
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        return list(pool.map(_deploy_point, payloads))
+    return run_pool(_deploy_point, payloads, jobs=jobs)

@@ -19,9 +19,11 @@ synthesis and mapping entirely.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Sequence
 
 from ..arch.params import FPSAConfig
+from ..errors import InvalidRequestError
 from ..graph.graph import ComputationalGraph
 from ..synthesizer.synthesizer import SynthesisOptions
 from .cache import StageCache, default_cache
@@ -29,6 +31,7 @@ from .pipeline import (
     CompileContext,
     CompileOptions,
     PassManager,
+    PassTiming,
     default_pass_names,
     resolve_passes,
 )
@@ -83,6 +86,8 @@ class FPSACompiler:
         pnr_channel_width: int | None = None,
         pnr_seed: int = 0,
         seed: int | None = None,
+        num_chips: int | str | None = None,
+        shard_jobs: int | None = None,
         passes: Sequence[str] | None = None,
         use_cache: bool = True,
     ) -> DeploymentResult:
@@ -114,6 +119,26 @@ class FPSACompiler:
             :func:`repro.seeding.derive_seed`, making repeated compiles of
             the same inputs bit-identical; it takes precedence over the
             stage-local ``pnr_seed``.
+        num_chips:
+            Multi-chip partitioned compilation (``None`` = classic
+            single-chip flow).  An integer shards the model across exactly
+            that many chips; ``"auto"`` picks the smallest chip count that
+            satisfies the per-chip capacity
+            (``config.interchip.max_pes_per_chip``), turning an over-sized
+            model's ``CapacityError`` into an automatic shard-it path.
+            The graph partitioner runs between synthesis and mapping, the
+            backend stages run once per shard (see ``shard_jobs``), and the
+            result carries the partition plan plus recombined end-to-end
+            performance under the inter-chip link model.  A 1-chip
+            partition is the identity: artifacts are bit-identical to the
+            unpartitioned pipeline under the same seed.  The detailed
+            schedule / cycle-level pipeline simulator is single-chip-only
+            analysis and does not run for multi-chip shards.
+        shard_jobs:
+            Worker processes for the per-shard backend compiles
+            (``None``/``1`` = sequential, sharing this compiler's stage
+            cache across the shards; ``> 1`` spreads shards over a process
+            pool with per-worker caches).
         passes:
             Explicit pass-name list to run instead of the default pipeline,
             e.g. ``("synthesis", "mapping")`` for a front-end-only compile.
@@ -143,7 +168,18 @@ class FPSACompiler:
             pnr_channel_width=pnr_channel_width,
             pnr_seed=pnr_seed,
             seed=seed,
+            num_chips=num_chips,
+            shard_jobs=shard_jobs,
         )
+        if options.partitioned:
+            if passes is not None:
+                raise InvalidRequestError(
+                    "an explicit pass list cannot be combined with num_chips; "
+                    "partitioned compilation orchestrates the backend passes "
+                    "per shard itself",
+                    details={"num_chips": repr(num_chips), "passes": list(passes)},
+                )
+            return self._compile_partitioned(graph, options, use_cache)
         names = list(passes) if passes is not None else default_pass_names(options)
         manager = PassManager(resolve_passes(names))
         ctx = CompileContext(
@@ -162,5 +198,100 @@ class FPSACompiler:
             pnr=ctx.pnr,
             pipeline=ctx.pipeline,
             bitstream=ctx.bitstream,
+            timings=timings,
+        )
+
+    def _compile_partitioned(
+        self, graph: ComputationalGraph, options: CompileOptions, use_cache: bool
+    ) -> DeploymentResult:
+        """The multi-chip flow: front-end once, backend once per shard.
+
+        ``synthesis`` and ``partition`` run through a normal pass manager
+        (both stage-cached).  The remaining passes then run per shard via
+        :func:`repro.partition.backend.compile_shards` — each shard is an
+        independent backend compile with its own cache keys, optionally in
+        parallel worker processes.  A single-shard plan short-circuits to
+        the plain backend over the original context, which keeps 1-chip
+        compiles bit-identical to the unpartitioned pipeline.
+        """
+        from ..partition.backend import (
+            backend_pass_names,
+            combine_bounds,
+            combine_performance,
+            compile_shards,
+        )
+
+        cache = self.cache if use_cache else None
+        names = default_pass_names(options)
+        front = [n for n in names if n in ("synthesis", "partition")]
+        backend = backend_pass_names(names)
+
+        ctx = CompileContext(
+            graph=graph,
+            config=self.config,
+            options=options,
+            synthesis_options=self.synthesis_options,
+        )
+        timings = PassManager(resolve_passes(front)).run(ctx, cache=cache)
+        plan = ctx.partition
+
+        if plan.num_chips == 1:
+            # identity partition: run the backend over the original context
+            # so every artifact (and stage-cache key) matches the
+            # unpartitioned pipeline exactly.  Clearing the partition-flow
+            # fields makes the mapping fingerprint equal to the classic
+            # flow's, so the two alias each other's cache entries; the
+            # capacity pre-flight already happened in the partition pass.
+            ctx.options = dataclasses.replace(
+                options, num_chips=None, shard_jobs=None
+            )
+            timings += PassManager(
+                resolve_passes(backend), preloaded=("coreops",)
+            ).run(ctx, cache=cache)
+            return DeploymentResult(
+                graph=graph,
+                coreops=ctx.coreops,
+                mapping=ctx.mapping,
+                performance=ctx.performance,
+                bounds=ctx.bounds,
+                pnr=ctx.pnr,
+                pipeline=ctx.pipeline,
+                bitstream=ctx.bitstream,
+                partition=plan,
+                timings=timings,
+            )
+
+        useful_ops = graph.total_ops()
+        # the cycle-level pipeline simulator is single-chip-only analysis:
+        # per-shard runs would cost instance-level expansion with no
+        # cross-chip model behind it, so the pass is dropped for shards
+        shard_results = compile_shards(
+            plan,
+            config=self.config,
+            options=options,
+            pass_names=[n for n in backend if n != "pipeline_sim"],
+            useful_ops_per_sample=useful_ops,
+            jobs=options.shard_jobs if options.shard_jobs is not None else 1,
+            cache=cache,
+        )
+        for result in shard_results:
+            for t in result.timings or ():
+                timings.append(
+                    PassTiming(
+                        name=f"{t.name}@chip{result.index}",
+                        seconds=t.seconds,
+                        cached=t.cached,
+                        provides=t.provides,
+                    )
+                )
+        return DeploymentResult(
+            graph=graph,
+            coreops=ctx.coreops,
+            performance=combine_performance(
+                plan, shard_results, self.config, useful_ops
+            ),
+            bounds=combine_bounds(plan, shard_results),
+            partition=plan,
+            shard_results=shard_results,
             timings=timings,
         )

@@ -13,6 +13,7 @@ The built-in passes live next to the layers they wrap:
 pass                      module                            provides
 ========================  ================================  ==========
 ``synthesis``             :mod:`repro.synthesizer.passes`   ``coreops``
+``partition``             :mod:`repro.partition.passes`     ``partition``
 ``mapping``               :mod:`repro.mapper.passes`        ``mapping``
 ``perf``                  :mod:`repro.perf.passes`          ``performance``
 ``bounds``                :mod:`repro.perf.passes`          ``bounds``
@@ -38,6 +39,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids layer imports
     from .cache import StageCache
 
 __all__ = [
+    "AUTO_CHIPS",
     "CompileOptions",
     "CompileContext",
     "CompilePass",
@@ -56,6 +58,7 @@ __all__ = [
 #: artifact slots a pass may provide on the :class:`CompileContext`.
 ARTIFACTS = (
     "coreops",
+    "partition",
     "mapping",
     "performance",
     "bounds",
@@ -63,6 +66,10 @@ ARTIFACTS = (
     "pipeline",
     "bitstream",
 )
+
+#: ``CompileOptions.num_chips`` value requesting the smallest chip count
+#: that satisfies the per-chip capacity (``config.interchip``).
+AUTO_CHIPS = "auto"
 
 #: context fields available before any pass runs.
 _INITIAL_ARTIFACTS = ("graph", "config", "options")
@@ -98,6 +105,55 @@ class CompileOptions:
     pnr_channel_width: int | None = None
     pnr_seed: int = 0
     seed: int | None = None
+    #: multi-chip partitioning: ``None`` is the classic single-chip flow
+    #: (no capacity enforcement), an ``int >= 1`` partitions across exactly
+    #: that many chips (enforcing ``config.interchip.max_pes_per_chip``),
+    #: and :data:`AUTO_CHIPS` picks the smallest chip count that fits.
+    num_chips: int | str | None = None
+    #: worker processes for the per-shard backend compiles (``None``/``1``
+    #: = sequential, sharing one stage cache across the shards; ``> 1``
+    #: spreads shards over a process pool).
+    shard_jobs: int | None = None
+    #: set by the partition backend on per-shard compiles: allocate every
+    #: shard against the whole model's pipeline pace instead of the shard's
+    #: local bottleneck (see :func:`repro.mapper.allocation.allocate`).
+    target_iterations: int | None = None
+    replication: int | None = None
+    #: useful-operation count the perf/bounds passes normalise against;
+    #: ``None`` reads ``ctx.graph.total_ops()`` (the partition backend sets
+    #: a shard's proportional share, since shards carry no graph).
+    useful_ops_per_sample: float | None = None
+    #: mapping-time capacity pre-flight: raise ``CapacityError`` when the
+    #: allocation exceeds this many PEs, before any netlist is built or
+    #: P&R annealing starts.  The partition backend pins each shard's
+    #: per-chip capacity here as a safety net against partitioner drift.
+    max_pes: int | None = None
+
+    def __post_init__(self) -> None:
+        from ..errors import InvalidRequestError
+
+        chips = self.num_chips
+        if chips is not None and chips != AUTO_CHIPS:
+            if not isinstance(chips, int) or isinstance(chips, bool) or chips < 1:
+                raise InvalidRequestError(
+                    f"num_chips must be None, {AUTO_CHIPS!r} or an integer >= 1, "
+                    f"got {chips!r}",
+                    details={"num_chips": repr(chips)},
+                )
+        if self.shard_jobs is not None and (
+            not isinstance(self.shard_jobs, int)
+            or isinstance(self.shard_jobs, bool)
+            or self.shard_jobs < 1
+        ):
+            raise InvalidRequestError(
+                f"shard_jobs must be an integer >= 1, got {self.shard_jobs!r}",
+                details={"shard_jobs": repr(self.shard_jobs)},
+            )
+
+    @property
+    def partitioned(self) -> bool:
+        """Whether this compile goes through the multi-chip partition flow."""
+        return self.num_chips is not None
 
     def effective_pnr_seed(self) -> int:
         """The placer seed in effect: derived from the master ``seed`` when
@@ -126,6 +182,7 @@ class CompileContext:
     synthesis_options: "SynthesisOptions | None" = None
 
     coreops: Any = None
+    partition: Any = None
     mapping: Any = None
     performance: Any = None
     bounds: Any = None
@@ -208,10 +265,21 @@ class PassManager:
     ``requires`` must be provided by an earlier pass (or be one of the
     initial context fields), so mis-ordered or incomplete pipelines fail
     before any work is done.
+
+    ``preloaded`` names artifacts the caller installs on the context before
+    :meth:`run` — a *partial* pipeline starting mid-flow.  The multi-chip
+    backend uses this to run ``mapping``/``perf``/``pnr`` over a shard's
+    pre-partitioned ``coreops`` without a synthesis pass in front.
     """
 
-    def __init__(self, passes: Iterable[CompilePass]):
+    def __init__(self, passes: Iterable[CompilePass], preloaded: Sequence[str] = ()):
         self.passes = list(passes)
+        unknown = [a for a in preloaded if a not in ARTIFACTS]
+        if unknown:
+            raise PassError(
+                f"preloaded artifacts {unknown} are not known artifacts {ARTIFACTS}"
+            )
+        self.preloaded = tuple(preloaded)
         names = [p.name for p in self.passes]
         duplicates = {n for n in names if names.count(n) > 1}
         if duplicates:
@@ -219,7 +287,7 @@ class PassManager:
         self._validate_dependencies()
 
     def _validate_dependencies(self) -> None:
-        provided: set[str] = set(_INITIAL_ARTIFACTS)
+        provided: set[str] = set(_INITIAL_ARTIFACTS) | set(self.preloaded)
         for p in self.passes:
             missing = [r for r in p.requires if r not in provided]
             if missing:
@@ -293,9 +361,10 @@ def _ensure_builtin_passes() -> None:
         return
     from ..config_gen import passes as _a  # noqa: F401
     from ..mapper import passes as _b  # noqa: F401
-    from ..perf import passes as _c  # noqa: F401
-    from ..pnr import passes as _d  # noqa: F401
-    from ..synthesizer import passes as _e  # noqa: F401
+    from ..partition import passes as _c  # noqa: F401
+    from ..perf import passes as _d  # noqa: F401
+    from ..pnr import passes as _e  # noqa: F401
+    from ..synthesizer import passes as _f  # noqa: F401
 
     _BUILTINS_LOADED = True
 
@@ -321,8 +390,16 @@ def resolve_passes(names: Sequence[str]) -> list[CompilePass]:
 
 
 def default_pass_names(options: CompileOptions) -> list[str]:
-    """The pass list :meth:`FPSACompiler.compile` runs for ``options``."""
-    names = ["synthesis", "mapping", "perf", "bounds"]
+    """The pass list :meth:`FPSACompiler.compile` runs for ``options``.
+
+    For a partitioned compile (``options.num_chips`` set) the names after
+    ``partition`` are the *per-shard backend* pipeline: the compiler runs
+    ``synthesis`` + ``partition`` once, then the rest once per shard.
+    """
+    names = ["synthesis"]
+    if options.partitioned:
+        names.append("partition")
+    names += ["mapping", "perf", "bounds"]
     if options.run_pnr:
         names.append("pnr")
     if options.detailed_schedule:

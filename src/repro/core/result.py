@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..arch.energy import BlockMix, EnergyReport, estimate_energy
 from ..arch.params import FPSAConfig
@@ -17,6 +18,10 @@ from ..perf.pipeline_sim import PipelineSimulationResult
 from ..pnr.pnr import PnRResult
 from ..synthesizer.coreop import CoreOpGraph
 from .pipeline import PassTiming
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..partition.backend import ShardCompileResult
+    from ..partition.plan import PartitionResult
 
 __all__ = ["DeploymentResult"]
 
@@ -62,6 +67,11 @@ class DeploymentResult:
     pnr: PnRResult | None = None
     pipeline: PipelineSimulationResult | None = None
     bitstream: FPSABitstream | None = None
+    #: multi-chip compiles: the partition plan and the per-shard backend
+    #: artifacts (``shard_results`` stays ``None`` for the identity 1-chip
+    #: partition, whose artifacts land in the top-level fields).
+    partition: "PartitionResult | None" = None
+    shard_results: "list[ShardCompileResult] | None" = field(default=None, repr=False)
     timings: list[PassTiming] | None = None
 
     @property
@@ -166,8 +176,11 @@ class DeploymentResult:
     def summary(self) -> str:
         """Human-readable deployment report.
 
-        Lines whose artifacts were not produced (partial compiles) are
-        omitted.
+        Every section is independently guarded on its own artifact, so the
+        report degrades gracefully for partial compiles (an explicit
+        ``passes`` list that skips ``perf``, a multi-chip compile whose
+        block counts live on the shards, ...): missing sections are simply
+        omitted, never assumed present because a related artifact exists.
         """
         lines = [
             f"deployment of {self.model!r} on FPSA",
@@ -175,11 +188,24 @@ class DeploymentResult:
             f"ops/inference: {self.graph.total_ops():,}",
         ]
         if self.mapping is not None:
-            lines[0] += f" (duplication degree {self.duplication_degree})"
+            lines[0] += f" (duplication degree {self.mapping.duplication_degree})"
             lines.append(
                 f"  PEs: {self.mapping.netlist.n_pe}   SMBs: {self.mapping.netlist.n_smb}   "
                 f"CLBs: {self.mapping.netlist.n_clb}"
             )
+        elif self.partition is not None:
+            lines[0] += f" (duplication degree {self.partition.duplication_degree})"
+        if self.partition is not None and self.partition.num_chips > 1:
+            lines.append(f"  {self.partition.summary()}")
+            if self.shard_results is not None:
+                blocks = [r.blocks() for r in self.shard_results]
+                if all(b is not None for b in blocks):
+                    lines.append(
+                        f"  PEs: {sum(b['n_pe'] for b in blocks)}   "
+                        f"SMBs: {sum(b['n_smb'] for b in blocks)}   "
+                        f"CLBs: {sum(b['n_clb'] for b in blocks)} "
+                        f"(summed over {len(blocks)} chips)"
+                    )
         if self.performance is not None:
             lines.extend([
                 f"  chip area: {self.area_mm2:.2f} mm^2",

@@ -134,12 +134,23 @@ def allocate(
     coreops: CoreOpGraph,
     duplication_degree: int = 1,
     pe: PEParams | None = None,
+    *,
+    target_iterations: int | None = None,
+    replication: int | None = None,
 ) -> AllocationResult:
     """Allocate PEs for a core-op graph at a given model duplication degree.
 
     The group with the maximum reuse degree receives ``duplication_degree``
     duplicates; every other group receives the minimum duplication that
     keeps its iteration count at or below the resulting bottleneck.
+
+    ``target_iterations`` / ``replication`` override the bottleneck-derived
+    values.  The multi-chip backend (:mod:`repro.partition`) uses this to
+    allocate each shard against the *whole model's* pipeline pace, so the
+    per-group allocations of the shards are exactly the whole-model
+    allocation restricted to the shard's groups (a shard must not
+    re-balance against its own local bottleneck, which would over-duplicate
+    or over-replicate groups relative to the single-chip mapping).
     """
     if duplication_degree <= 0:
         raise InvalidRequestError(
@@ -157,8 +168,20 @@ def allocate(
 
     max_reuse = coreops.max_reuse_degree
     bottleneck_dup = min(duplication_degree, max_reuse)
-    target_iterations = math.ceil(max_reuse / bottleneck_dup)
-    replication = max(1, duplication_degree // max_reuse)
+    if target_iterations is None:
+        target_iterations = math.ceil(max_reuse / bottleneck_dup)
+    elif target_iterations <= 0:
+        raise InvalidRequestError(
+            f"target_iterations must be positive, got {target_iterations}",
+            details={"target_iterations": target_iterations},
+        )
+    if replication is None:
+        replication = max(1, duplication_degree // max_reuse)
+    elif replication <= 0:
+        raise InvalidRequestError(
+            f"replication must be positive, got {replication}",
+            details={"replication": replication},
+        )
 
     allocations: dict[str, GroupAllocation] = {}
     for group in groups:

@@ -87,6 +87,9 @@ class SpatialTemporalMapper:
         pe_budget: int | None = None,
         detailed_schedule: bool = False,
         max_schedule_reuse: int | None = None,
+        target_iterations: int | None = None,
+        replication: int | None = None,
+        max_pes: int | None = None,
     ) -> MappingResult:
         """Map ``coreops`` onto function blocks.
 
@@ -102,6 +105,15 @@ class SpatialTemporalMapper:
         max_schedule_reuse:
             Cap on reuse positions expanded per group for the detailed
             schedule; ``None`` expands everything.
+        target_iterations / replication:
+            Override the bottleneck-derived pipeline pace (set by the
+            multi-chip backend so every shard matches the whole-model
+            allocation; see :func:`repro.mapper.allocation.allocate`).
+        max_pes:
+            Pre-flight capacity check: raise a
+            :class:`~repro.errors.CapacityError` (with required-vs-available
+            counts) when the allocation exceeds this many PEs, *before* any
+            netlist is built or P&R annealing starts.
         """
         pe = self.config.pe
         if pe_budget is not None:
@@ -118,7 +130,26 @@ class SpatialTemporalMapper:
                     },
                 )
         else:
-            allocation = allocate(coreops, duplication_degree, pe)
+            allocation = allocate(
+                coreops,
+                duplication_degree,
+                pe,
+                target_iterations=target_iterations,
+                replication=replication,
+            )
+        if max_pes is not None and allocation.total_pes > max_pes:
+            raise CapacityError(
+                f"model {coreops.name!r} needs {allocation.total_pes} PEs at "
+                f"duplication degree {allocation.duplication_degree} but the "
+                f"chip provides {max_pes}; lower the duplication degree or "
+                f"compile with num_chips='auto' to shard across chips",
+                details={
+                    "model": coreops.name,
+                    "required_pes": allocation.total_pes,
+                    "available_pes": max_pes,
+                    "duplication_degree": allocation.duplication_degree,
+                },
+            )
 
         netlist = build_netlist(coreops, allocation, self.config)
         control = plan_control(allocation, netlist, self.config)

@@ -14,7 +14,9 @@ def mapping_fingerprint(ctx: CompileContext) -> str:
 
     Keyed on the ``coreops`` artifact the pass actually consumes (not the
     graph it was synthesized from), so a custom core-op producer can never
-    alias a standard-pipeline cache entry.
+    alias a standard-pipeline cache entry.  The capacity bound and the
+    partition backend's pace overrides are part of the key: a compile that
+    must raise ``CapacityError`` may not alias a cached unchecked mapping.
     """
     options = ctx.options
     return fingerprint(
@@ -25,6 +27,9 @@ def mapping_fingerprint(ctx: CompileContext) -> str:
         options.pe_budget,
         options.detailed_schedule,
         options.max_schedule_reuse,
+        options.target_iterations,
+        options.replication,
+        options.max_pes,
     )
 
 
@@ -45,6 +50,9 @@ class MappingPass(CompilePass):
             pe_budget=options.pe_budget,
             detailed_schedule=options.detailed_schedule,
             max_schedule_reuse=options.max_schedule_reuse,
+            target_iterations=options.target_iterations,
+            replication=options.replication,
+            max_pes=options.max_pes,
         )
 
     def cache_key(self, ctx: CompileContext) -> str:

@@ -1,0 +1,47 @@
+"""The graph-partitioning stage as a compilation pass."""
+
+from __future__ import annotations
+
+from ..core.cache import config_fingerprint, coreops_fingerprint, fingerprint
+from ..core.pipeline import CompileContext, CompilePass, register_pass
+from .partitioner import partition_coreops
+
+__all__ = ["PartitionPass"]
+
+
+@register_pass
+class PartitionPass(CompilePass):
+    """Shard the core-op graph across chips (between synthesis and mapping).
+
+    With ``num_chips`` unset the pass partitions onto one chip — the
+    identity partition, still validated against the per-chip capacity, so
+    an over-sized model fails here with a typed
+    :class:`~repro.errors.CapacityError` instead of deep inside P&R.
+    """
+
+    name = "partition"
+    requires = ("coreops",)
+    provides = ("partition",)
+
+    def run(self, ctx: CompileContext) -> None:
+        options = ctx.options
+        num_chips = options.num_chips if options.num_chips is not None else 1
+        ctx.partition = partition_coreops(
+            ctx.coreops,
+            num_chips=num_chips,
+            duplication_degree=options.duplication_degree,
+            pe=ctx.config.pe,
+            pe_budget=options.pe_budget,
+            capacity_pes=ctx.config.interchip.max_pes_per_chip,
+        )
+
+    def cache_key(self, ctx: CompileContext) -> str:
+        options = ctx.options
+        return fingerprint(
+            "partition",
+            coreops_fingerprint(ctx.coreops),
+            config_fingerprint(ctx.config),
+            options.num_chips if options.num_chips is not None else 1,
+            options.duplication_degree,
+            options.pe_budget,
+        )

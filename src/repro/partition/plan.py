@@ -1,0 +1,152 @@
+"""The partition plan: shards, cut edges and their accounting.
+
+The partitioner (:mod:`repro.partition.partitioner`) assigns every weight
+group of a core-op graph to exactly one chip and materialises one
+:class:`Shard` (a self-contained :class:`~repro.synthesizer.coreop.CoreOpGraph`
+whose boundary-crossing edges are rewritten to the graph input/output
+pseudo nodes) per chip, plus the :class:`CutEdge` list recording the
+group-to-group connections that now cross chip boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..synthesizer.coreop import CoreOpGraph
+
+__all__ = ["CutEdge", "Shard", "PartitionResult"]
+
+
+@dataclass(frozen=True)
+class CutEdge:
+    """One group-to-group dataflow edge whose endpoints sit on different
+    chips.  ``traffic_values_per_sample`` is the per-inference value count
+    crossing the link (``values_per_instance`` times the consumer's reuse
+    degree, matching :func:`repro.perf.analytic.traffic_values_per_sample`).
+    """
+
+    src: str
+    dst: str
+    src_chip: int
+    dst_chip: int
+    values_per_instance: int
+    traffic_values_per_sample: float
+
+    def __post_init__(self) -> None:
+        if self.src_chip == self.dst_chip:
+            raise ValueError(
+                f"cut edge {self.src!r}->{self.dst!r} does not cross chips "
+                f"(both on chip {self.src_chip})"
+            )
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One chip's slice of the partitioned model.
+
+    ``coreops`` is a self-contained core-op graph: intra-shard edges are
+    kept verbatim, and edges crossing the chip boundary are rewritten to
+    the graph input/output pseudo nodes so the shard flows through the
+    existing mapper unmodified.  For a 1-chip partition ``coreops`` *is*
+    the original graph object (the identity partition), which keeps the
+    compile bit-identical to the unpartitioned pipeline, stage-cache keys
+    included.
+    """
+
+    index: int
+    coreops: CoreOpGraph
+    groups: tuple[str, ...]
+    #: exact PE count of this shard under the whole-model allocation
+    #: (tiles x duplication x replication summed over the shard's groups).
+    pes: int
+
+    @property
+    def model(self) -> str:
+        return self.coreops.name
+
+
+@dataclass
+class PartitionResult:
+    """The complete partition of one model across ``num_chips`` chips."""
+
+    model: str
+    num_chips: int
+    shards: list[Shard]
+    cut_edges: list[CutEdge]
+    #: whole-model allocation parameters every shard is allocated against
+    #: (see :func:`repro.mapper.allocation.allocate`).
+    duplication_degree: int
+    target_iterations: int
+    replication: int
+    #: per-chip PE capacity the partitioner packed against (``None`` when
+    #: unconstrained, e.g. an explicit chip count without enforcement).
+    capacity_pes_per_chip: int | None
+    total_pes: int
+    assignment: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def cut_size(self) -> int:
+        """Number of group-to-group edges crossing chip boundaries."""
+        return len(self.cut_edges)
+
+    @property
+    def cut_values_per_sample(self) -> float:
+        """Total per-inference values crossing chip boundaries."""
+        return sum(e.traffic_values_per_sample for e in self.cut_edges)
+
+    def shard(self, index: int) -> Shard:
+        return self.shards[index]
+
+    def pair_traffic(self) -> dict[tuple[int, int], float]:
+        """Per-sample cut traffic keyed by directed ``(src_chip, dst_chip)``."""
+        pairs: dict[tuple[int, int], float] = {}
+        for edge in self.cut_edges:
+            key = (edge.src_chip, edge.dst_chip)
+            pairs[key] = pairs.get(key, 0.0) + edge.traffic_values_per_sample
+        return pairs
+
+    def per_chip_utilization(self) -> list[float]:
+        """PE utilization of every chip against the packing capacity
+        (fraction of total PEs when no capacity was enforced)."""
+        denominator = self.capacity_pes_per_chip or self.total_pes or 1
+        return [shard.pes / denominator for shard in self.shards]
+
+    def summary_dict(self, shard_blocks: "list[dict[str, int]] | None" = None) -> dict[str, Any]:
+        """Wire-ready (flat JSON) distillation for ``ResultSummary.partition``.
+
+        ``shard_blocks`` optionally carries the *exact* per-shard block
+        counts measured from the compiled netlists; the plan's PE estimates
+        are used otherwise.
+        """
+        utilization = self.per_chip_utilization()
+        shards = []
+        for shard in self.shards:
+            entry: dict[str, Any] = {
+                "chip": shard.index,
+                "model": shard.model,
+                "groups": len(shard.groups),
+                "pes": shard.pes,
+                "utilization": utilization[shard.index],
+            }
+            if shard_blocks is not None:
+                entry["blocks"] = shard_blocks[shard.index]
+            shards.append(entry)
+        return {
+            "num_chips": self.num_chips,
+            "cut_size": self.cut_size,
+            "cut_values_per_sample": self.cut_values_per_sample,
+            "capacity_pes_per_chip": self.capacity_pes_per_chip,
+            "total_pes": self.total_pes,
+            "shards": shards,
+        }
+
+    def summary(self) -> str:
+        chips = ", ".join(
+            f"chip {s.index}: {len(s.groups)} groups / {s.pes} PEs" for s in self.shards
+        )
+        return (
+            f"partition of {self.model!r} across {self.num_chips} chip(s): "
+            f"cut {self.cut_size} edge(s), "
+            f"{self.cut_values_per_sample:,.0f} values/sample ({chips})"
+        )

@@ -19,14 +19,16 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Mapping
 
-from ..arch.params import FPSAConfig, RoutingParams
+from ..arch.params import FPSAConfig, InterChipParams, RoutingParams
 
 __all__ = [
     "CommContext",
     "CommunicationModel",
     "SharedBusComm",
     "ReconfigurableRoutingComm",
+    "InterChipLinkModel",
     "mean_route_segments",
 ]
 
@@ -145,3 +147,60 @@ class ReconfigurableRoutingComm(CommunicationModel):
     def sample_rate_limit(self, ctx: CommContext) -> float:
         # dedicated channels: no shared-medium ceiling.
         return float("inf")
+
+
+@dataclass(frozen=True)
+class InterChipLinkModel:
+    """Serial chip-to-chip links of a partitioned multi-chip deployment.
+
+    Unlike the on-chip routing fabric, chip boundaries are crossed over a
+    small number of shared serial links per chip, so cut-edge spike traffic
+    *does* impose a throughput ceiling: the busiest directed chip pair must
+    move its per-sample cut bits through one link.  The latency model
+    charges one link crossing (framing latency + serialisation of the
+    transferred values) per inter-chip hop of the pipeline.
+
+    ``value_bits`` is the width of one transferred activation; spike trains
+    are converted to counts at the chip boundary (an SMB already performs
+    exactly this conversion on buffered edges), so a value costs ``io_bits``
+    bits on the link rather than a full ``2**io_bits``-cycle train.
+    """
+
+    params: InterChipParams
+    value_bits: int = 6
+    name: str = "inter-chip-link"
+
+    def hop_latency_ns(self, values: float) -> float:
+        """Latency of one chip-boundary crossing moving ``values`` values."""
+        if values <= 0:
+            return 0.0
+        return self.params.transfer_ns(values * self.value_bits)
+
+    def sample_rate_limit(self, pair_traffic_values_per_sample: Mapping[tuple[int, int], float]) -> float:
+        """Samples/second ceiling imposed by the chip-to-chip links.
+
+        ``pair_traffic_values_per_sample`` maps a directed ``(src_chip,
+        dst_chip)`` pair to the values it moves per sample.  Two constraints
+        bound the steady-state rate: the busiest pair saturates one link,
+        and each chip's *aggregate* traffic (in either direction, summed
+        over all its partners) shares the chip's ``links_per_chip`` links —
+        a chip fanning out to many others cannot exceed its pin budget.
+        """
+        pairs = pair_traffic_values_per_sample
+        worst = max(pairs.values(), default=0.0)
+        # full-duplex links: outgoing and incoming aggregates each share the
+        # chip's link budget independently
+        outgoing: dict[int, float] = {}
+        incoming: dict[int, float] = {}
+        for (src, dst), values in pairs.items():
+            outgoing[src] = outgoing.get(src, 0.0) + values
+            incoming[dst] = incoming.get(dst, 0.0) + values
+        for aggregate in (outgoing, incoming):
+            if aggregate:
+                worst = max(
+                    worst, max(aggregate.values()) / self.params.links_per_chip
+                )
+        if worst <= 0:
+            return float("inf")
+        bits = worst * self.value_bits
+        return self.params.link_bandwidth_bits_per_ns * 1e9 / bits

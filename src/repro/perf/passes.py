@@ -10,6 +10,18 @@ from .pipeline_sim import PipelineSimulator
 __all__ = ["PerfPass", "BoundsPass", "PipelineSimPass"]
 
 
+def _useful_ops(ctx: CompileContext) -> float:
+    """Useful-operation count the OPS figures normalise against.
+
+    The option override serves per-shard backend compiles of a partitioned
+    model, which carry a shard core-op graph but no computational graph:
+    each shard reports its proportional share of the model's operations.
+    """
+    if ctx.options.useful_ops_per_sample is not None:
+        return ctx.options.useful_ops_per_sample
+    return ctx.graph.total_ops()
+
+
 @register_pass
 class PerfPass(CompilePass):
     """Evaluate the analytic pipelined performance model."""
@@ -22,7 +34,7 @@ class PerfPass(CompilePass):
         ctx.performance = evaluate_design_point(
             ctx.coreops,
             ctx.mapping.allocation,
-            ctx.graph.total_ops(),
+            _useful_ops(ctx),
             FPSAArchitecture(ctx.config),
             config=ctx.config,
         )
@@ -38,7 +50,7 @@ class BoundsPass(CompilePass):
 
     def run(self, ctx: CompileContext) -> None:
         ctx.bounds = compute_bounds(
-            ctx.coreops, ctx.mapping.allocation, ctx.graph.total_ops(), ctx.config
+            ctx.coreops, ctx.mapping.allocation, _useful_ops(ctx), ctx.config
         )
 
 

@@ -111,6 +111,12 @@ class CompileRequest:
     pnr_channel_width: int | None = None
     pnr_seed: int = 0
     seed: int | None = None
+    #: multi-chip partitioned compilation: ``None`` (single chip, classic
+    #: flow), an integer chip count, or ``"auto"`` for the smallest count
+    #: that fits the per-chip capacity.
+    num_chips: int | str | None = None
+    #: worker processes for the per-shard backend (``None``/1 sequential).
+    shard_jobs: int | None = None
     passes: tuple[str, ...] | None = None
     use_cache: bool = True
     synthesis_options: dict[str, Any] | None = None
@@ -143,6 +149,26 @@ class CompileRequest:
             raise InvalidRequestError(
                 f"seed must be an integer or null, got {self.seed!r}",
                 details={"seed": repr(self.seed)},
+            )
+        if self.num_chips is not None and self.num_chips != "auto":
+            if (
+                not isinstance(self.num_chips, int)
+                or isinstance(self.num_chips, bool)
+                or self.num_chips < 1
+            ):
+                raise InvalidRequestError(
+                    f"num_chips must be null, 'auto' or an integer >= 1, "
+                    f"got {self.num_chips!r}",
+                    details={"num_chips": repr(self.num_chips)},
+                )
+        if self.shard_jobs is not None and (
+            not isinstance(self.shard_jobs, int)
+            or isinstance(self.shard_jobs, bool)
+            or self.shard_jobs < 1
+        ):
+            raise InvalidRequestError(
+                f"shard_jobs must be an integer >= 1, got {self.shard_jobs!r}",
+                details={"shard_jobs": repr(self.shard_jobs)},
             )
         if self.passes is not None:
             object.__setattr__(self, "passes", tuple(self.passes))
@@ -190,6 +216,8 @@ class CompileRequest:
             "pnr_channel_width": self.pnr_channel_width,
             "pnr_seed": self.pnr_seed,
             "seed": self.seed,
+            "num_chips": self.num_chips,
+            "shard_jobs": self.shard_jobs,
             "passes": self.passes,
             "use_cache": self.use_cache,
         }
@@ -293,6 +321,9 @@ class ResultSummary:
     pnr: dict[str, float] | None = None
     pipeline: dict[str, float] | None = None
     bitstream: dict[str, Any] | None = None
+    #: multi-chip compiles: shard roster, cut size/traffic and per-chip
+    #: utilization (see ``PartitionResult.summary_dict``).
+    partition: dict[str, Any] | None = None
 
     @classmethod
     def from_result(
@@ -300,7 +331,7 @@ class ResultSummary:
     ) -> "ResultSummary":
         """Distill the wire-relevant numbers out of a live compile result."""
         duplication = blocks = performance = bounds = energy = None
-        pnr = pipeline = bitstream = None
+        pnr = pipeline = bitstream = partition = None
         if result.mapping is not None:
             netlist = result.mapping.netlist
             duplication = result.mapping.duplication_degree
@@ -309,6 +340,22 @@ class ResultSummary:
                 "n_smb": netlist.n_smb,
                 "n_clb": netlist.n_clb,
             }
+        if result.partition is not None:
+            plan = result.partition
+            duplication = duplication or plan.duplication_degree
+            shard_blocks = None
+            if result.shard_results is not None:
+                measured = [r.blocks() for r in result.shard_results]
+                if all(b is not None for b in measured):
+                    shard_blocks = measured
+                    # no top-level netlist on a multi-chip compile: report
+                    # the block totals summed over the shards instead
+                    if blocks is None:
+                        blocks = {
+                            key: sum(b[key] for b in measured)
+                            for key in ("n_pe", "n_smb", "n_clb")
+                        }
+            partition = plan.summary_dict(shard_blocks)
         if result.performance is not None:
             report = result.performance
             performance = {
@@ -374,6 +421,7 @@ class ResultSummary:
             pnr=pnr,
             pipeline=pipeline,
             bitstream=bitstream,
+            partition=partition,
         )
 
     def to_dict(self) -> dict[str, Any]:
@@ -395,6 +443,7 @@ class ResultSummary:
             pnr=data.get("pnr"),
             pipeline=data.get("pipeline"),
             bitstream=data.get("bitstream"),
+            partition=data.get("partition"),
         )
 
 

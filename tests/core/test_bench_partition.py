@@ -1,0 +1,55 @@
+"""Partitioned configurations in the perf-regression benchmark harness."""
+
+from __future__ import annotations
+
+from repro.bench import BenchEntry, BenchReport, compare_reports, run_bench
+
+
+def test_run_bench_includes_partitioned_entries():
+    report = run_bench(
+        models=["MLP-500-100"], channel_width=16, partition_chips=(2,)
+    )
+    assert [(e.model, e.num_chips) for e in report.entries] == [
+        ("MLP-500-100", 1),
+        ("MLP-500-100", 2),
+    ]
+    partitioned = report.entry("MLP-500-100", 1, num_chips=2)
+    assert partitioned is not None
+    assert partitioned.quality["cut_size"] >= 1
+    assert partitioned.quality["cut_values_per_sample"] > 0
+    assert partitioned.quality["total_wirelength"] > 0
+    # per-shard P&R timings roll up into the partitioned wall-time
+    assert partitioned.pnr_seconds > 0
+    assert any(k.startswith("pnr@chip") for k in partitioned.stage_seconds)
+
+    # the report round-trips with the chip count intact
+    again = BenchReport.from_dict(report.to_dict())
+    assert again.entry("MLP-500-100", 1, num_chips=2) is not None
+    assert again.entry("MLP-500-100", 1, num_chips=1) is not None
+
+
+def _entry(num_chips: int, **quality) -> BenchEntry:
+    return BenchEntry(
+        model="M",
+        duplication_degree=1,
+        channel_width=16,
+        seed=0,
+        num_chips=num_chips,
+        stage_seconds={"pnr@chip0": 1.0} if num_chips > 1 else {"pnr": 1.0},
+        quality=quality,
+    )
+
+
+def test_compare_reports_guards_cut_size():
+    baseline = BenchReport(entries=[_entry(2, cut_size=2.0, cut_values_per_sample=100.0)])
+    worse = BenchReport(entries=[_entry(2, cut_size=4.0, cut_values_per_sample=100.0)])
+    regressions = compare_reports(worse, baseline)
+    assert any("cut_size" in r and "(2 chips)" in r for r in regressions)
+    assert compare_reports(baseline, baseline) == []
+
+
+def test_compare_reports_does_not_mix_chip_configs():
+    # a 2-chip entry must only ever compare against the 2-chip baseline
+    baseline = BenchReport(entries=[_entry(1, total_wirelength=10.0)])
+    current = BenchReport(entries=[_entry(2, total_wirelength=1000.0)])
+    assert compare_reports(current, baseline) == []

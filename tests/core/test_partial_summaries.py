@@ -1,0 +1,70 @@
+"""Graceful degradation of summaries on partial compiles.
+
+A partial compile (an explicit ``passes`` list, or a multi-chip compile
+whose netlists live on the shards) leaves some artifacts ``None``; both the
+human-readable ``DeploymentResult.summary()``/``timings_table()`` and the
+wire-level ``ResultSummary.from_result`` must render the artifacts that
+*are* present and silently omit the rest — never assume ``performance``
+exists because ``mapping`` does, or vice versa.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.api import deploy_model
+from repro.service.schemas import ResultSummary
+
+#: pass lists covering every articulation point of the artifact lattice.
+PARTIAL_PASS_LISTS = [
+    ("synthesis",),
+    ("synthesis", "mapping"),
+    ("synthesis", "mapping", "perf"),
+    ("synthesis", "mapping", "bounds"),
+    ("synthesis", "mapping", "pnr"),
+    ("synthesis", "mapping", "pnr", "bitstream"),
+    ("synthesis", "partition"),
+]
+
+
+@pytest.mark.parametrize("passes", PARTIAL_PASS_LISTS, ids="+".join)
+def test_summary_degrades_gracefully(passes):
+    result = deploy_model("MLP-500-100", passes=passes, use_cache=False)
+    text = result.summary()
+    assert "deployment of 'MLP-500-100'" in text
+    if "perf" not in passes:
+        assert result.performance is None
+        assert "throughput" not in text
+    if "mapping" in passes:
+        assert "PEs:" in text
+    assert "(no pass timings recorded)" not in result.timings_table()
+
+
+@pytest.mark.parametrize("passes", PARTIAL_PASS_LISTS, ids="+".join)
+def test_result_summary_round_trips_partials(passes):
+    result = deploy_model("MLP-500-100", passes=passes, use_cache=False)
+    summary = ResultSummary.from_result(result)
+    assert summary.model == "MLP-500-100"
+    if "perf" not in passes:
+        assert summary.performance is None
+    if "mapping" not in passes:
+        assert summary.blocks is None
+        assert summary.energy is None
+    again = ResultSummary.from_dict(summary.to_dict())
+    assert again == summary
+
+
+def test_multi_chip_summary_without_top_level_mapping():
+    result = deploy_model(
+        "CIFAR-VGG17", duplication_degree=16, num_chips=2, use_cache=False
+    )
+    assert result.mapping is None
+    text = result.summary()
+    assert "partition of" in text
+    assert "summed over 2 chips" in text
+    summary = ResultSummary.from_result(result)
+    # blocks fall back to the shard totals; energy needs a netlist and is
+    # omitted rather than assumed
+    assert summary.blocks["n_pe"] == result.partition.total_pes
+    assert summary.energy is None
+    assert summary.duplication_degree == 16

@@ -1,0 +1,53 @@
+"""The inter-chip link model (multi-chip partitioned deployments)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.params import InterChipParams
+from repro.perf.comm import InterChipLinkModel
+
+
+@pytest.fixture
+def link() -> InterChipLinkModel:
+    return InterChipLinkModel(
+        InterChipParams(
+            link_bandwidth_bits_per_ns=10.0, link_latency_ns=50.0, links_per_chip=2
+        ),
+        value_bits=4,
+    )
+
+
+class TestHopLatency:
+    def test_charges_framing_plus_serialisation(self, link):
+        # 100 values x 4 bits / 10 bits-per-ns + 50 ns framing
+        assert link.hop_latency_ns(100) == pytest.approx(50.0 + 40.0)
+
+    def test_zero_traffic_is_free(self, link):
+        assert link.hop_latency_ns(0) == 0.0
+
+
+class TestSampleRateLimit:
+    def test_no_cut_traffic_imposes_no_ceiling(self, link):
+        assert link.sample_rate_limit({}) == float("inf")
+
+    def test_busiest_pair_binds(self, link):
+        limit = link.sample_rate_limit({(0, 1): 1000.0, (1, 2): 10.0})
+        # 1000 values x 4 bits over 10 bits/ns
+        assert limit == pytest.approx(10.0 * 1e9 / 4000.0)
+
+    def test_chip_aggregate_shares_the_link_budget(self, link):
+        # chip 0 fans out 3 x 1000 values but owns only 2 links: the
+        # aggregate constraint (3000/2 = 1500 values through one link)
+        # binds tighter than any single pair (1000 values)
+        pairs = {(0, 1): 1000.0, (0, 2): 1000.0, (0, 3): 1000.0}
+        limit = link.sample_rate_limit(pairs)
+        assert limit == pytest.approx(10.0 * 1e9 / (1500.0 * 4))
+
+    def test_full_duplex_aggregates_do_not_mix(self, link):
+        # one chip sending 1000 and receiving 1000: full-duplex links keep
+        # the directions independent, so the pair constraint (1000) binds,
+        # not a mixed 2000/2 aggregate
+        pairs = {(0, 1): 1000.0, (1, 0): 1000.0}
+        limit = link.sample_rate_limit(pairs)
+        assert limit == pytest.approx(10.0 * 1e9 / 4000.0)
