@@ -1,14 +1,25 @@
-"""Perf-regression benchmark harness for the compile pipeline's P&R hot path.
+"""Perf-regression benchmark harness for the compile pipeline's P&R hot path
+and the serving runtime.
 
 ``run_bench`` pushes a set of model-zoo entries through the full pipeline
 (synthesis -> mapping -> perf -> bounds -> P&R) via the service layer,
 records per-stage wall-clock seconds (including the P&R-internal
 place/route split), stage-cache behaviour (a second, warm compile of every
 request), and solution-quality metrics (routed wirelength, critical path),
-and emits the result as a ``BENCH_pnr.json`` report.  ``compare_reports``
-diffs a fresh report against a committed baseline with configurable
-wall-time and quality thresholds, so CI can fail on perf regressions
-without flaking on machine noise.
+and emits the result as a ``BENCH_pnr.json`` report.
+
+``run_serve_bench`` (``repro bench --serve``) measures the end-to-end
+*serving* path on a repeated-model batch workload: the
+:class:`~repro.service.runtime.ServingRuntime` (persistent warm pool +
+cross-process shared stage cache + request coalescing) against the
+fresh-pool / private-cache baseline, reporting requests/sec, p50/p99
+latency, the shared-cache hit rate, cold-vs-warm batch times and the
+speedup.  The serve section rides the same report file, so
+``--check-regression`` guards both.
+
+``compare_reports`` diffs a fresh report against a committed baseline with
+configurable wall-time and quality thresholds, so CI can fail on perf
+regressions without flaking on machine noise.
 
 The CLI front-ends are ``repro bench`` (see :mod:`repro.cli`) and the
 standalone ``benchmarks/harness.py``.
@@ -26,16 +37,18 @@ from typing import Any, Iterable, Mapping, Sequence
 from .core.cache import StageCache
 from .errors import InvalidRequestError
 from .models.zoo import BENCHMARK_MODELS, MODEL_BUILDERS
-from .service import CompileRequest, FPSAClient
+from .service import CompileRequest, FPSAClient, JobManager, ServingRuntime
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
     "DEFAULT_BENCH_MODELS",
     "DEFAULT_REPORT_PATH",
+    "DEFAULT_SERVE_MODELS",
     "BenchEntry",
     "BenchReport",
     "resolve_bench_models",
     "run_bench",
+    "run_serve_bench",
     "compare_reports",
     "main",
 ]
@@ -50,6 +63,13 @@ DEFAULT_REPORT_PATH = "BENCH_pnr.json"
 #: thousand-block netlists now *place* in seconds, but negotiated-congestion
 #: routing at realistic channel widths still takes tens of minutes.
 DEFAULT_BENCH_MODELS = ("MLP-500-100", "LeNet", "CIFAR-VGG17")
+
+#: models of the serve-bench workload: front-end-dominated compiles (no
+#: P&R), so the between-request costs (pool spawn, re-synthesis, duplicate
+#: compiles) dominate — exactly what the serving runtime eliminates.
+#: AlexNet anchors the mix with a synthesis heavy enough that re-doing it
+#: every batch (the baseline) visibly hurts.
+DEFAULT_SERVE_MODELS = ("MLP-500-100", "LeNet", "AlexNet")
 
 _MODEL_ALIASES = {
     "mlp": "MLP-500-100",
@@ -154,10 +174,14 @@ class BenchEntry:
 
 @dataclass
 class BenchReport:
-    """A full benchmark run: one :class:`BenchEntry` per model."""
+    """A full benchmark run: one :class:`BenchEntry` per model, plus the
+    optional serving-runtime section of ``repro bench --serve``."""
 
     entries: list[BenchEntry] = field(default_factory=list)
     created_at: float = 0.0
+    #: serving-runtime benchmark (see :func:`run_serve_bench`); ``None``
+    #: when the serve bench did not run.
+    serve: dict[str, Any] | None = None
     schema_version: int = BENCH_SCHEMA_VERSION
 
     @property
@@ -177,12 +201,15 @@ class BenchReport:
         return None
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        data = {
             "schema_version": self.schema_version,
             "created_at": self.created_at,
             "total_pnr_seconds": self.total_pnr_seconds,
             "entries": [e.to_dict() for e in self.entries],
         }
+        if self.serve is not None:
+            data["serve"] = dict(self.serve)
+        return data
 
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
@@ -204,6 +231,7 @@ class BenchReport:
         return cls(
             entries=[BenchEntry.from_dict(e) for e in data.get("entries", ())],
             created_at=float(data.get("created_at", 0.0)),
+            serve=dict(data["serve"]) if data.get("serve") else None,
         )
 
     @classmethod
@@ -340,11 +368,216 @@ def run_bench(
     return report
 
 
+def _percentile(values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of ``values`` (no numpy dependency here)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _summary_key(response) -> dict[str, Any]:
+    """The quality-bearing part of a response (wall-clock fields excluded:
+    the P&R section embeds its stage timings in the summary)."""
+    summary = response.summary
+    if summary is None:
+        return {}
+    data = summary.to_dict()
+    for section in data.values():
+        if isinstance(section, dict):
+            for key in [k for k in section if k.endswith("_seconds")]:
+                del section[key]
+    return data
+
+
+def run_serve_bench(
+    models: Iterable[str] | str | None = None,
+    duplications: Sequence[int] = (1, 2),
+    repeats: int = 5,
+    copies: int = 3,
+    workers: int = 2,
+    seed: int = 0,
+    progress=None,
+) -> dict[str, Any]:
+    """Benchmark the serving runtime against the fresh-pool baseline.
+
+    The workload is ``repeats`` batches of a *repeated-model* request mix:
+    every (model, duplication) pair appears ``copies`` times per batch —
+    the traffic shape of a sweep/parameter-server front-end.  It is served
+    twice:
+
+    * **baseline** — each batch through a *fresh* :class:`JobManager`
+      (fresh process pool, per-worker private caches, no coalescing):
+      the pre-runtime serving path, paying pool spawn + re-synthesis per
+      batch;
+    * **runtime** — all batches through one :class:`ServingRuntime`
+      (persistent warm pool, cross-process shared stage cache, request
+      coalescing).
+
+    Returns the serve section of the bench report: requests/sec and total
+    seconds for both paths, the speedup, runtime p50/p99 latency, the
+    shared-cache hit rate, cold-vs-warm batch seconds, coalescing
+    counters, and whether the two paths produced identical result
+    summaries (they must: the runtime may only change *when* work
+    happens, never *what* it computes).
+    """
+    if repeats < 2:
+        raise InvalidRequestError("serve bench needs repeats >= 2 (cold + warm)")
+    if copies < 1:
+        raise InvalidRequestError("copies must be >= 1")
+    # insulate both paths from REPRO_SHARED_CACHE: a pre-warmed user
+    # directory would hand the "fresh" baseline shared-tier hits and rob
+    # the runtime of its cold batch, corrupting the measured speedup
+    import os
+
+    from .core.shared_cache import SHARED_CACHE_ENV
+
+    env_dir = os.environ.pop(SHARED_CACHE_ENV, None)
+    try:
+        return _run_serve_bench(
+            models, duplications, repeats, copies, workers, seed, progress
+        )
+    finally:
+        if env_dir is not None:
+            os.environ[SHARED_CACHE_ENV] = env_dir
+
+
+def _run_serve_bench(
+    models,
+    duplications: Sequence[int],
+    repeats: int,
+    copies: int,
+    workers: int,
+    seed: int,
+    progress,
+) -> dict[str, Any]:
+    resolved = resolve_bench_models(models if models is not None else DEFAULT_SERVE_MODELS)
+    unique_requests = [
+        CompileRequest(model=model, duplication_degree=degree, seed=seed)
+        for model in resolved
+        for degree in duplications
+    ]
+    batch = [request for request in unique_requests for _ in range(copies)]
+    batches = [list(batch) for _ in range(repeats)]
+    total_requests = sum(len(b) for b in batches)
+
+    # baseline: fresh pool + private caches + no coalescing, per batch
+    if progress is not None:
+        progress(
+            f"serve bench: baseline ({repeats} x {len(batch)} requests, "
+            f"fresh pool each batch) ..."
+        )
+    baseline_responses: list = []
+    baseline_start = time.perf_counter()
+    for requests in batches:
+        with JobManager(
+            max_workers=workers, cache=StageCache(), coalesce=False
+        ) as manager:
+            job_ids = manager.submit_batch(requests)
+            baseline_responses.extend(
+                manager.result(job_id) for job_id in job_ids
+            )
+    baseline_seconds = time.perf_counter() - baseline_start
+
+    # runtime: one warm pool + shared cache + coalescing across all batches
+    if progress is not None:
+        progress(
+            f"serve bench: runtime ({repeats} x {len(batch)} requests, "
+            f"one warm pool) ..."
+        )
+    runtime_responses: list = []
+    batch_seconds: list[float] = []
+    with ServingRuntime(max_workers=workers) as runtime:
+        runtime_start = time.perf_counter()
+        for requests in batches:
+            batch_start = time.perf_counter()
+            runtime_responses.extend(runtime.serve_batch(requests))
+            batch_seconds.append(time.perf_counter() - batch_start)
+        runtime_seconds = time.perf_counter() - runtime_start
+        latencies = runtime.latencies()
+        stats = runtime.stats()
+
+    for response in baseline_responses + runtime_responses:
+        response.raise_for_status()
+    summaries_identical = all(
+        _summary_key(a) == _summary_key(b)
+        for a, b in zip(baseline_responses, runtime_responses)
+    )
+
+    shared_hits = sum(
+        r.timings.shared_cache_hits for r in runtime_responses if r.timings
+    )
+    shared_misses = sum(
+        r.timings.shared_cache_misses for r in runtime_responses if r.timings
+    )
+    shared_lookups = shared_hits + shared_misses
+    baseline_rps = total_requests / baseline_seconds if baseline_seconds else 0.0
+    runtime_rps = total_requests / runtime_seconds if runtime_seconds else 0.0
+    return {
+        "models": list(resolved),
+        "duplications": list(duplications),
+        "repeats": repeats,
+        "copies": copies,
+        "workers": workers,
+        "seed": seed,
+        "unique_requests": len(unique_requests),
+        "total_requests": total_requests,
+        "baseline_seconds": baseline_seconds,
+        "baseline_rps": baseline_rps,
+        "runtime_seconds": runtime_seconds,
+        "runtime_rps": runtime_rps,
+        "speedup": runtime_rps / baseline_rps if baseline_rps else 0.0,
+        "cold_batch_seconds": batch_seconds[0] if batch_seconds else 0.0,
+        "warm_batch_seconds": (
+            sum(batch_seconds[1:]) / (len(batch_seconds) - 1)
+            if len(batch_seconds) > 1
+            else 0.0
+        ),
+        "p50_ms": _percentile(latencies, 0.50) * 1e3,
+        "p99_ms": _percentile(latencies, 0.99) * 1e3,
+        "shared_cache_hits": shared_hits,
+        "shared_cache_misses": shared_misses,
+        "shared_cache_hit_rate": (
+            shared_hits / shared_lookups if shared_lookups else 0.0
+        ),
+        "submitted": stats["submitted"],
+        "coalesced": stats["coalesced"],
+        "summaries_identical": summaries_identical,
+    }
+
+
+def format_serve_section(serve: Mapping[str, Any]) -> str:
+    """Human-readable summary of one serve-bench section."""
+    lines = [
+        f"serve bench: {serve['total_requests']} requests "
+        f"({serve['unique_requests']} unique x {serve['copies']} copies "
+        f"x {serve['repeats']} batches), {serve['workers']} workers",
+        f"  baseline (fresh pool, private caches): "
+        f"{serve['baseline_seconds']:.2f}s  "
+        f"{serve['baseline_rps']:.1f} req/s",
+        f"  runtime (warm pool, shared cache, coalescing): "
+        f"{serve['runtime_seconds']:.2f}s  {serve['runtime_rps']:.1f} req/s  "
+        f"-> {serve['speedup']:.1f}x",
+        f"  latency p50 {serve['p50_ms']:.1f} ms  p99 {serve['p99_ms']:.1f} ms  "
+        f"cold batch {serve['cold_batch_seconds']:.2f}s  "
+        f"warm batch {serve['warm_batch_seconds']:.2f}s",
+        f"  shared cache: {serve['shared_cache_hits']} hit(s), "
+        f"{serve['shared_cache_misses']} miss(es) "
+        f"({serve['shared_cache_hit_rate']:.0%})  "
+        f"coalesced {serve['coalesced']}/{serve['submitted']}",
+        f"  summaries identical to baseline: "
+        f"{'yes' if serve['summaries_identical'] else 'NO'}",
+    ]
+    return "\n".join(lines)
+
+
 def compare_reports(
     current: BenchReport,
     baseline: BenchReport,
     time_threshold: float = 2.5,
     quality_tolerance: float = 0.10,
+    serve_min_speedup: float = 3.0,
 ) -> list[str]:
     """Regressions of ``current`` against ``baseline``; empty when clean.
 
@@ -352,12 +585,34 @@ def compare_reports(
     than ``time_threshold``x (generous by default: benchmarks run on
     heterogeneous machines) or when a quality metric (total wirelength,
     critical path) worsens by more than ``quality_tolerance`` relative.
+
+    A serve section regresses when the runtime-vs-baseline speedup falls
+    below ``serve_min_speedup`` (the speedup is a same-machine ratio, so
+    it needs no machine-noise allowance), or when the runtime produced
+    result summaries that differ from the fresh-pool baseline's (the
+    caches/coalescing may change *when* work happens, never *what* it
+    computes).
     """
     if time_threshold <= 0:
         raise InvalidRequestError("time_threshold must be positive")
     if quality_tolerance < 0:
         raise InvalidRequestError("quality_tolerance must be >= 0")
     regressions: list[str] = []
+    serve = current.serve
+    if serve is not None:
+        speedup = float(serve.get("speedup", 0.0))
+        if speedup < serve_min_speedup:
+            regressions.append(
+                f"serve: runtime speedup {speedup:.2f}x is below the "
+                f"{serve_min_speedup:.1f}x floor "
+                f"({serve.get('runtime_rps', 0.0):.1f} req/s vs baseline "
+                f"{serve.get('baseline_rps', 0.0):.1f} req/s)"
+            )
+        if serve.get("summaries_identical") is False:
+            regressions.append(
+                "serve: runtime responses differ from the fresh-pool "
+                "baseline's result summaries"
+            )
     for entry in current.entries:
         base = baseline.entry(entry.model, entry.duplication_degree, entry.num_chips)
         if base is None:
@@ -474,10 +729,58 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
         "--json", action="store_true",
         help="emit the report as JSON on stdout instead of the table",
     )
+    serve = parser.add_argument_group(
+        "serving runtime benchmark (--serve)",
+        "measure end-to-end serve throughput of the warm-pool/shared-cache/"
+        "coalescing runtime against the fresh-pool baseline on a "
+        "repeated-model batch workload; replaces the P&R bench for this "
+        "run (the report's P&R entries are carried over from --output)",
+    )
+    serve.add_argument(
+        "--serve", action="store_true",
+        help="run the serving-runtime benchmark instead of the P&R bench",
+    )
+    serve.add_argument(
+        "--serve-models", default=None, metavar="LIST",
+        help="models of the serve workload (comma-separated; default: "
+        f"{','.join(DEFAULT_SERVE_MODELS)})",
+    )
+    serve.add_argument(
+        "--serve-repeats", type=int, default=5, metavar="N",
+        help="batches served (first is cold, rest warm; default: 5)",
+    )
+    serve.add_argument(
+        "--serve-copies", type=int, default=3, metavar="N",
+        help="copies of every unique request per batch (default: 3)",
+    )
+    serve.add_argument(
+        "--serve-workers", type=int, default=2, metavar="N",
+        help="worker processes for both paths (default: 2)",
+    )
+    serve.add_argument(
+        "--serve-min-speedup", type=float, default=3.0, metavar="X",
+        help="--check-regression fails when the runtime speedup falls "
+        "below this floor (default: 3.0)",
+    )
+
+
+def _load_report_if_any(path: str | None) -> BenchReport | None:
+    if not path:
+        return None
+    try:
+        return BenchReport.load(path)
+    except (FileNotFoundError, ValueError, InvalidRequestError):
+        return None
 
 
 def run_from_args(args: argparse.Namespace) -> int:
-    """Execute a parsed bench invocation; returns the exit code."""
+    """Execute a parsed bench invocation; returns the exit code.
+
+    The report file carries both the P&R entries and the serve section; a
+    run only replaces the section it measured and carries the other over
+    from the existing ``--output`` file, so alternating ``repro bench``
+    and ``repro bench --serve`` invocations keep one coherent baseline.
+    """
     # load the baseline before the report file gets overwritten: the
     # default --output and --baseline are the same committed path
     baseline = None
@@ -495,34 +798,71 @@ def run_from_args(args: argparse.Namespace) -> int:
             print(f"bench: unreadable baseline {args.baseline}: {exc}", file=sys.stderr)
             return 2
     progress = None if args.json else lambda msg: print(msg, file=sys.stderr)
-    spec = getattr(args, "partition_chips", "") or ""
-    try:
-        partition_chips = tuple(int(c) for c in spec.split(",") if c.strip())
-    except ValueError:
-        print(f"bench: invalid --partition-chips {spec!r}", file=sys.stderr)
-        return 2
-    report = run_bench(
-        models=args.models,
-        duplication_degree=args.duplication,
-        channel_width=args.channel_width,
-        seed=args.seed,
-        partition_chips=partition_chips,
-        progress=progress,
-    )
+    previous = _load_report_if_any(args.output)
+    serve_mode = getattr(args, "serve", False)
+    if serve_mode:
+        try:
+            serve = run_serve_bench(
+                models=getattr(args, "serve_models", None),
+                repeats=getattr(args, "serve_repeats", 5),
+                copies=getattr(args, "serve_copies", 3),
+                workers=getattr(args, "serve_workers", 2),
+                seed=args.seed,
+                progress=progress,
+            )
+        except InvalidRequestError as exc:
+            print(f"bench: {exc}", file=sys.stderr)
+            return 2
+        report = BenchReport(
+            entries=list(previous.entries) if previous is not None else [],
+            created_at=time.time(),
+            serve=serve,
+        )
+    else:
+        spec = getattr(args, "partition_chips", "") or ""
+        try:
+            partition_chips = tuple(int(c) for c in spec.split(",") if c.strip())
+        except ValueError:
+            print(f"bench: invalid --partition-chips {spec!r}", file=sys.stderr)
+            return 2
+        report = run_bench(
+            models=args.models,
+            duplication_degree=args.duplication,
+            channel_width=args.channel_width,
+            seed=args.seed,
+            partition_chips=partition_chips,
+            progress=progress,
+        )
+        if previous is not None and previous.serve is not None:
+            report.serve = previous.serve
     if args.output:
         report.save(args.output)
     if args.json:
         print(report.to_json())
     else:
-        print(format_table(report))
+        if serve_mode:
+            print(format_serve_section(report.serve))
+        else:
+            print(format_table(report))
         if args.output:
             print(f"\nreport written to {args.output}")
     if baseline is not None:
+        # only gate the section this run measured: carried-over sections
+        # would compare the baseline against itself
+        if serve_mode:
+            current = BenchReport(
+                entries=[], created_at=report.created_at, serve=report.serve
+            )
+        else:
+            current = BenchReport(
+                entries=report.entries, created_at=report.created_at
+            )
         regressions = compare_reports(
-            report,
+            current,
             baseline,
             time_threshold=args.threshold,
             quality_tolerance=args.quality_tolerance,
+            serve_min_speedup=getattr(args, "serve_min_speedup", 3.0),
         )
         if regressions:
             for line in regressions:

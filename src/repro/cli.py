@@ -34,7 +34,9 @@ import time
 
 from .bench import add_bench_arguments
 from .bench import run_from_args as _run_bench_args
+from .core.cache import StageCache
 from .core.pipeline import PassError, available_passes
+from .core.shared_cache import SHARED_CACHE_ENV, SharedStageCache
 from .errors import FPSAError, InvalidRequestError
 from .experiments.runner import EXPERIMENTS, run_all
 from .models.zoo import MODEL_BUILDERS, PAPER_TABLE3, model_names
@@ -103,6 +105,16 @@ def _add_store_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_shared_cache_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--shared-cache", metavar="DIR", default=None,
+        help="attach a cross-process shared stage-cache tier in this "
+        "directory (defaults to the REPRO_SHARED_CACHE environment "
+        "variable): repeated compiles — across runs, processes and "
+        "workers — reuse each other's synthesis/mapping artifacts",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -148,6 +160,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_chips_flags(deploy)
     _add_json_flag(deploy)
     _add_store_flag(deploy)
+    _add_shared_cache_flag(deploy)
 
     sweep = subparsers.add_parser(
         "sweep", help="batch-deploy one model across several duplication degrees"
@@ -173,6 +186,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_json_flag(sweep)
     _add_store_flag(sweep)
+    _add_shared_cache_flag(sweep)
 
     serve_batch = subparsers.add_parser(
         "serve-batch",
@@ -268,8 +282,22 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _client(args: argparse.Namespace) -> FPSAClient:
+    import os
+
     store = ArtifactStore(args.store) if getattr(args, "store", None) else None
-    cache = False if getattr(args, "no_cache", False) else None
+    cache: StageCache | bool | None
+    if getattr(args, "no_cache", False):
+        cache = False
+    elif getattr(args, "shared_cache", None):
+        cache = StageCache(shared=SharedStageCache(args.shared_cache))
+        # worker processes cannot inherit a live StageCache; export the
+        # directory so a multi-process sweep's workers attach the same
+        # shared tier through their process default caches
+        os.environ[SHARED_CACHE_ENV] = args.shared_cache
+    else:
+        # REPRO_SHARED_CACHE already rides the process default cache; an
+        # explicit None keeps that behaviour
+        cache = None
     return FPSAClient(cache=cache, store=store)
 
 

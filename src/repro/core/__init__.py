@@ -1,9 +1,11 @@
 """Public end-to-end API: the FPSA compiler, its pass pipeline, the stage
-cache and the (batch) deployment helpers."""
+cache (in-memory + cross-process shared tiers), the warm worker pool and
+the (batch) deployment helpers."""
 
-from .api import DeployPoint, deploy, deploy_many, deploy_model
-from .cache import StageCache, clear_default_cache, default_cache
+from .api import DeployPoint, WorkerPool, deploy, deploy_many, deploy_model
+from .cache import CacheStats, StageCache, clear_default_cache, default_cache
 from .compiler import FPSACompiler
+from .shared_cache import SharedStageCache, shared_cache_from_env
 from .pipeline import (
     CompileContext,
     CompileOptions,
@@ -27,7 +29,11 @@ __all__ = [
     "deploy_model",
     "deploy_many",
     "DeployPoint",
+    "WorkerPool",
     "StageCache",
+    "CacheStats",
+    "SharedStageCache",
+    "shared_cache_from_env",
     "default_cache",
     "clear_default_cache",
     "CompileContext",

@@ -5,12 +5,20 @@ module provides :func:`deploy_many`: batch deployment of many (model,
 configuration) design points across a process pool, with the pipeline's
 stage cache de-duplicating the shared front-end work.  This is the entry
 point the experiment sweeps use.
+
+For serving workloads, :class:`WorkerPool` keeps one *persistent, warm*
+process pool alive across many :func:`deploy_many` /
+:class:`~repro.service.jobs.JobManager` / partition-shard batches: workers
+are spawned once, pre-import the model zoo and the pass pipeline, and
+optionally attach a cross-process
+:class:`~repro.core.shared_cache.SharedStageCache` tier — so the per-batch
+cost drops from "spawn a pool + cold caches" to "pickle the payloads".
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Executor, ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
@@ -19,23 +27,153 @@ from ..errors import InvalidRequestError
 from ..graph.graph import ComputationalGraph
 from ..models.zoo import build_model
 from ..synthesizer.synthesizer import SynthesisOptions
-from .cache import StageCache
+from .cache import StageCache, default_cache
 from .compiler import FPSACompiler
 from .result import DeploymentResult
+from .shared_cache import SharedStageCache, shared_cache_from_env
 
-__all__ = ["deploy", "deploy_model", "deploy_many", "DeployPoint", "run_pool"]
+__all__ = [
+    "deploy",
+    "deploy_model",
+    "deploy_many",
+    "DeployPoint",
+    "run_pool",
+    "WorkerPool",
+]
 
 #: upper bound on worker processes when ``jobs`` is not given.
 _MAX_AUTO_JOBS = 8
 
+#: the shared-cache tier this worker process was warmed with (see
+#: :func:`_warm_worker`); ``None`` outside WorkerPool workers.
+_WORKER_SHARED_CACHE: SharedStageCache | None = None
 
-def run_pool(worker, payloads, jobs: int | None = None) -> list:
+#: set when the pool explicitly opted out (``shared_cache_dir=False``):
+#: the worker must not fall back to ``REPRO_SHARED_CACHE`` either.
+_WORKER_SHARED_DISABLED = False
+
+
+def _warm_worker(
+    shared_cache_dir: str | None = None, disable_shared: bool = False
+) -> None:
+    """Worker-process initializer: pay the cold-start cost exactly once.
+
+    Pre-imports the model zoo and every built-in pass module (which pulls
+    in numpy and the whole layer stack), so the first real payload a warm
+    worker receives compiles immediately instead of importing for hundreds
+    of milliseconds.  When ``shared_cache_dir`` is given, the process-wide
+    default cache (and any later per-worker private cache) gains the
+    cross-process shared tier; ``disable_shared`` strips the tier even
+    when ``REPRO_SHARED_CACHE`` names one.
+    """
+    from ..models import zoo as _zoo  # noqa: F401 - import is the warmup
+    from .pipeline import available_passes
+
+    available_passes()  # imports every layer's pass module
+    # a fork-started worker inherits the parent's per-worker private cache
+    # (a thread-mode JobManager builds one in-process); drop it so this
+    # worker's private cache is its own and carries the right shared tier
+    global _WORKER_PRIVATE_CACHE, _WORKER_SHARED_CACHE, _WORKER_SHARED_DISABLED
+    _WORKER_PRIVATE_CACHE = None
+    if disable_shared:
+        _WORKER_SHARED_DISABLED = True
+        _WORKER_SHARED_CACHE = None
+        default_cache().attach_shared(None)
+    elif shared_cache_dir:
+        _WORKER_SHARED_CACHE = SharedStageCache(shared_cache_dir)
+        default_cache().attach_shared(_WORKER_SHARED_CACHE)
+
+
+class WorkerPool:
+    """A persistent, warm pool of compile worker processes.
+
+    Unlike the throwaway ``ProcessPoolExecutor`` a bare :func:`run_pool`
+    spins up per batch, a ``WorkerPool`` is created once and reused: pass
+    it to :func:`deploy_many` / :func:`run_pool` (``pool=``), to
+    :class:`~repro.service.jobs.JobManager` (``pool=``), or to
+    :class:`FPSACompiler` (``pool=``, ridden by partitioned shard
+    compiles).  Workers pre-import the zoo and the pass pipeline at spawn
+    time and keep their per-process stage caches warm across batches.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker processes; ``None`` picks ``min(cpu_count, 8)``.
+    shared_cache_dir:
+        Directory of the cross-process shared stage cache every worker
+        attaches under its in-memory cache.  ``None`` reads the
+        ``REPRO_SHARED_CACHE`` environment variable; pass ``False`` to
+        disable even when the environment names one.
+    """
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        shared_cache_dir: str | None | bool = None,
+    ):
+        if max_workers is not None and max_workers < 1:
+            raise InvalidRequestError(
+                f"max_workers must be >= 1, got {max_workers}",
+                details={"max_workers": max_workers},
+            )
+        if max_workers is None:
+            max_workers = min(os.cpu_count() or 1, _MAX_AUTO_JOBS)
+        disable_shared = shared_cache_dir is False
+        if disable_shared:
+            shared_cache_dir = None
+        elif shared_cache_dir is None:
+            env = shared_cache_from_env()
+            shared_cache_dir = env.directory if env is not None else None
+        self.max_workers = max_workers
+        self.shared_cache_dir = shared_cache_dir or None
+        self._executor = ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=_warm_worker,
+            initargs=(self.shared_cache_dir, disable_shared),
+        )
+
+    @property
+    def executor(self) -> Executor:
+        """The underlying executor (for :class:`JobManager` and friends)."""
+        return self._executor
+
+    def map(self, worker, payloads) -> list:
+        """Map ``worker`` over ``payloads`` on the warm pool, in order."""
+        return list(self._executor.map(worker, payloads))
+
+    def submit(self, worker, *args, **kwargs):
+        return self._executor.submit(worker, *args, **kwargs)
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of the currently live worker processes (spawned-so-far)."""
+        processes = getattr(self._executor, "_processes", None) or {}
+        return sorted(processes)
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+def run_pool(
+    worker,
+    payloads,
+    jobs: int | None = None,
+    pool: WorkerPool | None = None,
+) -> list:
     """Map a picklable ``worker`` over ``payloads``, preserving order.
 
     The process-pool machinery behind :func:`deploy_many`, also ridden by
     the per-shard backend of :mod:`repro.partition.backend`.  ``jobs=None``
     picks ``min(len(payloads), cpu_count, 8)``; ``1`` (or a single payload)
-    runs sequentially in this process.
+    runs sequentially in this process.  A persistent :class:`WorkerPool`
+    given via ``pool=`` is reused as-is (``jobs`` is ignored, the pool's
+    own worker count applies, and the pool stays alive afterwards) —
+    this is the warm serving path.
     """
     payloads = list(payloads)
     if jobs is not None and jobs < 1:
@@ -44,12 +182,14 @@ def run_pool(worker, payloads, jobs: int | None = None) -> list:
         )
     if not payloads:
         return []
+    if pool is not None:
+        return pool.map(worker, payloads)
     if jobs is None:
         jobs = min(len(payloads), os.cpu_count() or 1, _MAX_AUTO_JOBS)
     if jobs == 1 or len(payloads) == 1:
         return [worker(p) for p in payloads]
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        return list(pool.map(worker, payloads))
+    with ProcessPoolExecutor(max_workers=jobs) as executor:
+        return list(executor.map(worker, payloads))
 
 
 def deploy(
@@ -125,7 +265,14 @@ _WORKER_PRIVATE_CACHE: StageCache | None = None
 def _worker_private_cache() -> StageCache:
     global _WORKER_PRIVATE_CACHE
     if _WORKER_PRIVATE_CACHE is None:
-        _WORKER_PRIVATE_CACHE = StageCache()
+        # a worker warmed with a shared tier (or one inheriting
+        # REPRO_SHARED_CACHE) extends it to private caches too: privacy
+        # isolates in-memory artifacts, not the disk tier.  Explicit None
+        # check: an *empty* SharedStageCache is falsy (it has __len__).
+        shared = _WORKER_SHARED_CACHE
+        if shared is None and not _WORKER_SHARED_DISABLED:
+            shared = shared_cache_from_env()
+        _WORKER_PRIVATE_CACHE = StageCache(shared=shared)
     return _WORKER_PRIVATE_CACHE
 
 
@@ -153,6 +300,7 @@ def deploy_many(
     config: FPSAConfig | None = None,
     jobs: int | None = None,
     cache: StageCache | bool | None = None,
+    pool: WorkerPool | None = None,
     **common_kwargs,
 ) -> list[DeploymentResult]:
     """Deploy a batch of design points, optionally across a process pool.
@@ -172,8 +320,12 @@ def deploy_many(
         :class:`FPSACompiler`).  Worker processes keep per-process caches
         (a private :class:`StageCache` becomes one fresh private cache per
         worker), so cache hits across points require them to land on the
-        same worker; the sequential path shares one cache across the whole
-        batch.
+        same worker — or a shared-cache tier (see :class:`WorkerPool`);
+        the sequential path shares one cache across the whole batch.
+    pool:
+        A persistent :class:`WorkerPool` to run the batch on.  The pool is
+        reused as-is and stays alive afterwards, so consecutive batches
+        land on the same warm workers (``jobs`` is ignored).
     common_kwargs:
         Extra keyword arguments forwarded to every compile (per-point
         ``compile_kwargs`` take precedence).
@@ -192,13 +344,16 @@ def deploy_many(
         )
     if not resolved:
         return []
-    if jobs is None:
-        jobs = min(len(resolved), os.cpu_count() or 1, _MAX_AUTO_JOBS)
-    if jobs == 1 or len(resolved) == 1:
-        return [_deploy_point((p, config, common_kwargs, cache)) for p in resolved]
+    if pool is None:
+        if jobs is None:
+            jobs = min(len(resolved), os.cpu_count() or 1, _MAX_AUTO_JOBS)
+        if jobs == 1 or len(resolved) == 1:
+            return [
+                _deploy_point((p, config, common_kwargs, cache)) for p in resolved
+            ]
     # a StageCache instance holds a lock and cannot cross process boundaries;
     # to preserve the isolation a private cache asks for, each worker builds
     # its own private cache rather than falling back to the shared default.
     worker_cache = cache if cache is None or isinstance(cache, bool) else "__private__"
     payloads: Sequence = [(p, config, common_kwargs, worker_cache) for p in resolved]
-    return run_pool(_deploy_point, payloads, jobs=jobs)
+    return run_pool(_deploy_point, payloads, jobs=jobs, pool=pool)

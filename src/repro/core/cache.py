@@ -15,6 +15,7 @@ The default process-wide cache (:func:`default_cache`) is what
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import threading
 from collections import OrderedDict
@@ -26,10 +27,15 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..graph.graph import ComputationalGraph
     from ..mapper.netlist import FunctionBlockNetlist
     from ..synthesizer.coreop import CoreOpGraph
+    from .shared_cache import SharedStageCache
 
 __all__ = [
     "StageCache",
     "CacheStats",
+    "LOOKUP_MEMORY",
+    "LOOKUP_SHARED",
+    "LOOKUP_MISS",
+    "LOOKUP_SHARED_MISS",
     "default_cache",
     "clear_default_cache",
     "fingerprint",
@@ -53,44 +59,102 @@ def fingerprint(*parts: Any) -> str:
     return digest.hexdigest()
 
 
+def _memoized_fingerprint(obj: Any, compute) -> str:
+    """Fingerprint of ``obj``, memoized on the object itself.
+
+    Re-``repr``-ing an O(model) structure on every cache lookup is the
+    dominant cost of a warm compile, so the digest is stashed on the
+    artifact keyed by its ``mutation_count`` — every supported mutator
+    (``add``/``add_group``/``add_edge``/``add_block``/``add_net``) bumps
+    the counter, invalidating the memo.  Objects without a counter (or
+    with immutable ``__slots__``) simply recompute every time.
+    """
+    version = getattr(obj, "mutation_count", None)
+    if version is not None:
+        memo = getattr(obj, "_fingerprint_memo", None)
+        if memo is not None and memo[0] == version:
+            return memo[1]
+    digest = compute()
+    if version is not None:
+        try:
+            obj._fingerprint_memo = (version, digest)
+        except AttributeError:  # pragma: no cover - slotted/frozen object
+            pass
+    return digest
+
+
 def graph_fingerprint(graph: "ComputationalGraph") -> str:
-    """Content fingerprint of a computational graph.
+    """Content fingerprint of a computational graph (memoized on the graph).
 
     Covers the node names, operations (dataclass ``repr`` includes every
     field), wiring and output shapes — everything the synthesizer reads.
     """
-    return fingerprint(
-        graph.name,
-        *((n.name, repr(n.op), tuple(n.inputs), n.output.shape) for n in graph.nodes()),
+    return _memoized_fingerprint(
+        graph,
+        lambda: fingerprint(
+            graph.name,
+            *(
+                (n.name, repr(n.op), tuple(n.inputs), n.output.shape)
+                for n in graph.nodes()
+            ),
+        ),
     )
 
 
 def config_fingerprint(config: "FPSAConfig") -> str:
-    """Content fingerprint of a hardware configuration."""
-    return fingerprint(config)
+    """Content fingerprint of a hardware configuration (memoized: the
+    config is a frozen dataclass, so the digest can never go stale)."""
+    memo = getattr(config, "_fingerprint_memo", None)
+    if memo is not None:
+        return memo
+    digest = fingerprint(config)
+    try:
+        # frozen dataclass: bypass the frozen setattr for the memo slot
+        object.__setattr__(config, "_fingerprint_memo", digest)
+    except AttributeError:  # pragma: no cover - slotted config
+        pass
+    return digest
 
 
 def coreops_fingerprint(coreops: "CoreOpGraph") -> str:
-    """Content fingerprint of a core-op graph (groups + edges).
+    """Content fingerprint of a core-op graph (groups + edges), memoized.
 
     Downstream passes key their caches on the artifact they actually
     consume, so a non-default producer (e.g. a custom synthesis pass)
     can never alias a standard-pipeline cache entry.
     """
-    return fingerprint(coreops.name, *coreops.groups(), *coreops.edges())
+    return _memoized_fingerprint(
+        coreops,
+        lambda: fingerprint(coreops.name, *coreops.groups(), *coreops.edges()),
+    )
 
 
 def netlist_fingerprint(netlist: "FunctionBlockNetlist") -> str:
-    """Content fingerprint of a function-block netlist (blocks + nets)."""
-    return fingerprint(netlist.model, *netlist.blocks.values(), *netlist.nets)
+    """Content fingerprint of a function-block netlist (blocks + nets),
+    memoized on the netlist."""
+    return _memoized_fingerprint(
+        netlist,
+        lambda: fingerprint(
+            netlist.model, *netlist.blocks.values(), *netlist.nets
+        ),
+    )
 
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters of one :class:`StageCache`."""
+    """Hit/miss/eviction counters of one :class:`StageCache`.
+
+    ``hits``/``misses`` count overall lookup outcomes (a hit served from
+    either tier is a hit); ``shared_hits``/``shared_misses`` count the
+    shared-tier lookups that happen on in-memory misses, and ``evictions``
+    counts entries dropped from the in-memory LRU by :meth:`StageCache.put`.
+    """
 
     hits: int = 0
     misses: int = 0
+    evictions: int = 0
+    shared_hits: int = 0
+    shared_misses: int = 0
 
     @property
     def lookups(self) -> int:
@@ -100,6 +164,58 @@ class CacheStats:
     def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
 
+    @property
+    def shared_lookups(self) -> int:
+        return self.shared_hits + self.shared_misses
+
+    @property
+    def shared_hit_rate(self) -> float:
+        if not self.shared_lookups:
+            return 0.0
+        return self.shared_hits / self.shared_lookups
+
+    def snapshot(self) -> "CacheStats":
+        """A point-in-time copy (for before/after deltas around a compile)."""
+        return dataclasses.replace(self)
+
+    def delta(self, before: "CacheStats") -> "CacheStats":
+        """Counter increments since the ``before`` snapshot."""
+        return CacheStats(
+            hits=self.hits - before.hits,
+            misses=self.misses - before.misses,
+            evictions=self.evictions - before.evictions,
+            shared_hits=self.shared_hits - before.shared_hits,
+            shared_misses=self.shared_misses - before.shared_misses,
+        )
+
+    def merge(self, other: "CacheStats | None") -> "CacheStats":
+        """Accumulate another counter set into this one (returns self)."""
+        if other is not None:
+            self.hits += other.hits
+            self.misses += other.misses
+            self.evictions += other.evictions
+            self.shared_hits += other.shared_hits
+            self.shared_misses += other.shared_misses
+        return self
+
+    def record_lookup(self, tier: str) -> None:
+        """Count one :meth:`StageCache.lookup` outcome by its tier."""
+        if tier in (LOOKUP_MEMORY, LOOKUP_SHARED):
+            self.hits += 1
+        else:
+            self.misses += 1
+        if tier == LOOKUP_SHARED:
+            self.shared_hits += 1
+        elif tier == LOOKUP_SHARED_MISS:
+            self.shared_misses += 1
+
+
+#: :meth:`StageCache.lookup` outcome tiers.
+LOOKUP_MEMORY = "memory"
+LOOKUP_SHARED = "shared"
+LOOKUP_MISS = "miss"
+LOOKUP_SHARED_MISS = "shared_miss"
+
 
 class StageCache:
     """A bounded, thread-safe LRU cache of pass artifacts.
@@ -107,47 +223,123 @@ class StageCache:
     Keys are content-addressed strings produced by the passes' ``cache_key``
     methods; values are ``{artifact name: object}`` dicts installed verbatim
     into the :class:`~repro.core.pipeline.CompileContext` on a hit.
+
+    An optional :class:`~repro.core.shared_cache.SharedStageCache` attached
+    via ``shared=`` (or :meth:`attach_shared`) acts as a second,
+    cross-process tier: in-memory misses fall through to the shared
+    directory, and puts are written through so other processes can hit.
     """
 
-    def __init__(self, max_entries: int = 256):
+    def __init__(
+        self,
+        max_entries: int = 256,
+        shared: "SharedStageCache | None" = None,
+    ):
         if max_entries <= 0:
             raise ValueError("max_entries must be positive")
         self.max_entries = max_entries
         self.stats = CacheStats()
+        self.shared = shared
         self._entries: OrderedDict[str, dict[str, Any]] = OrderedDict()
         self._lock = threading.Lock()
+
+    def attach_shared(self, shared: "SharedStageCache | None") -> None:
+        """Attach (or detach, with ``None``) the cross-process tier."""
+        self.shared = shared
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
         with self._lock:
-            return key in self._entries
+            if key in self._entries:
+                return True
+        return self.shared is not None and key in self.shared
 
     def get(self, key: str) -> dict[str, Any] | None:
+        return self.lookup(key)[0]
+
+    def lookup(self, key: str) -> tuple[dict[str, Any] | None, str]:
+        """Like :meth:`get`, but also reports which tier answered.
+
+        The second element is one of :data:`LOOKUP_MEMORY`,
+        :data:`LOOKUP_SHARED`, :data:`LOOKUP_MISS` or
+        :data:`LOOKUP_SHARED_MISS` — callers that need *per-compile*
+        counters (the pass manager) tally these locally, since deltas of
+        the cache-global ``stats`` would mix in concurrent compiles
+        sharing this cache.
+        """
         with self._lock:
             entry = self._entries.get(key)
-            if entry is None:
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return entry, LOOKUP_MEMORY
+        # fall through to the cross-process tier outside the lock: disk
+        # reads must not serialize unrelated in-memory lookups
+        if self.shared is not None:
+            artifacts = self.shared.get(key)
+            if artifacts is not None:
+                with self._lock:
+                    self.stats.shared_hits += 1
+                    self.stats.hits += 1
+                self._install(key, artifacts)
+                return artifacts, LOOKUP_SHARED
+            with self._lock:
+                self.stats.shared_misses += 1
                 self.stats.misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self.stats.hits += 1
-            return entry
+            return None, LOOKUP_SHARED_MISS
+        with self._lock:
+            self.stats.misses += 1
+        return None, LOOKUP_MISS
 
-    def put(self, key: str, artifacts: dict[str, Any]) -> None:
+    def _install(self, key: str, artifacts: dict[str, Any]) -> int:
+        """Install an entry in the in-memory LRU (no shared write-through);
+        returns how many entries the bound pushed out."""
+        evicted = 0
         with self._lock:
             self._entries[key] = artifacts
             self._entries.move_to_end(key)
             while len(self._entries) > self.max_entries:
                 self._entries.popitem(last=False)
+                self.stats.evictions += 1
+                evicted += 1
+        return evicted
 
-    def clear(self) -> None:
+    def put(self, key: str, artifacts: dict[str, Any]) -> int:
+        """Store an entry (write-through to the shared tier); returns the
+        number of in-memory evictions this put caused."""
+        evicted = self._install(key, artifacts)
+        if self.shared is not None:
+            self.shared.put(key, artifacts)
+        return evicted
+
+    def clear(self, clear_shared: bool = False) -> None:
+        """Drop the in-memory entries and reset the stats.
+
+        The cross-process shared tier is left alone by default — other
+        processes may be serving from it, and with ``REPRO_SHARED_CACHE``
+        set a "cleared" lookup would otherwise simply be re-served from
+        disk.  Pass ``clear_shared=True`` to wipe the disk tier too (this
+        handle's view of it; peers see misses afterwards).
+        """
         with self._lock:
             self._entries.clear()
             self.stats = CacheStats()
+        if clear_shared and self.shared is not None:
+            self.shared.clear()
 
 
-_DEFAULT_CACHE = StageCache()
+def _make_default_cache() -> StageCache:
+    # honour REPRO_SHARED_CACHE in every process that imports the library
+    # (worker processes inherit the environment, so a sweep's workers all
+    # share one disk tier with zero plumbing)
+    from .shared_cache import shared_cache_from_env
+
+    return StageCache(shared=shared_cache_from_env())
+
+
+_DEFAULT_CACHE = _make_default_cache()
 
 
 def default_cache() -> StageCache:
@@ -155,6 +347,7 @@ def default_cache() -> StageCache:
     return _DEFAULT_CACHE
 
 
-def clear_default_cache() -> None:
-    """Drop every entry (and the stats) of the process-wide cache."""
-    _DEFAULT_CACHE.clear()
+def clear_default_cache(clear_shared: bool = False) -> None:
+    """Drop every in-memory entry (and the stats) of the process-wide
+    cache; see :meth:`StageCache.clear` for the shared-tier semantics."""
+    _DEFAULT_CACHE.clear(clear_shared=clear_shared)

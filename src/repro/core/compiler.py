@@ -20,13 +20,16 @@ synthesis and mapping entirely.
 from __future__ import annotations
 
 import dataclasses
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from ..arch.params import FPSAConfig
 from ..errors import InvalidRequestError
 from ..graph.graph import ComputationalGraph
 from ..synthesizer.synthesizer import SynthesisOptions
-from .cache import StageCache, default_cache
+from .cache import CacheStats, StageCache, default_cache
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from .api import WorkerPool
 from .pipeline import (
     CompileContext,
     CompileOptions,
@@ -53,6 +56,10 @@ class FPSACompiler:
         Stage cache for the pipeline: ``None`` (the default) shares the
         process-wide cache, a :class:`~repro.core.cache.StageCache` uses a
         private one, and ``False`` disables caching for this compiler.
+    pool:
+        A persistent :class:`~repro.core.api.WorkerPool` the partitioned
+        flow reuses for parallel shard compiles (``shard_jobs > 1``)
+        instead of spawning a fresh process pool per compile.
     """
 
     def __init__(
@@ -60,6 +67,7 @@ class FPSACompiler:
         config: FPSAConfig | None = None,
         synthesis_options: SynthesisOptions | None = None,
         cache: StageCache | bool | None = None,
+        pool: "WorkerPool | None" = None,
     ):
         self.config = config if config is not None else FPSAConfig()
         self.synthesis_options = (
@@ -67,6 +75,7 @@ class FPSACompiler:
             if synthesis_options is not None
             else SynthesisOptions.from_pe(self.config.pe)
         )
+        self.pool = pool
         if cache is None or cache is True:
             self.cache: StageCache | None = default_cache()
         elif cache is False:
@@ -199,6 +208,7 @@ class FPSACompiler:
             pipeline=ctx.pipeline,
             bitstream=ctx.bitstream,
             timings=timings,
+            cache_stats=ctx.cache_stats,
         )
 
     def _compile_partitioned(
@@ -259,6 +269,7 @@ class FPSACompiler:
                 bitstream=ctx.bitstream,
                 partition=plan,
                 timings=timings,
+                cache_stats=ctx.cache_stats,
             )
 
         useful_ops = graph.total_ops()
@@ -273,7 +284,9 @@ class FPSACompiler:
             useful_ops_per_sample=useful_ops,
             jobs=options.shard_jobs if options.shard_jobs is not None else 1,
             cache=cache,
+            pool=self.pool,
         )
+        cache_stats = ctx.cache_stats
         for result in shard_results:
             for t in result.timings or ():
                 timings.append(
@@ -284,6 +297,10 @@ class FPSACompiler:
                         provides=t.provides,
                     )
                 )
+            if result.cache_stats is not None:
+                if cache_stats is None:
+                    cache_stats = CacheStats()
+                cache_stats.merge(result.cache_stats)
         return DeploymentResult(
             graph=graph,
             coreops=ctx.coreops,
@@ -294,4 +311,5 @@ class FPSACompiler:
             partition=plan,
             shard_results=shard_results,
             timings=timings,
+            cache_stats=cache_stats,
         )

@@ -189,6 +189,12 @@ class CompileContext:
     pnr: Any = None
     pipeline: Any = None
     bitstream: Any = None
+    #: per-compile stage-cache counters, accumulated by every
+    #: :meth:`PassManager.run` over this context (not a context artifact:
+    #: tallied locally per run, so concurrent compiles sharing one cache
+    #: cannot contaminate each other's numbers).  ``None`` when no run
+    #: consulted a cache.
+    cache_stats: Any = field(default=None, compare=False)
 
     def resolved_synthesis_options(self) -> "SynthesisOptions":
         """The synthesis options in effect (defaults derive from the PE)."""
@@ -301,8 +307,17 @@ class PassManager:
     def run(
         self, ctx: CompileContext, cache: "StageCache | None" = None
     ) -> list[PassTiming]:
-        """Execute the passes over ``ctx``; returns the per-pass timings."""
+        """Execute the passes over ``ctx``; returns the per-pass timings.
+
+        When a cache is consulted, the run's hit/miss/eviction counters
+        (including the shared-tier split) are tallied *locally* and merged
+        into ``ctx.cache_stats`` — deltas of the cache's global counters
+        would include concurrent compiles sharing the same cache.
+        """
+        from .cache import CacheStats
+
         timings: list[PassTiming] = []
+        stats = CacheStats() if cache is not None else None
         for p in self.passes:
             missing = [r for r in p.requires if not ctx.has(r)]
             if missing:
@@ -314,7 +329,8 @@ class PassManager:
             cached = False
             key = p.cache_key(ctx) if cache is not None else None
             if key is not None:
-                hit = cache.get(key)
+                hit, tier = cache.lookup(key)
+                stats.record_lookup(tier)
                 if hit is not None:
                     for artifact, value in hit.items():
                         ctx.set(artifact, value)
@@ -322,7 +338,9 @@ class PassManager:
             if not cached:
                 p.run(ctx)
                 if key is not None:
-                    cache.put(key, {a: ctx.get(a) for a in p.provides})
+                    stats.evictions += cache.put(
+                        key, {a: ctx.get(a) for a in p.provides}
+                    )
             timings.append(
                 PassTiming(
                     name=p.name,
@@ -331,6 +349,11 @@ class PassManager:
                     provides=p.provides,
                 )
             )
+        if stats is not None:
+            if ctx.cache_stats is None:
+                ctx.cache_stats = stats
+            else:
+                ctx.cache_stats.merge(stats)
         return timings
 
 

@@ -17,6 +17,7 @@ from ..perf.metrics import PerformanceReport
 from ..perf.pipeline_sim import PipelineSimulationResult
 from ..pnr.pnr import PnRResult
 from ..synthesizer.coreop import CoreOpGraph
+from .cache import CacheStats
 from .pipeline import PassTiming
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
@@ -73,6 +74,10 @@ class DeploymentResult:
     partition: "PartitionResult | None" = None
     shard_results: "list[ShardCompileResult] | None" = field(default=None, repr=False)
     timings: list[PassTiming] | None = None
+    #: stage-cache counter increments attributable to this compile
+    #: (hits/misses/evictions and the shared-tier split); ``None`` when the
+    #: compile ran without a cache.
+    cache_stats: CacheStats | None = None
 
     @property
     def model(self) -> str:
@@ -168,9 +173,17 @@ class DeploymentResult:
         total = sum(t.seconds for t in self.timings)
         lines.append("-" * len(header))
         lines.append(f"{'total':<14} {total * 1e3:>10.2f}")
-        lines.append(
+        cache_line = (
             f"stage cache: {self.cache_hits} hit(s), {self.cache_misses} miss(es)"
         )
+        if self.cache_stats is not None:
+            cache_line += f", {self.cache_stats.evictions} eviction(s)"
+            if self.cache_stats.shared_lookups:
+                cache_line += (
+                    f"; shared tier: {self.cache_stats.shared_hits} hit(s), "
+                    f"{self.cache_stats.shared_misses} miss(es)"
+                )
+        lines.append(cache_line)
         return "\n".join(lines)
 
     def summary(self) -> str:

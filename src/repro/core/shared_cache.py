@@ -1,0 +1,275 @@
+"""Cross-process shared stage-cache tier.
+
+A :class:`SharedStageCache` is a disk-backed, content-addressed store of
+pickled pass artifacts, keyed by the exact same cache keys the in-memory
+:class:`~repro.core.cache.StageCache` uses.  It is the second tier of the
+stage cache: worker N's synthesis result, written through to the shared
+directory, serves worker M's lookup even though the two never share an
+address space.  That is what turns a 16-worker sweep of one model from 16
+syntheses into 1.
+
+Design constraints (all enforced here, not by callers):
+
+* **Atomic writes.**  An artifact is pickled to a temporary file in the
+  cache directory and published with ``os.replace``, so concurrent readers
+  either see a complete entry or none at all — never a torn pickle.
+* **Bounded size, LRU eviction.**  ``max_bytes`` caps the directory; when a
+  put pushes past it, the least-recently-used entries (by file mtime, which
+  ``get`` refreshes) are removed until the cache fits again.
+* **Crash/ corruption tolerance.**  An unreadable entry (evicted mid-read,
+  version skew, truncated by a dying process) is treated as a miss and
+  deleted; the compile then simply re-runs the pass.
+
+The tier is opt-in: attach one to a :class:`StageCache` via its ``shared=``
+argument (or :meth:`StageCache.attach_shared`), point the
+``REPRO_SHARED_CACHE`` environment variable at a directory, or pass
+``--shared-cache`` on the CLI.  Worker processes of a warm
+:class:`~repro.core.api.WorkerPool` attach the tier during pool
+initialization, once per process.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = [
+    "SHARED_CACHE_ENV",
+    "SHARED_CACHE_MAX_BYTES_ENV",
+    "DEFAULT_MAX_BYTES",
+    "SharedCacheStats",
+    "SharedStageCache",
+    "shared_cache_from_env",
+]
+
+#: environment variable naming the shared-cache directory (empty = disabled).
+SHARED_CACHE_ENV = "REPRO_SHARED_CACHE"
+
+#: environment variable overriding the size bound in bytes.
+SHARED_CACHE_MAX_BYTES_ENV = "REPRO_SHARED_CACHE_MAX_BYTES"
+
+#: default size bound: generous for artifact pickles, small for a disk.
+DEFAULT_MAX_BYTES = 512 * 1024 * 1024
+
+_SUFFIX = ".pkl"
+
+
+@dataclass
+class SharedCacheStats:
+    """Hit/miss/write counters of one :class:`SharedStageCache` handle.
+
+    Counters are per-process (each worker holds its own handle onto the
+    shared directory); the directory itself carries no counters.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+    #: entries that failed to pickle/unpickle and were skipped or dropped.
+    errors: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class SharedStageCache:
+    """Disk-backed, content-addressed artifact store shared across processes.
+
+    Values are ``{artifact name: object}`` dicts exactly as the in-memory
+    :class:`~repro.core.cache.StageCache` holds them; keys are the passes'
+    content-addressed cache keys.  Safe for concurrent use by any number of
+    processes on one filesystem.
+    """
+
+    def __init__(self, directory: str, max_bytes: int = DEFAULT_MAX_BYTES):
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        self.directory = os.path.abspath(directory)
+        self.max_bytes = max_bytes
+        self.stats = SharedCacheStats()
+        self._lock = threading.Lock()
+        #: running estimate of the on-disk footprint, maintained so puts
+        #: need not rescan the whole directory; ``None`` until the first
+        #: put seeds it with a real scan.  Peer processes' writes make it
+        #: drift low, but every eviction pass rescans and corrects it.
+        self._approx_bytes: int | None = None
+        os.makedirs(self.directory, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # paths
+    # ------------------------------------------------------------------
+
+    def _path(self, key: str) -> str:
+        # two-level fan-out keeps directory listings short for big caches
+        return os.path.join(self.directory, key[:2], key + _SUFFIX)
+
+    def __contains__(self, key: str) -> bool:
+        return os.path.exists(self._path(key))
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entries())
+
+    def _entries(self):
+        """Yield ``(path, mtime, size)`` for every published entry."""
+        try:
+            shards = os.listdir(self.directory)
+        except OSError:
+            return
+        for shard in shards:
+            shard_dir = os.path.join(self.directory, shard)
+            try:
+                names = os.listdir(shard_dir)
+            except OSError:
+                continue
+            for name in names:
+                if not name.endswith(_SUFFIX):
+                    continue
+                path = os.path.join(shard_dir, name)
+                try:
+                    stat = os.stat(path)
+                except OSError:
+                    continue  # evicted by a peer between listdir and stat
+                yield path, stat.st_mtime, stat.st_size
+
+    # ------------------------------------------------------------------
+    # get / put
+    # ------------------------------------------------------------------
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """Load the artifacts stored under ``key``, or ``None`` on a miss."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                artifacts = pickle.load(handle)
+        except FileNotFoundError:
+            with self._lock:
+                self.stats.misses += 1
+            return None
+        except Exception:  # noqa: BLE001 - unreadable entry: drop, recompute
+            with self._lock:
+                self.stats.misses += 1
+                self.stats.errors += 1
+            self._remove(path)
+            return None
+        # refresh the mtime so eviction sees this entry as recently used
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+        with self._lock:
+            self.stats.hits += 1
+        return artifacts
+
+    def put(self, key: str, artifacts: dict[str, Any]) -> bool:
+        """Publish ``artifacts`` under ``key``; returns whether it stuck.
+
+        Unpicklable artifacts are skipped (counted in ``stats.errors``)
+        rather than raised: the shared tier is an accelerator, never a
+        correctness dependency.
+        """
+        try:
+            payload = pickle.dumps(artifacts, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:  # noqa: BLE001 - see docstring
+            with self._lock:
+                self.stats.errors += 1
+            return False
+        path = self._path(key)
+        shard_dir = os.path.dirname(path)
+        try:
+            os.makedirs(shard_dir, exist_ok=True)
+            fd, tmp_path = tempfile.mkstemp(
+                dir=shard_dir, prefix=".tmp-", suffix=_SUFFIX
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(payload)
+                os.replace(tmp_path, path)  # atomic publish
+            except BaseException:
+                self._remove(tmp_path)
+                raise
+        except OSError:
+            with self._lock:
+                self.stats.errors += 1
+            return False
+        with self._lock:
+            self.stats.puts += 1
+            if self._approx_bytes is None:
+                scan_needed = True
+            else:
+                self._approx_bytes += len(payload)
+                scan_needed = self._approx_bytes > self.max_bytes
+        if scan_needed:
+            # full scans are O(total entries); they run only to seed the
+            # estimate and when the estimate says the bound is crossed
+            self._evict_to_fit()
+        return True
+
+    # ------------------------------------------------------------------
+    # eviction / maintenance
+    # ------------------------------------------------------------------
+
+    def _remove(self, path: str) -> None:
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+
+    def _evict_to_fit(self) -> None:
+        """Remove least-recently-used entries until the cache fits.
+
+        Rescans the directory (the authoritative size), evicts oldest
+        first, and re-seeds the running estimate with the true total."""
+        entries = sorted(self._entries(), key=lambda e: e[1])  # oldest first
+        total = sum(size for _, _, size in entries)
+        for path, _, size in entries:
+            if total <= self.max_bytes:
+                break
+            self._remove(path)
+            total -= size
+            with self._lock:
+                self.stats.evictions += 1
+        with self._lock:
+            self._approx_bytes = total
+
+    def total_bytes(self) -> int:
+        """Current on-disk footprint of the published entries."""
+        return sum(size for _, _, size in self._entries())
+
+    def clear(self) -> None:
+        """Drop every entry (peers see misses afterwards) and the stats."""
+        for path, _, _ in list(self._entries()):
+            self._remove(path)
+        with self._lock:
+            self.stats = SharedCacheStats()
+            self._approx_bytes = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SharedStageCache {self.directory!r} "
+            f"max_bytes={self.max_bytes}>"
+        )
+
+
+def shared_cache_from_env() -> SharedStageCache | None:
+    """The shared cache named by ``REPRO_SHARED_CACHE``, or ``None``."""
+    directory = os.environ.get(SHARED_CACHE_ENV, "").strip()
+    if not directory:
+        return None
+    raw = os.environ.get(SHARED_CACHE_MAX_BYTES_ENV, "").strip()
+    max_bytes = DEFAULT_MAX_BYTES
+    if raw:
+        try:
+            max_bytes = int(raw)
+        except ValueError:
+            max_bytes = DEFAULT_MAX_BYTES
+    return SharedStageCache(directory, max_bytes=max_bytes)

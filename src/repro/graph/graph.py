@@ -47,6 +47,10 @@ class ComputationalGraph:
         self.name = name
         self._nodes: dict[str, GraphNode] = {}
         self._order: list[str] = []
+        #: bumped by every structural mutation; memoized fingerprints
+        #: (:func:`repro.core.cache.graph_fingerprint`) key on it so a
+        #: mutated graph can never serve a stale digest.
+        self.mutation_count = 0
 
     # ------------------------------------------------------------- building
     def add(self, name: str, op: Operation, inputs: list[str] | None = None) -> GraphNode:
@@ -75,6 +79,7 @@ class ComputationalGraph:
         node = GraphNode(name=name, op=op, inputs=inputs, output=output)
         self._nodes[name] = node
         self._order.append(name)
+        self.mutation_count += 1
         return node
 
     # ------------------------------------------------------------- querying

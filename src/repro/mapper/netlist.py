@@ -70,11 +70,17 @@ class FunctionBlockNetlist:
     model: str
     blocks: dict[str, Block] = field(default_factory=dict)
     nets: list[Net] = field(default_factory=list)
+    #: bumped by every structural mutation; memoized fingerprints
+    #: (:func:`repro.core.cache.netlist_fingerprint`) key on it so a
+    #: mutated netlist can never serve a stale digest.  Mutate only
+    #: through :meth:`add_block`/:meth:`add_net`.
+    mutation_count: int = field(default=0, repr=False, compare=False)
 
     def add_block(self, block: Block) -> Block:
         if block.name in self.blocks:
             raise ValueError(f"duplicate block name {block.name!r}")
         self.blocks[block.name] = block
+        self.mutation_count += 1
         return block
 
     def add_net(self, net: Net) -> Net:
@@ -82,6 +88,7 @@ class FunctionBlockNetlist:
         if unknown:
             raise ValueError(f"net {net.name!r} references unknown blocks {unknown}")
         self.nets.append(net)
+        self.mutation_count += 1
         return net
 
     def count(self, block_type: str) -> int:

@@ -32,6 +32,7 @@ from ..perf.metrics import LatencyBreakdown, PerformanceReport
 from .plan import PartitionResult, Shard
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.api import WorkerPool
     from ..perf.bounds import UtilizationBounds
 
 __all__ = [
@@ -63,6 +64,9 @@ class ShardCompileResult:
     pipeline: Any = None
     bitstream: Any = None
     timings: list[PassTiming] | None = None
+    #: this shard's per-compile stage-cache counters (tallied by its own
+    #: pass-manager run, so parallel shards stay uncontaminated).
+    cache_stats: Any = None
 
     @property
     def index(self) -> int:
@@ -138,6 +142,7 @@ def run_backend(
         pipeline=ctx.pipeline,
         bitstream=ctx.bitstream,
         timings=timings,
+        cache_stats=ctx.cache_stats,
     )
 
 
@@ -159,13 +164,17 @@ def compile_shards(
     useful_ops_per_sample: float,
     jobs: int | None = 1,
     cache: StageCache | None = None,
+    pool: "WorkerPool | None" = None,
 ) -> list[ShardCompileResult]:
     """Compile every shard of a partition plan, optionally in parallel.
 
     ``jobs`` follows :func:`repro.core.api.deploy_many`: ``1`` compiles
     sequentially sharing ``cache`` across the shards, ``None``/``>1``
     spreads the shards over a process pool (each worker keeps a per-process
-    cache, since a live :class:`StageCache` cannot cross processes).
+    cache, since a live :class:`StageCache` cannot cross processes — a
+    warm :class:`~repro.core.api.WorkerPool` given via ``pool=`` is reused
+    instead of spawning a fresh one, and its shared-cache tier lets one
+    worker's synthesis serve another's lookup).
     """
     shard_macs = [shard.coreops.total_macs() for shard in plan.shards]
     total_macs = sum(shard_macs)
@@ -184,7 +193,7 @@ def compile_shards(
                 cache,
             )
         )
-    sequential = jobs == 1 or len(payloads) == 1
+    sequential = pool is None and (jobs == 1 or len(payloads) == 1)
     if not sequential:
         marker = (
             "__default__"
@@ -192,7 +201,7 @@ def compile_shards(
             else ("__private__" if cache is not None else None)
         )
         payloads = [(s, c, o, n, marker) for (s, c, o, n, _) in payloads]
-    return run_pool(_compile_shard, payloads, jobs=jobs)
+    return run_pool(_compile_shard, payloads, jobs=jobs, pool=pool)
 
 
 # --------------------------------------------------------------------------

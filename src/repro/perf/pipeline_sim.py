@@ -99,6 +99,19 @@ class PipelineSimulator:
             candidate += schedule.window
         return upper
 
+    @staticmethod
+    def _overlap_at_offset(
+        intervals: list[tuple[int, int]], offset: int
+    ) -> tuple[tuple[int, int], tuple[int, int]] | None:
+        """The first overlapping pair between the interval set and a copy
+        of itself shifted by ``offset``, or ``None`` when conflict-free."""
+        shifted = [(s + offset, e + offset) for s, e in intervals]
+        merged = sorted(intervals + shifted)
+        for (s1, e1), (s2, e2) in zip(merged, merged[1:]):
+            if s2 < e1:
+                return (s1, e1), (s2, e2)
+        return None
+
     # -------------------------------------------------------------- running
     def run(self, schedule: Schedule, n_samples: int = 8) -> PipelineSimulationResult:
         """Simulate ``n_samples`` samples streaming through the schedule."""
@@ -107,20 +120,33 @@ class PipelineSimulator:
         ii = self.minimum_initiation_interval(schedule)
         makespan = schedule.makespan
 
-        # verify by explicit event replay: no PE may be double-booked.
-        events: dict[str, list[tuple[int, int]]] = {}
-        for sample in range(n_samples):
-            offset = sample * ii
-            for op in schedule.ops.values():
-                events.setdefault(op.pe, []).append((op.start + offset, op.end + offset))
-        for pe, intervals in events.items():
-            intervals.sort()
-            for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
-                if s2 < e1:
-                    raise RuntimeError(
-                        f"initiation interval {ii} double-books PE {pe}: "
-                        f"({s1},{e1}) overlaps ({s2},{e2})"
-                    )
+        # Verify that no PE is double-booked.  The stream is periodic in
+        # the II — sample s and sample s+k conflict exactly when sample 0
+        # and sample k do — so checking sample 0 against each overlapping
+        # later sample covers every pair; offsets at or beyond the PE's
+        # busy span (or the sample count) cannot conflict.  This replaces
+        # the former O(n_samples x ops) explicit event replay with work
+        # independent of n_samples.
+        if ii > 0:
+            for pe, intervals in schedule.pe_intervals().items():
+                # k = 0: the schedule itself must not double-book the PE
+                ordered = sorted(intervals)
+                for (s1, e1), (s2, e2) in zip(ordered, ordered[1:]):
+                    if s2 < e1:
+                        raise RuntimeError(
+                            f"initiation interval {ii} double-books PE {pe}: "
+                            f"({s1},{e1}) overlaps ({s2},{e2})"
+                        )
+                span = max(e for _, e in intervals) - min(s for s, _ in intervals)
+                max_k = min(n_samples - 1, (span - 1) // ii if span > 0 else 0)
+                for k in range(1, max_k + 1):
+                    overlap = self._overlap_at_offset(intervals, k * ii)
+                    if overlap is not None:
+                        (s1, e1), (s2, e2) = overlap
+                        raise RuntimeError(
+                            f"initiation interval {ii} double-books PE {pe}: "
+                            f"({s1},{e1}) overlaps ({s2},{e2})"
+                        )
 
         total_cycles = makespan + (n_samples - 1) * ii
         return PipelineSimulationResult(

@@ -8,7 +8,11 @@ the experiment harnesses, and any future HTTP/queue service:
 * :mod:`~repro.service.client` — :func:`serve_request` (the single
   execution choke point) and the in-process :class:`FPSAClient`.
 * :mod:`~repro.service.jobs` — the async :class:`JobManager`
-  (QUEUED/RUNNING/DONE/FAILED) over the batch process pool.
+  (QUEUED/RUNNING/DONE/FAILED) over the batch process pool, with
+  coalescing of identical in-flight requests.
+* :mod:`~repro.service.runtime` — the :class:`ServingRuntime`: persistent
+  warm worker pool + cross-process shared stage cache + coalescing, the
+  high-throughput front door for serving traffic.
 * :mod:`~repro.service.store` — the content-addressed :class:`ArtifactStore`
   for durable, comparable run results.
 
@@ -27,7 +31,8 @@ from ..errors import (
     error_from_payload,
 )
 from .client import FPSAClient, ServedCompile, serve_request
-from .jobs import JobInfo, JobManager, JobState
+from .jobs import JobInfo, JobManager, JobManagerStats, JobState
+from .runtime import ServingRuntime
 from .schemas import (
     SCHEMA_VERSION,
     CompileRequest,
@@ -51,8 +56,10 @@ __all__ = [
     "ServedCompile",
     "serve_request",
     "JobManager",
+    "JobManagerStats",
     "JobState",
     "JobInfo",
+    "ServingRuntime",
     "ArtifactStore",
     "RunRecord",
     "FPSAError",

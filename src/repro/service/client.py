@@ -101,7 +101,9 @@ def serve_request(
         request=request,
         status="ok",
         summary=ResultSummary.from_result(result, compiler.config),
-        timings=CompileTimings.from_pass_timings(result.timings),
+        timings=CompileTimings.from_pass_timings(
+            result.timings, cache_stats=result.cache_stats
+        ),
     )
     return ServedCompile(response=response, result=result)
 

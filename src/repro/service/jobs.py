@@ -10,10 +10,23 @@ structured error payloads — a FAILED job never raises unless asked to).
 
 Requests and responses cross the worker boundary as plain dicts, so the
 pool exercises exactly the wire schemas an out-of-process front-end would.
+
+Two serving-runtime behaviours live here:
+
+* **Warm-pool reuse** — pass a persistent
+  :class:`~repro.core.api.WorkerPool` via ``pool=`` and the manager runs
+  jobs on it without owning it: consecutive managers (or batches) land on
+  the same warm worker processes instead of paying a pool spawn each time.
+* **Request coalescing** — identical in-flight requests (same canonical
+  :meth:`CompileRequest.fingerprint`, which excludes ``tags``) share one
+  compile: followers attach to the primary job's future and the response
+  is fanned out to each with its own request object.  Disable per manager
+  with ``coalesce=False``.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 import os
 import sys
@@ -31,7 +44,7 @@ from enum import Enum
 from typing import TYPE_CHECKING, Any, Iterable
 
 from ..arch.params import FPSAConfig
-from ..core.api import _MAX_AUTO_JOBS, _worker_private_cache
+from ..core.api import _MAX_AUTO_JOBS, WorkerPool, _worker_private_cache
 from ..core.cache import StageCache
 from ..errors import InvalidRequestError
 from .client import serve_request
@@ -40,7 +53,7 @@ from .schemas import CompileRequest, CompileResponse, ErrorPayload
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .store import ArtifactStore
 
-__all__ = ["JobState", "JobInfo", "JobManager"]
+__all__ = ["JobState", "JobInfo", "JobManager", "JobManagerStats"]
 
 
 class JobState(str, Enum):
@@ -58,12 +71,19 @@ class JobState(str, Enum):
 
 @dataclass(frozen=True)
 class JobInfo:
-    """Point-in-time snapshot of one job's state."""
+    """Point-in-time snapshot of one job's state.
+
+    ``seconds`` is the submit-to-finish latency (``None`` while the job is
+    still in flight); ``coalesced`` marks a follower that shared another
+    job's compile instead of running its own.
+    """
 
     job_id: str
     model: str
     state: JobState
     error: ErrorPayload | None = None
+    seconds: float | None = None
+    coalesced: bool = False
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -71,7 +91,20 @@ class JobInfo:
             "model": self.model,
             "state": self.state.value,
             "error": self.error.to_dict() if self.error else None,
+            "seconds": self.seconds,
+            "coalesced": self.coalesced,
         }
+
+
+@dataclass
+class JobManagerStats:
+    """Lifetime counters of one :class:`JobManager`."""
+
+    submitted: int = 0
+    #: jobs that attached to an identical in-flight request's compile.
+    coalesced: int = 0
+    completed: int = 0
+    failed: int = 0
 
 
 def _execute_job(
@@ -107,6 +140,23 @@ class _Job:
         self.response: CompileResponse | None = None
         self.finished = threading.Event()
         self.cancelled = False
+        #: canonical request identity used for coalescing (tags excluded).
+        self.fingerprint = request.fingerprint()
+        #: follower jobs sharing this (primary) job's compile.
+        self.followers: list["_Job"] = []
+        #: the primary job this (follower) job coalesced onto.
+        self.primary: "_Job | None" = None
+        #: set (under the manager lock) once the fan-out follower snapshot
+        #: is taken: no follower may attach past this point.
+        self.retired = False
+        self.submitted_at = time.monotonic()
+        self.finished_at: float | None = None
+
+    @property
+    def seconds(self) -> float | None:
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
 
 
 class JobManager:
@@ -132,9 +182,20 @@ class JobManager:
         heavy compiles exactly like ``deploy_many``; ``False`` uses threads
         (in-process, shares the stage cache — useful for tests and for
         cache-friendly sweeps of cheap models).
+    pool:
+        A persistent :class:`~repro.core.api.WorkerPool` (or any
+        ``Executor``) to run jobs on.  The manager does *not* own it: it
+        stays alive after ``shutdown``/``__exit__``, so the next manager
+        (or batch) reuses the same warm workers.  ``max_workers`` and
+        ``use_processes`` are ignored when a pool is given.
+    coalesce:
+        Deduplicate identical in-flight requests (default on): a request
+        whose canonical fingerprint matches a submitted-but-unfinished
+        job rides that job's compile and receives a fanned-out copy of
+        its response.
 
     The manager is a context manager; leaving the ``with`` block shuts the
-    pool down after the submitted jobs finish.
+    pool down after the submitted jobs finish (owned pools only).
     """
 
     def __init__(
@@ -144,27 +205,40 @@ class JobManager:
         cache: StageCache | bool | None = None,
         store: "ArtifactStore | None" = None,
         use_processes: bool = True,
+        pool: "WorkerPool | Executor | None" = None,
+        coalesce: bool = True,
     ):
         if max_workers is not None and max_workers < 1:
             raise InvalidRequestError(
                 f"max_workers must be >= 1, got {max_workers}",
                 details={"max_workers": max_workers},
             )
-        if max_workers is None:
-            # same auto sizing as deploy_many's process pool
-            max_workers = min(os.cpu_count() or 1, _MAX_AUTO_JOBS)
-        pool_cls: type[Executor] = ProcessPoolExecutor if use_processes else ThreadPoolExecutor
-        self._pool: Executor = pool_cls(max_workers=max_workers)
+        if pool is not None:
+            self._pool = pool.executor if isinstance(pool, WorkerPool) else pool
+            self._owns_pool = False
+        else:
+            if max_workers is None:
+                # same auto sizing as deploy_many's process pool
+                max_workers = min(os.cpu_count() or 1, _MAX_AUTO_JOBS)
+            pool_cls: type[Executor] = (
+                ProcessPoolExecutor if use_processes else ThreadPoolExecutor
+            )
+            self._pool = pool_cls(max_workers=max_workers)
+            self._owns_pool = True
         self.config = config
         # a StageCache instance cannot cross a process boundary; preserve the
         # isolation a private cache asks for with one private cache per worker
+        crosses_processes = pool is not None or use_processes
         self._worker_cache: StageCache | bool | str | None = (
             "__private__"
-            if use_processes and isinstance(cache, StageCache)
+            if crosses_processes and isinstance(cache, StageCache)
             else cache
         )
         self.store = store
+        self.coalesce = coalesce
+        self.stats = JobManagerStats()
         self._jobs: dict[str, _Job] = {}
+        self._inflight: dict[str, _Job] = {}
         self._lock = threading.Lock()
         self._counter = itertools.count(1)
 
@@ -173,7 +247,13 @@ class JobManager:
     # ------------------------------------------------------------------
 
     def submit(self, request: CompileRequest | str | dict) -> str:
-        """Queue one request; returns its job id immediately."""
+        """Queue one request; returns its job id immediately.
+
+        With coalescing enabled, a request identical to one already in
+        flight (same canonical fingerprint) does not reach the pool at
+        all: it becomes a follower of the in-flight job and finishes when
+        that compile does, with its own copy of the response.
+        """
         if isinstance(request, str):
             request = CompileRequest(model=request)
         elif isinstance(request, dict):
@@ -182,15 +262,43 @@ class JobManager:
             job_id = f"job-{next(self._counter):04d}"
             job = _Job(job_id, request)
             self._jobs[job_id] = job
+            self.stats.submitted += 1
+            if self.coalesce:
+                primary = self._inflight.get(job.fingerprint)
+                if primary is not None:
+                    # attach under the lock: _finish pops the in-flight
+                    # entry under the same lock, so the primary cannot fan
+                    # out between our check and the attach
+                    job.primary = primary
+                    primary.followers.append(job)
+                    self.stats.coalesced += 1
+                    return job_id
+            self._inflight[job.fingerprint] = job
         try:
             future = self._pool.submit(
                 _execute_job, request.to_dict(), self.config, self._worker_cache
             )
-        except Exception:
+        except Exception as exc:
             # e.g. submit after shutdown: don't leave an orphan job that
-            # wait_all()/result() would block on forever
+            # wait_all()/result() would block on forever — and release any
+            # follower that attached between the lock and the failed submit
             with self._lock:
                 self._jobs.pop(job_id, None)
+                if self._inflight.get(job.fingerprint) is job:
+                    del self._inflight[job.fingerprint]
+                followers = list(job.followers)
+            now = time.monotonic()
+            for follower in followers:
+                self._publish(
+                    follower,
+                    CompileResponse(
+                        request=follower.request,
+                        status="error",
+                        error=ErrorPayload.from_exception(exc),
+                    ),
+                    None,
+                    now,
+                )
             raise
         job.future = future
         future.add_done_callback(lambda f, j=job: self._finish(j, f))
@@ -222,7 +330,40 @@ class JobManager:
                 error=ErrorPayload.from_exception(exc),
             )
             bitstream = None
+        # stop accepting followers before publishing: a submit that misses
+        # the in-flight entry starts a fresh compile instead of racing us
+        with self._lock:
+            if self._inflight.get(job.fingerprint) is job:
+                del self._inflight[job.fingerprint]
+            job.retired = True
+            followers = list(job.followers)
+        now = time.monotonic()
+        self._publish(job, response, bitstream, now)
+        for follower in followers:
+            # identical fingerprint, but the requests may differ in tags:
+            # every follower gets the shared result under its own request
+            self._publish(
+                follower,
+                dataclasses.replace(response, request=follower.request),
+                bitstream,
+                now,
+            )
+
+    def _publish(
+        self,
+        job: _Job,
+        response: CompileResponse,
+        bitstream: str | None,
+        finished_at: float,
+    ) -> None:
+        """Finalize one job: record, persist, and wake its waiters."""
         job.response = response
+        job.finished_at = finished_at
+        with self._lock:
+            if response.ok:
+                self.stats.completed += 1
+            else:
+                self.stats.failed += 1
         try:
             if self.store is not None:
                 self.store.save(response, bitstream_json=bitstream)
@@ -249,15 +390,28 @@ class JobManager:
     def status(self, job_id: str) -> JobInfo:
         """Snapshot of one job's lifecycle state."""
         job = self._get(job_id)
+        coalesced = job.primary is not None
         if job.response is not None:
             state = JobState.DONE if job.response.ok else JobState.FAILED
-            return JobInfo(job_id, job.request.model, state, error=job.response.error)
-        future = job.future
+            return JobInfo(
+                job_id,
+                job.request.model,
+                state,
+                error=job.response.error,
+                seconds=job.seconds,
+                coalesced=coalesced,
+            )
+        # a follower's lifecycle mirrors the primary compile it shares
+        future = job.future if job.primary is None else job.primary.future
         # a completed future whose done callback has not filled in the
         # response yet must still read RUNNING, never regress to QUEUED
         if future is not None and (future.running() or future.done()):
-            return JobInfo(job_id, job.request.model, JobState.RUNNING)
-        return JobInfo(job_id, job.request.model, JobState.QUEUED)
+            return JobInfo(
+                job_id, job.request.model, JobState.RUNNING, coalesced=coalesced
+            )
+        return JobInfo(
+            job_id, job.request.model, JobState.QUEUED, coalesced=coalesced
+        )
 
     def jobs(self) -> list[JobInfo]:
         """Snapshots of every submitted job, in submission order."""
@@ -297,14 +451,32 @@ class JobManager:
         """Cancel a QUEUED job; returns whether cancellation succeeded.
 
         A cancelled job moves to FAILED with a ``cancelled`` error payload.
-        RUNNING and finished jobs cannot be cancelled.
+        RUNNING and finished jobs cannot be cancelled, and neither can
+        coalesced jobs: a follower shares its compile with other waiters,
+        and cancelling a primary with followers would cancel them all.
         """
         job = self._get(job_id)
         if job.future is None or job.response is not None:
             return False
+        # retire the in-flight entry *before* cancelling so no follower can
+        # attach between the check and the cancel (Future.cancel runs the
+        # done callbacks synchronously, so it must happen outside the lock)
+        with self._lock:
+            if job.followers:
+                return False
+            removed = self._inflight.get(job.fingerprint) is job
+            if removed:
+                del self._inflight[job.fingerprint]
         cancelled = job.future.cancel()
         if cancelled:
             job.cancelled = True
+        elif removed:
+            # the job is running after all: restore coalescability unless
+            # its fan-out already snapshotted the followers (retired) or a
+            # duplicate already claimed the slot
+            with self._lock:
+                if not job.retired:
+                    self._inflight.setdefault(job.fingerprint, job)
         return cancelled
 
     def wait_all(self, timeout: float | None = None) -> list[CompileResponse]:
@@ -313,12 +485,22 @@ class JobManager:
             ids = list(self._jobs)
         return [self.result(job_id, timeout=timeout) for job_id in ids]
 
+    def latencies(self) -> list[float]:
+        """Submit-to-finish seconds of every finished job, in submission
+        order (the serve-bench reads p50/p99 off this)."""
+        with self._lock:
+            jobs = list(self._jobs.values())
+        return [job.seconds for job in jobs if job.seconds is not None]
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
 
     def shutdown(self, wait: bool = True) -> None:
-        self._pool.shutdown(wait=wait)
+        """Shut the pool down — owned pools only; an external
+        :class:`WorkerPool` stays warm for the next manager."""
+        if self._owns_pool:
+            self._pool.shutdown(wait=wait)
 
     def __enter__(self) -> "JobManager":
         return self

@@ -1,0 +1,195 @@
+"""The high-throughput serving runtime.
+
+:class:`ServingRuntime` is the long-lived front door for serving compile
+traffic.  It composes the three between-request optimizations this layer
+owns — none of which speed up a single compile, all of which speed up a
+*stream* of them:
+
+* a **persistent warm worker pool** (:class:`~repro.core.api.WorkerPool`):
+  worker processes are spawned once, pre-import the model zoo and the pass
+  pipeline, and stay alive across every batch the runtime serves;
+* a **cross-process shared stage cache**
+  (:class:`~repro.core.shared_cache.SharedStageCache`): each worker's
+  in-memory stage cache is backed by one disk-backed content-addressed
+  tier, so worker N's synthesis serves worker M's lookup;
+* **request coalescing** (:class:`~repro.service.jobs.JobManager`):
+  identical in-flight requests share one compile, and the response fans
+  out to every waiter.
+
+Typical use::
+
+    with ServingRuntime(max_workers=4) as runtime:
+        responses = runtime.serve_batch(requests)      # batch 1: cold
+        responses = runtime.serve_batch(requests)      # batch 2: warm
+        print(runtime.stats())
+
+The runtime owns its pool and its shared-cache directory (a temporary
+directory unless one is given), and tears both down on ``close()`` /
+context exit.  ``repro bench --serve`` measures exactly this runtime
+against the fresh-pool/private-cache baseline.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from typing import TYPE_CHECKING, Any, Iterable
+
+from ..arch.params import FPSAConfig
+from ..core.api import WorkerPool
+from ..core.cache import StageCache
+from ..core.shared_cache import SharedStageCache, shared_cache_from_env
+from .jobs import JobManager
+from .schemas import CompileRequest, CompileResponse
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .store import ArtifactStore
+
+__all__ = ["ServingRuntime"]
+
+
+class ServingRuntime:
+    """Warm-pool, shared-cache, coalescing front door for compile traffic.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker processes of the persistent pool; ``None`` picks
+        ``min(cpu_count, 8)``.
+    config:
+        Hardware configuration served to every request.
+    shared_cache_dir:
+        Directory of the cross-process shared stage cache.  ``None`` uses
+        the ``REPRO_SHARED_CACHE`` environment variable when set, else a
+        private temporary directory (removed on ``close``); ``False``
+        disables the shared tier.
+    coalesce:
+        Deduplicate identical in-flight requests (default on).
+    store:
+        Optional :class:`~repro.service.store.ArtifactStore` every
+        response is persisted to.
+    use_processes:
+        ``False`` serves in-process on threads (no pool spawn, shared
+        in-memory stage cache with the shared tier attached) — useful for
+        tests and very cheap models.
+    """
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        config: FPSAConfig | None = None,
+        shared_cache_dir: str | None | bool = None,
+        coalesce: bool = True,
+        store: "ArtifactStore | None" = None,
+        use_processes: bool = True,
+    ):
+        self.config = config
+        self._owns_cache_dir = False
+        if shared_cache_dir is None:
+            env = shared_cache_from_env()
+            if env is not None:
+                shared_cache_dir = env.directory
+            else:
+                shared_cache_dir = tempfile.mkdtemp(prefix="repro-shared-cache-")
+                self._owns_cache_dir = True
+        elif shared_cache_dir is False:
+            shared_cache_dir = None
+        self.shared_cache_dir: str | None = shared_cache_dir or None
+
+        self.pool: WorkerPool | None = None
+        cache: StageCache | None = None
+        if use_processes:
+            self.pool = WorkerPool(
+                max_workers=max_workers,
+                shared_cache_dir=(
+                    self.shared_cache_dir
+                    if self.shared_cache_dir is not None
+                    else False
+                ),
+            )
+        elif self.shared_cache_dir is not None:
+            # thread mode: one in-process stage cache with the shared tier
+            cache = StageCache(shared=SharedStageCache(self.shared_cache_dir))
+        self.manager = JobManager(
+            max_workers=max_workers,
+            config=config,
+            cache=cache,
+            store=store,
+            use_processes=use_processes,
+            pool=self.pool,
+            coalesce=coalesce,
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+
+    def submit(self, request: CompileRequest | str | dict) -> str:
+        """Queue one request on the warm pool; returns the job id."""
+        return self.manager.submit(request)
+
+    def result(self, job_id: str, timeout: float | None = None) -> CompileResponse:
+        """Block until a submitted job finishes; returns its response."""
+        return self.manager.result(job_id, timeout=timeout)
+
+    def serve(
+        self, request: CompileRequest | str | dict, timeout: float | None = None
+    ) -> CompileResponse:
+        """Serve one request synchronously (never raises for compile
+        failures — the error rides the response payload)."""
+        return self.result(self.submit(request), timeout=timeout)
+
+    def serve_batch(
+        self,
+        requests: Iterable[CompileRequest | str | dict],
+        timeout: float | None = None,
+    ) -> list[CompileResponse]:
+        """Serve a batch of requests concurrently; responses in order.
+
+        Identical requests within (or across) batches coalesce onto one
+        compile, and every batch lands on the same warm workers.
+        """
+        job_ids = [self.submit(request) for request in requests]
+        return [self.result(job_id, timeout=timeout) for job_id in job_ids]
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """Serving counters: jobs, coalescing, pool and shared-cache state."""
+        manager_stats = self.manager.stats
+        return {
+            "submitted": manager_stats.submitted,
+            "coalesced": manager_stats.coalesced,
+            "completed": manager_stats.completed,
+            "failed": manager_stats.failed,
+            "worker_pids": self.pool.worker_pids() if self.pool else [],
+            "shared_cache_dir": self.shared_cache_dir,
+        }
+
+    def latencies(self) -> list[float]:
+        """Submit-to-finish seconds of every finished job so far."""
+        return self.manager.latencies()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self, wait: bool = True) -> None:
+        """Shut the pool down and remove an owned shared-cache directory."""
+        if self._closed:
+            return
+        self._closed = True
+        self.manager.shutdown(wait=wait)
+        if self.pool is not None:
+            self.pool.shutdown(wait=wait)
+        if self._owns_cache_dir and self.shared_cache_dir:
+            shutil.rmtree(self.shared_cache_dir, ignore_errors=True)
+
+    def __enter__(self) -> "ServingRuntime":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

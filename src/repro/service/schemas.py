@@ -253,17 +253,31 @@ class PassTimingEntry:
 
 @dataclass(frozen=True)
 class CompileTimings:
-    """Per-pass wall-clock timings plus the stage-cache hit/miss counters."""
+    """Per-pass wall-clock timings plus the stage-cache counters.
+
+    ``cache_hits``/``cache_misses`` count passes served from (or missed
+    by) the stage cache; ``evictions`` counts in-memory LRU entries this
+    compile pushed out, and ``shared_cache_hits``/``shared_cache_misses``
+    count the cross-process shared-tier lookups (zero when no shared tier
+    is attached).
+    """
 
     passes: tuple[PassTimingEntry, ...]
     total_seconds: float
     cache_hits: int
     cache_misses: int
+    evictions: int = 0
+    shared_cache_hits: int = 0
+    shared_cache_misses: int = 0
 
     @classmethod
     def from_pass_timings(
-        cls, timings: "list[PassTiming] | None"
+        cls,
+        timings: "list[PassTiming] | None",
+        cache_stats: Any = None,
     ) -> "CompileTimings | None":
+        """Build from live pass timings, plus the compile's
+        :class:`~repro.core.cache.CacheStats` delta when available."""
         if timings is None:
             return None
         entries = tuple(
@@ -278,7 +292,15 @@ class CompileTimings:
             total_seconds=sum(t.seconds for t in timings),
             cache_hits=sum(1 for t in timings if t.cached),
             cache_misses=sum(1 for t in timings if not t.cached),
+            evictions=getattr(cache_stats, "evictions", 0),
+            shared_cache_hits=getattr(cache_stats, "shared_hits", 0),
+            shared_cache_misses=getattr(cache_stats, "shared_misses", 0),
         )
+
+    @property
+    def shared_cache_hit_rate(self) -> float:
+        lookups = self.shared_cache_hits + self.shared_cache_misses
+        return self.shared_cache_hits / lookups if lookups else 0.0
 
     def seconds_by_stage(self) -> dict[str, float]:
         """Wall-clock seconds keyed by pass name (wire-safe flat mapping)."""
@@ -290,6 +312,9 @@ class CompileTimings:
             "total_seconds": self.total_seconds,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "evictions": self.evictions,
+            "shared_cache_hits": self.shared_cache_hits,
+            "shared_cache_misses": self.shared_cache_misses,
         }
 
     @classmethod
@@ -300,6 +325,9 @@ class CompileTimings:
             total_seconds=float(_require(data, "total_seconds", "CompileTimings")),
             cache_hits=int(_require(data, "cache_hits", "CompileTimings")),
             cache_misses=int(_require(data, "cache_misses", "CompileTimings")),
+            evictions=int(data.get("evictions", 0)),
+            shared_cache_hits=int(data.get("shared_cache_hits", 0)),
+            shared_cache_misses=int(data.get("shared_cache_misses", 0)),
         )
 
 

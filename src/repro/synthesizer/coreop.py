@@ -130,12 +130,17 @@ class CoreOpGraph:
         self.name = name
         self._groups: dict[str, WeightGroup] = {}
         self._edges: list[GroupEdge] = []
+        #: bumped by every structural mutation; memoized fingerprints
+        #: (:func:`repro.core.cache.coreops_fingerprint`) key on it so a
+        #: mutated graph can never serve a stale digest.
+        self.mutation_count = 0
 
     # ------------------------------------------------------------- building
     def add_group(self, group: WeightGroup) -> WeightGroup:
         if group.name in self._groups:
             raise ValueError(f"duplicate group name {group.name!r}")
         self._groups[group.name] = group
+        self.mutation_count += 1
         return group
 
     def add_edge(self, src: str, dst: str, values_per_instance: int) -> GroupEdge:
@@ -144,6 +149,7 @@ class CoreOpGraph:
                 raise ValueError(f"edge references unknown group {endpoint!r}")
         edge = GroupEdge(src, dst, values_per_instance)
         self._edges.append(edge)
+        self.mutation_count += 1
         return edge
 
     # ------------------------------------------------------------- querying

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..arch.reram import ReRAMCellModel, ReRAMCrossbar
+from ..arch.reram import ReRAMCellModel, make_composition
 
 __all__ = ["SyntheticTask", "MonteCarloResult", "run_montecarlo"]
 
@@ -81,6 +81,17 @@ def run_montecarlo(
 
     Each trial re-programs the crossbar with fresh variation samples; the
     reported noisy accuracy is the mean over trials.
+
+    All trials are evaluated in one vectorized batch: the per-cell
+    variation of every trial comes from a single rng draw of shape
+    ``(trials, 2, ...)`` and the per-trial classifications from one
+    einsum, instead of constructing a ``ReRAMCrossbar`` per trial in a
+    Python loop.  Because numpy ``Generator`` normals are a single stream
+    (one draw of ``n`` values equals ``n`` sequential draws), the batched
+    draw consumes the rng exactly like the former per-trial loop of
+    positive-then-negative programming — results are bit-identical for
+    the same seed (locked in by
+    ``tests/variation/test_variation.py::test_vectorized_matches_per_trial_crossbars``).
     """
     if trials <= 0:
         raise ValueError("trials must be positive")
@@ -92,18 +103,46 @@ def run_montecarlo(
     clean_predictions = _classify(weights, samples)
     clean_accuracy = float(np.mean(clean_predictions == labels))
 
+    # the signed-weight decomposition the ReRAMCrossbar performs, done once
+    # (it is identical for every trial): positive/negative column pair on
+    # the normalized [0, 1] weight scale
+    composition = make_composition(method, cell, n_cells)
+    scale = np.max(np.abs(weights))
+    weight_scale = float(scale) if scale > 0 else 1.0
+    normalized = weights / weight_scale
+    fractions = np.stack(
+        [
+            composition.cell_fractions(np.clip(normalized, 0.0, None)),
+            composition.cell_fractions(np.clip(-normalized, 0.0, None)),
+        ]
+    )  # (2, features, classes, n_cells)
+    target = cell.g_min + cell.quantize_fraction(fractions) * cell.g_range
+
     rng = np.random.default_rng(seed)
-    accuracies = []
-    for _ in range(trials):
-        crossbar = ReRAMCrossbar(
-            weights,
-            cell=cell,
-            composition=method,
-            cells_per_weight=n_cells,
-            rng=rng,
+    if cell.sigma > 0.0:
+        # one draw for every trial's positive-then-negative programming, in
+        # the exact stream order of per-trial sequential draws; the noise
+        # buffer is then reused in place for programming + normalization
+        # (it is by far the largest array of the experiment)
+        programmed = rng.normal(
+            0.0, cell.sigma_conductance, size=(trials, *target.shape)
         )
-        noisy_predictions = _classify(crossbar.effective_weights, samples)
-        accuracies.append(float(np.mean(noisy_predictions == labels)))
+        programmed += target
+        np.clip(programmed, 0.0, None, out=programmed)
+    else:
+        programmed = np.broadcast_to(target, (trials, *target.shape)).copy()
+    programmed -= cell.g_min
+    programmed /= cell.g_range
+    composed = composition.compose(programmed)
+    # (trials, 2, features, classes) -> signed effective weights per trial
+    effective = (composed[:, 0] - composed[:, 1]) * weight_scale
+
+    # one batched matched-filter classification over all trials: matmul
+    # broadcasts over the trial axis (one BLAS GEMM per trial, no Python
+    # loop, no per-trial crossbar objects)
+    scores = samples @ effective  # (trials, samples, classes)
+    noisy_predictions = np.argmax(scores, axis=2)  # (trials, samples)
+    accuracies = np.mean(noisy_predictions == labels[None, :], axis=1)
     return MonteCarloResult(
         method=method,
         n_cells=n_cells,

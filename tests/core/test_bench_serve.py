@@ -1,0 +1,147 @@
+"""The serving-runtime section of the benchmark harness."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench import (
+    BenchReport,
+    build_parser,
+    compare_reports,
+    run_from_args,
+    run_serve_bench,
+)
+
+
+def _serve_section(**overrides) -> dict:
+    section = {
+        "models": ["MLP-500-100"],
+        "total_requests": 24,
+        "unique_requests": 2,
+        "copies": 3,
+        "repeats": 4,
+        "workers": 2,
+        "baseline_seconds": 1.0,
+        "baseline_rps": 24.0,
+        "runtime_seconds": 0.2,
+        "runtime_rps": 120.0,
+        "speedup": 5.0,
+        "p50_ms": 4.0,
+        "p99_ms": 20.0,
+        "shared_cache_hits": 10,
+        "shared_cache_misses": 4,
+        "shared_cache_hit_rate": 10 / 14,
+        "submitted": 24,
+        "coalesced": 16,
+        "summaries_identical": True,
+        "cold_batch_seconds": 0.1,
+        "warm_batch_seconds": 0.03,
+    }
+    section.update(overrides)
+    return section
+
+
+class TestServeSection:
+    def test_report_roundtrip(self):
+        report = BenchReport(created_at=1.0, serve=_serve_section())
+        again = BenchReport.from_dict(json.loads(report.to_json()))
+        assert again.serve == report.serve
+
+    def test_reports_without_serve_stay_compatible(self):
+        report = BenchReport(created_at=1.0)
+        data = report.to_dict()
+        assert "serve" not in data
+        assert BenchReport.from_dict(data).serve is None
+
+
+class TestServeRegressions:
+    def test_clean_pass(self):
+        current = BenchReport(serve=_serve_section())
+        baseline = BenchReport(serve=_serve_section())
+        assert compare_reports(current, baseline) == []
+
+    def test_speedup_floor(self):
+        current = BenchReport(serve=_serve_section(speedup=2.4))
+        baseline = BenchReport(serve=_serve_section())
+        regressions = compare_reports(current, baseline)
+        assert len(regressions) == 1
+        assert "below the 3.0x floor" in regressions[0]
+        # the floor is configurable
+        assert compare_reports(current, baseline, serve_min_speedup=2.0) == []
+
+    def test_divergent_summaries_flagged(self):
+        current = BenchReport(serve=_serve_section(summaries_identical=False))
+        regressions = compare_reports(current, BenchReport())
+        assert any("differ from the fresh-pool baseline" in r for r in regressions)
+
+    def test_missing_serve_section_is_not_a_regression(self):
+        assert compare_reports(BenchReport(), BenchReport(serve=_serve_section())) == []
+
+
+class TestServeBenchRun:
+    def test_smoke(self):
+        # minimal real run: 2 batches of 2 unique requests, 1 worker
+        serve = run_serve_bench(
+            models=["MLP-500-100"],
+            duplications=(1, 2),
+            repeats=2,
+            copies=2,
+            workers=1,
+        )
+        assert serve["total_requests"] == 2 * 2 * 2
+        assert serve["unique_requests"] == 2
+        assert serve["baseline_seconds"] > 0
+        assert serve["runtime_seconds"] > 0
+        assert serve["speedup"] > 0
+        assert serve["summaries_identical"] is True
+        assert serve["submitted"] == serve["total_requests"]
+        assert 0.0 <= serve["shared_cache_hit_rate"] <= 1.0
+
+    def test_repeats_validated(self):
+        import pytest
+
+        from repro.errors import InvalidRequestError
+
+        with pytest.raises(InvalidRequestError):
+            run_serve_bench(models=["MLP-500-100"], repeats=1)
+
+
+class TestReportMerge:
+    def test_serve_run_preserves_pnr_entries(self, tmp_path, capsys):
+        output = tmp_path / "BENCH.json"
+        existing = BenchReport(created_at=1.0)
+        from repro.bench import BenchEntry
+
+        existing.entries.append(
+            BenchEntry(model="M", duplication_degree=1, channel_width=16, seed=0)
+        )
+        existing.save(str(output))
+        args = build_parser().parse_args(
+            [
+                "--serve",
+                "--serve-models", "MLP-500-100",
+                "--serve-repeats", "2",
+                "--serve-copies", "1",
+                "--serve-workers", "1",
+                "--output", str(output),
+            ]
+        )
+        assert run_from_args(args) == 0
+        merged = BenchReport.load(str(output))
+        assert merged.serve is not None
+        assert [e.model for e in merged.entries] == ["M"]  # carried over
+
+    def test_pnr_run_preserves_serve_section(self, tmp_path, capsys):
+        output = tmp_path / "BENCH.json"
+        BenchReport(created_at=1.0, serve=_serve_section()).save(str(output))
+        args = build_parser().parse_args(
+            [
+                "--models", "mlp",
+                "--partition-chips", "",
+                "--output", str(output),
+            ]
+        )
+        assert run_from_args(args) == 0
+        merged = BenchReport.load(str(output))
+        assert merged.serve == _serve_section()  # carried over
+        assert merged.entries  # freshly measured

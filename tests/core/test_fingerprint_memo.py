@@ -1,0 +1,136 @@
+"""Tests of memoized artifact fingerprints and their invalidation safety."""
+
+from repro.arch.params import FPSAConfig
+from repro.core.cache import (
+    config_fingerprint,
+    coreops_fingerprint,
+    graph_fingerprint,
+    netlist_fingerprint,
+)
+from repro.graph.builder import GraphBuilder
+from repro.graph.ops import Dense
+from repro.mapper.netlist import Block, BlockType, FunctionBlockNetlist, Net
+from repro.synthesizer.coreop import CoreOpGraph, WeightGroup
+
+
+def _mlp_graph(name="memo-test"):
+    builder = GraphBuilder(name, (784,))
+    builder.dense(100, relu=True).dense(10)
+    return builder.graph, builder.current
+
+
+def _count_reprs(monkeypatch):
+    """Count `fingerprint` invocations through the memoization layer."""
+    import repro.core.cache as cache_mod
+
+    calls = {"n": 0}
+    original = cache_mod.fingerprint
+
+    def counting(*parts):
+        calls["n"] += 1
+        return original(*parts)
+
+    monkeypatch.setattr(cache_mod, "fingerprint", counting)
+    return calls
+
+
+class TestGraphFingerprintMemo:
+    def test_repeated_lookups_hit_the_memo(self, monkeypatch):
+        graph, _ = _mlp_graph()
+        calls = _count_reprs(monkeypatch)
+        first = graph_fingerprint(graph)
+        assert calls["n"] == 1
+        for _ in range(5):
+            assert graph_fingerprint(graph) == first
+        assert calls["n"] == 1  # no re-repr of the O(model) structure
+
+    def test_mutation_invalidates(self):
+        graph, last = _mlp_graph()
+        before = graph_fingerprint(graph)
+        graph.add("extra", Dense(10), [last])
+        after = graph_fingerprint(graph)
+        assert after != before
+        # and the new digest matches a from-scratch computation
+        graph2, last2 = _mlp_graph()
+        graph2.add("extra", Dense(10), [last2])
+        assert graph_fingerprint(graph2) == after
+
+    def test_identical_graphs_agree(self):
+        a, _ = _mlp_graph("same")
+        b, _ = _mlp_graph("same")
+        assert graph_fingerprint(a) == graph_fingerprint(b)
+
+
+class TestCoreopsFingerprintMemo:
+    def _coreops(self):
+        graph = CoreOpGraph("m")
+        graph.add_group(
+            WeightGroup(
+                name="g1", source="n1", kind="matmul", rows=4, cols=4, reuse=1
+            )
+        )
+        return graph
+
+    def test_memo_and_invalidation(self, monkeypatch):
+        coreops = self._coreops()
+        calls = _count_reprs(monkeypatch)
+        first = coreops_fingerprint(coreops)
+        assert coreops_fingerprint(coreops) == first
+        assert calls["n"] == 1
+        coreops.add_group(
+            WeightGroup(
+                name="g2", source="n2", kind="matmul", rows=2, cols=2, reuse=1
+            )
+        )
+        assert coreops_fingerprint(coreops) != first
+        coreops.add_edge("g1", "g2", 4)
+        third = coreops_fingerprint(coreops)
+        assert third != first
+        fresh = self._coreops()
+        fresh.add_group(
+            WeightGroup(
+                name="g2", source="n2", kind="matmul", rows=2, cols=2, reuse=1
+            )
+        )
+        fresh.add_edge("g1", "g2", 4)
+        assert coreops_fingerprint(fresh) == third
+
+
+class TestNetlistFingerprintMemo:
+    def _netlist(self):
+        netlist = FunctionBlockNetlist(model="m")
+        netlist.add_block(Block(name="pe0", type=BlockType.PE))
+        netlist.add_block(Block(name="pe1", type=BlockType.PE))
+        return netlist
+
+    def test_memo_and_invalidation(self, monkeypatch):
+        netlist = self._netlist()
+        calls = _count_reprs(monkeypatch)
+        first = netlist_fingerprint(netlist)
+        assert netlist_fingerprint(netlist) == first
+        assert calls["n"] == 1
+        netlist.add_net(Net(name="n0", driver="pe0", sinks=("pe1",)))
+        second = netlist_fingerprint(netlist)
+        assert second != first
+        netlist.add_block(Block(name="smb0", type=BlockType.SMB))
+        assert netlist_fingerprint(netlist) != second
+
+    def test_pickle_roundtrip_keeps_digest(self):
+        import pickle
+
+        netlist = self._netlist()
+        digest = netlist_fingerprint(netlist)
+        clone = pickle.loads(pickle.dumps(netlist))
+        assert netlist_fingerprint(clone) == digest
+        clone.add_net(Net(name="n0", driver="pe0", sinks=("pe1",)))
+        assert netlist_fingerprint(clone) != digest
+
+
+class TestConfigFingerprintMemo:
+    def test_memoized_and_stable(self, monkeypatch):
+        config = FPSAConfig()
+        calls = _count_reprs(monkeypatch)
+        first = config_fingerprint(config)
+        assert config_fingerprint(config) == first
+        assert calls["n"] <= 1  # at most the initial computation
+        assert config_fingerprint(FPSAConfig()) == first

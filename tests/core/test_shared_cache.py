@@ -1,0 +1,211 @@
+"""Tests of the cross-process shared stage-cache tier."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.core.cache import CacheStats, StageCache
+from repro.core.shared_cache import (
+    SHARED_CACHE_ENV,
+    SHARED_CACHE_MAX_BYTES_ENV,
+    SharedStageCache,
+    shared_cache_from_env,
+)
+
+
+class TestSharedStageCache:
+    def test_roundtrip(self, tmp_path):
+        cache = SharedStageCache(str(tmp_path))
+        assert cache.get("a" * 64) is None
+        assert cache.put("a" * 64, {"coreops": [1, 2, 3]})
+        assert cache.get("a" * 64) == {"coreops": [1, 2, 3]}
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.puts == 1
+
+    def test_second_handle_sees_entries(self, tmp_path):
+        # two handles onto one directory model two processes
+        writer = SharedStageCache(str(tmp_path))
+        reader = SharedStageCache(str(tmp_path))
+        writer.put("k" * 64, {"mapping": {"x": 1}})
+        assert reader.get("k" * 64) == {"mapping": {"x": 1}}
+        assert reader.stats.hits == 1
+
+    def test_unpicklable_artifacts_are_skipped(self, tmp_path):
+        cache = SharedStageCache(str(tmp_path))
+        assert not cache.put("b" * 64, {"bad": lambda: None})
+        assert cache.stats.errors == 1
+        assert cache.get("b" * 64) is None
+
+    def test_corrupt_entry_is_dropped(self, tmp_path):
+        cache = SharedStageCache(str(tmp_path))
+        cache.put("c" * 64, {"x": 1})
+        path = cache._path("c" * 64)
+        with open(path, "wb") as handle:
+            handle.write(b"not a pickle")
+        assert cache.get("c" * 64) is None
+        assert cache.stats.errors == 1
+        assert not os.path.exists(path)  # dropped, not retried forever
+        # a subsequent put repairs the entry
+        cache.put("c" * 64, {"x": 2})
+        assert cache.get("c" * 64) == {"x": 2}
+
+    def test_lru_eviction_by_size(self, tmp_path):
+        payload = {"blob": b"x" * 4096}
+        entry_size = len(pickle.dumps(payload, pickle.HIGHEST_PROTOCOL))
+        cache = SharedStageCache(str(tmp_path), max_bytes=3 * entry_size)
+        keys = [f"{i:02d}" + "e" * 62 for i in range(5)]
+        for key in keys:
+            cache.put(key, payload)
+        assert cache.stats.evictions >= 2
+        assert cache.total_bytes() <= 3 * entry_size
+        # the most recent entry always survives
+        assert cache.get(keys[-1]) is not None
+
+    def test_get_refreshes_lru_position(self, tmp_path):
+        payload = {"blob": b"y" * 4096}
+        entry_size = len(pickle.dumps(payload, pickle.HIGHEST_PROTOCOL))
+        cache = SharedStageCache(str(tmp_path), max_bytes=2 * entry_size)
+        a, b = "aa" + "f" * 62, "bb" + "f" * 62
+        cache.put(a, payload)
+        cache.put(b, payload)
+        # make `a` the most recently used, then overflow: `b` must go
+        path_a, path_b = cache._path(a), cache._path(b)
+        os.utime(path_a, (os.path.getmtime(path_b) + 10,) * 2)
+        cache.put("cc" + "f" * 62, payload)
+        assert cache.get(a) is not None
+        assert cache.get(b) is None
+
+    def test_clear(self, tmp_path):
+        cache = SharedStageCache(str(tmp_path))
+        cache.put("d" * 64, {"x": 1})
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("d" * 64) is None
+
+    def test_max_bytes_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            SharedStageCache(str(tmp_path), max_bytes=0)
+
+    def test_from_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(SHARED_CACHE_ENV, raising=False)
+        assert shared_cache_from_env() is None
+        monkeypatch.setenv(SHARED_CACHE_ENV, str(tmp_path))
+        monkeypatch.setenv(SHARED_CACHE_MAX_BYTES_ENV, "12345")
+        cache = shared_cache_from_env()
+        assert cache is not None
+        assert cache.directory == str(tmp_path)
+        assert cache.max_bytes == 12345
+
+
+class TestTwoTierStageCache:
+    def test_memory_miss_falls_through_to_shared(self, tmp_path):
+        shared = SharedStageCache(str(tmp_path))
+        first = StageCache(shared=shared)
+        first.put("k1", {"coreops": "artifact"})
+        # a different in-memory cache over the same shared directory: the
+        # in-memory miss is served by the shared tier
+        second = StageCache(shared=SharedStageCache(str(tmp_path)))
+        assert second.get("k1") == {"coreops": "artifact"}
+        assert second.stats.hits == 1
+        assert second.stats.shared_hits == 1
+        # and the entry was promoted into the in-memory tier
+        assert second.stats.shared_misses == 0
+        second.shared = None
+        assert second.get("k1") == {"coreops": "artifact"}
+
+    def test_shared_miss_counted(self, tmp_path):
+        cache = StageCache(shared=SharedStageCache(str(tmp_path)))
+        assert cache.get("absent") is None
+        assert cache.stats.misses == 1
+        assert cache.stats.shared_misses == 1
+
+    def test_no_shared_tier_behaves_as_before(self):
+        cache = StageCache()
+        assert cache.get("absent") is None
+        cache.put("k", {"a": 1})
+        assert cache.get("k") == {"a": 1}
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.shared_hits == 0
+
+    def test_evictions_counted(self):
+        cache = StageCache(max_entries=2)
+        for i in range(5):
+            cache.put(f"k{i}", {"v": i})
+        assert cache.stats.evictions == 3
+        assert len(cache) == 2
+
+    def test_stats_snapshot_delta(self):
+        cache = StageCache(max_entries=1)
+        before = cache.stats.snapshot()
+        cache.put("a", {})
+        cache.put("b", {})  # evicts a
+        cache.get("b")
+        cache.get("a")  # miss
+        delta = cache.stats.delta(before)
+        assert delta == CacheStats(
+            hits=1, misses=1, evictions=1, shared_hits=0, shared_misses=0
+        )
+        # the snapshot itself is unchanged by later activity
+        assert before.lookups == 0
+
+    def test_lookup_reports_tier(self, tmp_path):
+        from repro.core.cache import (
+            LOOKUP_MEMORY,
+            LOOKUP_MISS,
+            LOOKUP_SHARED,
+            LOOKUP_SHARED_MISS,
+        )
+        from repro.core.shared_cache import SharedStageCache
+
+        plain = StageCache()
+        assert plain.lookup("k")[1] == LOOKUP_MISS
+        plain.put("k", {"a": 1})
+        assert plain.lookup("k")[1] == LOOKUP_MEMORY
+
+        shared = SharedStageCache(str(tmp_path))
+        StageCache(shared=shared).put("k2", {"b": 2})
+        tiered = StageCache(shared=SharedStageCache(str(tmp_path)))
+        assert tiered.lookup("absent")[1] == LOOKUP_SHARED_MISS
+        assert tiered.lookup("k2")[1] == LOOKUP_SHARED
+        assert tiered.lookup("k2")[1] == LOOKUP_MEMORY  # promoted
+
+    def test_per_compile_stats_do_not_leak_across_concurrent_compiles(self):
+        """The per-compile counters are tallied by the run itself, so a
+        concurrent compile hammering the same cache can't inflate them."""
+        import threading
+
+        from repro.core.compiler import FPSACompiler
+        from repro.models.zoo import build_model
+
+        cache = StageCache()
+        compiler = FPSACompiler(cache=cache)
+        stop = threading.Event()
+
+        def hammer():
+            while not stop.is_set():
+                cache.get("unrelated-key")  # global misses pile up
+
+        thread = threading.Thread(target=hammer)
+        thread.start()
+        try:
+            result = compiler.compile(build_model("MLP-500-100"))
+        finally:
+            stop.set()
+            thread.join()
+        stats = result.cache_stats
+        # a cold compile consults the cache once per cacheable pass
+        # (synthesis, mapping): exactly 2 misses, no contamination from
+        # the hammering thread's lookups
+        assert stats.misses == 2
+        assert stats.hits == 0
+        assert cache.stats.misses > 2  # the global counters did see them
+
+    def test_contains_checks_both_tiers(self, tmp_path):
+        shared = SharedStageCache(str(tmp_path))
+        StageCache(shared=shared).put("k", {"a": 1})
+        fresh = StageCache(shared=SharedStageCache(str(tmp_path)))
+        assert "k" in fresh
+        assert "absent" not in fresh

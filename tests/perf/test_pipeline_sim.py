@@ -23,6 +23,48 @@ class TestPipelineSimulator:
         # run() raises if the initiation interval double-books a PE
         PipelineSimulator(config.pe).run(lenet_mapping.schedule, n_samples=16)
 
+    def test_double_booked_schedule_raises(self, config):
+        # a malformed schedule (overlapping ops on one PE within a single
+        # sample) must be rejected regardless of the II
+        from repro.mapper.schedule import Schedule, ScheduledOp
+
+        schedule = Schedule(model="bad", window=4)
+        schedule.ops["a"] = ScheduledOp(name="a", group="g", pe="pe0", start=0, end=8)
+        schedule.ops["b"] = ScheduledOp(name="b", group="g", pe="pe0", start=4, end=12)
+        with pytest.raises(RuntimeError, match="double-books PE pe0"):
+            PipelineSimulator(config.pe).run(schedule, n_samples=4)
+
+    def test_too_small_ii_raises(self, config, monkeypatch):
+        # cross-sample overlap detection: force an II below a PE's busy
+        # interval and the periodic check must catch sample 0 overlapping
+        # a later sample
+        from repro.mapper.schedule import Schedule, ScheduledOp
+
+        schedule = Schedule(model="forced", window=2)
+        schedule.ops["a"] = ScheduledOp(name="a", group="g", pe="pe0", start=0, end=10)
+        monkeypatch.setattr(
+            PipelineSimulator, "minimum_initiation_interval", lambda self, s: 5
+        )
+        with pytest.raises(RuntimeError, match="double-books PE pe0"):
+            PipelineSimulator(config.pe).run(schedule, n_samples=16)
+
+    def test_verification_cost_independent_of_n_samples(self, lenet_mapping, config):
+        # the periodic check replaces the O(n_samples x ops) replay: a
+        # million-sample run must return instantly with identical results
+        import time
+
+        simulator = PipelineSimulator(config.pe)
+        small = simulator.run(lenet_mapping.schedule, n_samples=2)
+        start = time.perf_counter()
+        huge = simulator.run(lenet_mapping.schedule, n_samples=1_000_000)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 1.0
+        assert huge.initiation_interval_cycles == small.initiation_interval_cycles
+        assert huge.makespan_cycles == small.makespan_cycles
+        assert huge.total_cycles == (
+            small.makespan_cycles + 999_999 * small.initiation_interval_cycles
+        )
+
     def test_total_cycles_formula(self, lenet_mapping, config):
         result = PipelineSimulator(config.pe).run(lenet_mapping.schedule, n_samples=4)
         assert result.total_cycles == result.makespan_cycles + 3 * result.initiation_interval_cycles

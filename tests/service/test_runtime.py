@@ -1,0 +1,234 @@
+"""Tests of the serving runtime: coalescing, warm-pool serving, stats."""
+
+from concurrent.futures import Future
+
+import pytest
+
+from repro.service import (
+    CompileRequest,
+    CompileResponse,
+    CompileTimings,
+    JobManager,
+    JobState,
+    ServingRuntime,
+)
+from repro.service.client import serve_request
+
+
+class _ManualExecutor:
+    """An executor whose futures the test completes by hand — makes the
+    in-flight window deterministic instead of racing a real compile."""
+
+    def __init__(self):
+        self.submitted = []
+
+    def submit(self, fn, *args, **kwargs):
+        future = Future()
+        future.set_running_or_notify_cancel()
+        self.submitted.append((fn, args, future))
+        return future
+
+    def complete_all(self):
+        for fn, args, future in self.submitted:
+            if not future.done():
+                future.set_result(fn(*args))
+
+    def shutdown(self, wait=True):
+        pass
+
+
+class TestRequestCoalescing:
+    def test_identical_inflight_requests_share_one_compile(self):
+        executor = _ManualExecutor()
+        manager = JobManager(pool=executor)
+        request = CompileRequest(model="MLP-500-100", tags={"who": "a"})
+        twin = CompileRequest(model="MLP-500-100", tags={"who": "b"})
+        other = CompileRequest(model="LeNet")
+        first = manager.submit(request)
+        second = manager.submit(twin)  # same fingerprint: tags excluded
+        third = manager.submit(other)
+        # exactly two compiles reached the pool: the twin coalesced
+        assert len(executor.submitted) == 2
+        assert manager.stats.submitted == 3
+        assert manager.stats.coalesced == 1
+        assert manager.status(second).coalesced
+        assert manager.status(second).state == JobState.RUNNING
+        executor.complete_all()
+        r1 = manager.result(first, timeout=10)
+        r2 = manager.result(second, timeout=10)
+        r3 = manager.result(third, timeout=10)
+        assert r1.ok and r2.ok and r3.ok
+        # identical responses, but each under its own request (tags kept)
+        assert r1.summary.to_dict() == r2.summary.to_dict()
+        assert r1.request.tags == {"who": "a"}
+        assert r2.request.tags == {"who": "b"}
+        assert r3.summary.to_dict() != r1.summary.to_dict()
+        assert manager.status(second).seconds is not None
+
+    def test_finished_requests_do_not_coalesce(self):
+        executor = _ManualExecutor()
+        manager = JobManager(pool=executor)
+        first = manager.submit("MLP-500-100")
+        executor.complete_all()
+        manager.result(first, timeout=10)
+        manager.submit("MLP-500-100")  # primary finished: fresh compile
+        assert len(executor.submitted) == 2
+        assert manager.stats.coalesced == 0
+
+    def test_coalesce_disabled(self):
+        executor = _ManualExecutor()
+        manager = JobManager(pool=executor, coalesce=False)
+        manager.submit("MLP-500-100")
+        manager.submit("MLP-500-100")
+        assert len(executor.submitted) == 2
+        assert manager.stats.coalesced == 0
+
+    def test_follower_failure_fanout(self):
+        executor = _ManualExecutor()
+        manager = JobManager(pool=executor)
+        first = manager.submit("no-such-model")
+        second = manager.submit("no-such-model")
+        assert len(executor.submitted) == 1
+        executor.complete_all()
+        r1 = manager.result(first, timeout=10)
+        r2 = manager.result(second, timeout=10)
+        assert not r1.ok and not r2.ok
+        assert r1.error.code == r2.error.code == "unknown_model"
+        assert manager.stats.failed == 2
+
+    def test_follower_released_when_primary_submit_fails(self):
+        # a follower that attached while the primary's pool.submit was in
+        # flight must not hang forever when that submit raises
+        class _FlakyExecutor(_ManualExecutor):
+            def __init__(self):
+                super().__init__()
+                self.fail_next = False
+
+            def submit(self, fn, *args, **kwargs):
+                if self.fail_next:
+                    raise RuntimeError("pool is gone")
+                return super().submit(fn, *args, **kwargs)
+
+        executor = _FlakyExecutor()
+        manager = JobManager(pool=executor)
+
+        # deterministically recreate the window: attach the follower while
+        # the primary is registered in-flight but before its submit runs
+        original_submit = executor.submit
+        follower_ids = []
+
+        def submit_with_interleaved_follower(fn, *args, **kwargs):
+            executor.submit = original_submit  # only intercept once
+            follower_ids.append(manager.submit("MLP-500-100"))
+            raise RuntimeError("pool is gone")
+
+        executor.submit = submit_with_interleaved_follower
+        with pytest.raises(RuntimeError, match="pool is gone"):
+            manager.submit("MLP-500-100")
+        (follower_id,) = follower_ids
+        response = manager.result(follower_id, timeout=5)  # must not hang
+        assert not response.ok
+        assert response.error.code == "internal"
+
+    def test_cancel_retires_inflight_entry(self):
+        executor = _ManualExecutor()
+        manager = JobManager(pool=executor)
+        primary = manager.submit("MLP-500-100")
+        # ManualExecutor futures report RUNNING, so cancel() fails — but it
+        # must restore the in-flight slot so later duplicates still coalesce
+        assert manager.cancel(primary) is False
+        manager.submit("MLP-500-100")
+        assert manager.stats.coalesced == 1
+        executor.complete_all()
+        assert manager.result(primary, timeout=10).ok
+
+    def test_followers_cannot_be_cancelled(self):
+        executor = _ManualExecutor()
+        manager = JobManager(pool=executor)
+        manager.submit("MLP-500-100")
+        follower = manager.submit("MLP-500-100")
+        assert manager.cancel(follower) is False
+        executor.complete_all()
+        assert manager.result(follower, timeout=10).ok
+
+    def test_coalescing_with_thread_pool_end_to_end(self):
+        # a real (thread) pool: whether or not the duplicates coalesce is
+        # timing-dependent, but the responses must always be correct
+        with JobManager(max_workers=2, use_processes=False) as manager:
+            ids = [manager.submit("MLP-500-100") for _ in range(4)]
+            responses = [manager.result(job_id, timeout=60) for job_id in ids]
+        assert all(r.ok for r in responses)
+        summaries = {str(sorted(r.summary.to_dict().items())) for r in responses}
+        assert len(summaries) == 1
+
+
+class TestServingRuntime:
+    def test_serve_batch_threads(self, tmp_path):
+        with ServingRuntime(
+            max_workers=2, use_processes=False, shared_cache_dir=str(tmp_path)
+        ) as runtime:
+            requests = [CompileRequest(model="MLP-500-100")] * 3 + ["LeNet"]
+            responses = runtime.serve_batch(requests)
+            assert all(r.ok for r in responses)
+            stats = runtime.stats()
+            assert stats["submitted"] == 4
+            assert stats["completed"] == 4
+            assert stats["shared_cache_dir"] == str(tmp_path)
+            assert len(runtime.latencies()) == 4
+
+    def test_serve_batch_processes_warm_pool(self):
+        with ServingRuntime(max_workers=2) as runtime:
+            first = runtime.serve_batch(["MLP-500-100", "LeNet"])
+            pids = runtime.stats()["worker_pids"]
+            second = runtime.serve_batch(["MLP-500-100", "LeNet"])
+            assert runtime.stats()["worker_pids"] == pids
+        assert all(r.ok for r in first + second)
+        for a, b in zip(first, second):
+            assert a.summary.to_dict() == b.summary.to_dict()
+
+    def test_owned_cache_dir_removed_on_close(self):
+        import os
+
+        runtime = ServingRuntime(max_workers=1, use_processes=False)
+        cache_dir = runtime.shared_cache_dir
+        assert cache_dir is not None and os.path.isdir(cache_dir)
+        runtime.close()
+        assert not os.path.exists(cache_dir)
+
+    def test_serve_single(self):
+        with ServingRuntime(max_workers=1, use_processes=False) as runtime:
+            response = runtime.serve("MLP-500-100")
+        assert response.ok
+
+
+class TestSharedCacheCounters:
+    def test_timings_carry_shared_counters(self, tmp_path):
+        from repro.core.cache import StageCache
+        from repro.core.shared_cache import SharedStageCache
+
+        request = CompileRequest(model="MLP-500-100")
+        serve_request(
+            request, cache=StageCache(shared=SharedStageCache(str(tmp_path)))
+        )
+        served = serve_request(
+            request, cache=StageCache(shared=SharedStageCache(str(tmp_path)))
+        )
+        timings = served.response.timings
+        assert timings.shared_cache_hits > 0
+        assert timings.shared_cache_hit_rate == pytest.approx(1.0)
+        # wire round-trip keeps the new counters
+        clone = CompileResponse.from_json(served.response.to_json())
+        assert clone.timings.shared_cache_hits == timings.shared_cache_hits
+        assert clone.timings.evictions == timings.evictions
+
+    def test_old_wire_payload_still_parses(self):
+        # payloads from before the shared-cache counters must deserialize
+        data = {
+            "passes": [],
+            "total_seconds": 0.5,
+            "cache_hits": 1,
+            "cache_misses": 2,
+        }
+        timings = CompileTimings.from_dict(data)
+        assert timings.shared_cache_hits == 0
+        assert timings.evictions == 0

@@ -130,3 +130,46 @@ class TestMonteCarlo:
         a = SyntheticTask(seed=11).generate()
         b = SyntheticTask(seed=11).generate()
         assert (a[1] == b[1]).all()
+
+    @pytest.mark.parametrize("method", ["splice", "add"])
+    @pytest.mark.parametrize("n_cells", [1, 2, 8])
+    def test_vectorized_matches_per_trial_crossbars(self, method, n_cells):
+        """The batched implementation must be *bit-identical* to the former
+        per-trial loop: same rng stream order (positive then negative per
+        trial), same arithmetic, same mean."""
+        import numpy as np
+
+        from repro.arch.reram import ReRAMCrossbar
+        from repro.variation.montecarlo import _classify
+
+        cell = ReRAMCellModel()
+        task = SyntheticTask()
+        trials, seed = 7, 42
+
+        centroids, samples, labels = task.generate()
+        weights = centroids.T
+        rng = np.random.default_rng(seed)
+        accuracies = []
+        for _ in range(trials):
+            crossbar = ReRAMCrossbar(
+                weights,
+                cell=cell,
+                composition=method,
+                cells_per_weight=n_cells,
+                rng=rng,
+            )
+            predictions = _classify(crossbar.effective_weights, samples)
+            accuracies.append(float(np.mean(predictions == labels)))
+        loop_accuracy = float(np.mean(accuracies))
+
+        result = run_montecarlo(
+            method, n_cells, cell=cell, task=task, trials=trials, seed=seed
+        )
+        assert result.noisy_accuracy == loop_accuracy  # exact, not approx
+
+    def test_vectorized_ideal_cells(self):
+        """sigma = 0 draws nothing from the rng and stays deterministic."""
+        cell = ReRAMCellModel(sigma=0.0)
+        a = run_montecarlo("add", 4, cell=cell, trials=3, seed=1)
+        b = run_montecarlo("add", 4, cell=cell, trials=3, seed=2)
+        assert a.noisy_accuracy == b.noisy_accuracy
