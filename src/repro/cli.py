@@ -141,6 +141,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="run placement & routing on the function-block netlist (small models)",
     )
     deploy.add_argument(
+        "--pnr-jobs", type=_positive_int, default=None, metavar="N",
+        help="worker threads for the parallel P&R engine (results are "
+        "bit-identical for any value; default 1)",
+    )
+    deploy.add_argument(
         "--bitstream", metavar="FILE", default=None,
         help="write the chip configuration as JSON to FILE ('-' for stdout)",
     )
@@ -328,6 +333,7 @@ def _command_deploy(args: argparse.Namespace) -> int:
         emit_bitstream=args.bitstream is not None,
         num_chips=args.chips,
         shard_jobs=args.chip_jobs,
+        pnr_jobs=args.pnr_jobs,
         passes=tuple(args.passes) if args.passes is not None else None,
     )
     served = _client(args).serve(request)
@@ -347,6 +353,9 @@ def _command_deploy(args: argparse.Namespace) -> int:
         if args.explain:
             print()
             print(result.timings_table())
+            if result.pnr is not None:
+                print()
+                print(result.pnr.explain())
     if args.bitstream is not None:
         result = served.result
         payload = None

@@ -94,6 +94,7 @@ class FPSACompiler:
         max_schedule_reuse: int | None = None,
         pnr_channel_width: int | None = None,
         pnr_seed: int = 0,
+        pnr_jobs: int | None = None,
         seed: int | None = None,
         num_chips: int | str | None = None,
         shard_jobs: int | None = None,
@@ -148,6 +149,11 @@ class FPSACompiler:
             (``None``/``1`` = sequential, sharing this compiler's stage
             cache across the shards; ``> 1`` spreads shards over a process
             pool with per-worker caches).
+        pnr_jobs:
+            Worker threads for the parallel P&R engine (``None``/``1`` =
+            serial execution).  A pure execution knob: any value yields
+            bit-identical placements and routings for the same seed, so it
+            participates in neither cache keys nor request fingerprints.
         passes:
             Explicit pass-name list to run instead of the default pipeline,
             e.g. ``("synthesis", "mapping")`` for a front-end-only compile.
@@ -176,6 +182,7 @@ class FPSACompiler:
             max_schedule_reuse=max_schedule_reuse,
             pnr_channel_width=pnr_channel_width,
             pnr_seed=pnr_seed,
+            pnr_jobs=pnr_jobs,
             seed=seed,
             num_chips=num_chips,
             shard_jobs=shard_jobs,

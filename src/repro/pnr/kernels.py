@@ -1,0 +1,297 @@
+"""Geometry-specialized inner kernels of the P&R hot loops.
+
+The placer's batched delta-cost evaluation and the router's A* expansion
+are also available here as straight-line loop kernels over flat arrays.
+When numba is importable and the ``REPRO_PNR_JIT`` flag is on, the loops
+are ``njit``-compiled and replace the numpy / heapq implementations; in
+every other configuration the engines keep their native vectorized paths
+and these functions run as plain Python (exercised by the differential
+tests, which assert bit-identity against the native paths).
+
+Both kernels are written to perform the *same arithmetic in the same
+order* as their native counterparts:
+
+* the delta kernel works in exact integer arithmetic, so vectorized and
+  loop evaluation agree bit-for-bit;
+* the A* kernel orders its heap by the same ``(f, g, node_id)`` key the
+  native ``heapq`` search uses.  All keys in flight are distinct (node
+  ids break ties, and a node is only re-pushed with a strictly smaller
+  distance), so any heap implementation pops them in identical order and
+  the two searches expand identical node sequences.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "HAVE_NUMBA",
+    "maybe_njit",
+    "batch_delta_kernel",
+    "astar_route_kernel",
+]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+
+    HAVE_NUMBA = True
+except ImportError:
+    numba = None
+    HAVE_NUMBA = False
+
+
+def maybe_njit(fn):
+    """``numba.njit`` when numba is available, identity otherwise.
+
+    Decorating at import keeps one shared compiled artifact per kernel;
+    whether the compiled kernels are actually *used* is decided per call
+    by :meth:`repro.pnr.options.PnROptions.jit_enabled`.
+    """
+    if HAVE_NUMBA:  # pragma: no cover - exercised only where numba is installed
+        return numba.njit(cache=True, fastmath=False)(fn)
+    return fn
+
+
+@maybe_njit
+def batch_delta_kernel(
+    pair_move,  # (P,) local move index of each (move, net) pair
+    pair_net,  # (P,) net id of each pair
+    members,  # (n_nets, F) padded member block ids, -1 = padding
+    xs,  # (n_blocks,) block x coordinates (pre-batch state)
+    ys,  # (n_blocks,) block y coordinates
+    move_block,  # (S,) moved block id per move
+    move_swap,  # (S,) swap partner block id, -1 = relocation
+    move_tx,  # (S,) target x per move
+    move_ty,  # (S,) target y per move
+    move_ox,  # (S,) old x of the moved block (swap partner's target)
+    move_oy,  # (S,) old y of the moved block
+    net_costs,  # (n_nets,) current per-net HPWL
+    out_new_cost,  # (P,) output: net cost after the pair's move
+    out_delta,  # (S,) output: accumulated cost delta per move
+):
+    """Per-net HPWL after each pair's move, accumulated into per-move deltas.
+
+    Loop-form twin of the placer's vectorized batch evaluation: every
+    pair re-scans one net's (padded) member list with the pair's move
+    applied.  Exact integer arithmetic throughout.
+    """
+    n_pairs = pair_move.shape[0]
+    fanout = members.shape[1]
+    for p in range(n_pairs):
+        mv = pair_move[p]
+        net = pair_net[p]
+        b = move_block[mv]
+        s = move_swap[mv]
+        min_x = 1 << 30
+        max_x = -(1 << 30)
+        min_y = 1 << 30
+        max_y = -(1 << 30)
+        for j in range(fanout):
+            m = members[net, j]
+            if m < 0:
+                break
+            if m == b:
+                px = move_tx[mv]
+                py = move_ty[mv]
+            elif s >= 0 and m == s:
+                px = move_ox[mv]
+                py = move_oy[mv]
+            else:
+                px = xs[m]
+                py = ys[m]
+            if px < min_x:
+                min_x = px
+            if px > max_x:
+                max_x = px
+            if py < min_y:
+                min_y = py
+            if py > max_y:
+                max_y = py
+        cost = (max_x - min_x) + (max_y - min_y)
+        out_new_cost[p] = cost
+        out_delta[mv] += cost - net_costs[net]
+
+
+@maybe_njit
+def astar_route_kernel(
+    indptr,  # (n_nodes+1,) CSR adjacency row pointers
+    indices,  # (n_edges,) CSR adjacency column indices
+    node_cost,  # (n_nodes,) congestion-aware node costs
+    node_x,  # (n_nodes,) node x coordinates
+    node_y,  # (n_nodes,) node y coordinates
+    dist,  # (n_nodes,) per-worker distance labels
+    prev,  # (n_nodes,) per-worker predecessor labels
+    seen,  # (n_nodes,) per-worker visited stamps
+    on_tree,  # (n_nodes,) per-worker net-tree stamps
+    tree,  # (n_tree,) node ids of the net's current routed tree
+    stamp,  # search stamp identifying this wavefront
+    sink,  # target node id
+    lo_x,  # search window (inclusive bounds)
+    hi_x,
+    lo_y,
+    hi_y,
+    astar,  # heuristic weight (VPR's astar_fac)
+    tree_reuse,  # cost of re-entering the net's own tree
+):
+    """Window-confined weighted A* from a routed tree to one sink.
+
+    Twin of the native heapq search in ``routing.py``; fills ``prev`` for
+    path reconstruction and returns ``(found, expansions)``.
+    """
+    sink_x = node_x[sink]
+    sink_y = node_y[sink]
+
+    cap = 1024
+    n_tree = tree.shape[0]
+    while cap < n_tree + 16:
+        cap *= 2
+    heap_f = np.empty(cap, np.float64)
+    heap_d = np.empty(cap, np.float64)
+    heap_u = np.empty(cap, np.int64)
+    size = 0
+
+    for i in range(n_tree):
+        u = tree[i]
+        on_tree[u] = stamp
+        seen[u] = stamp
+        dist[u] = 0.0
+        prev[u] = -1
+        h = abs(node_x[u] - sink_x) + abs(node_y[u] - sink_y) - 2
+        f = astar * h if h > 0 else 0.0
+        # push (f, 0.0, u)
+        heap_f[size] = f
+        heap_d[size] = 0.0
+        heap_u[size] = u
+        k = size
+        size += 1
+        while k > 0:
+            parent = (k - 1) >> 1
+            if (
+                heap_f[k] < heap_f[parent]
+                or (
+                    heap_f[k] == heap_f[parent]
+                    and (
+                        heap_d[k] < heap_d[parent]
+                        or (
+                            heap_d[k] == heap_d[parent]
+                            and heap_u[k] < heap_u[parent]
+                        )
+                    )
+                )
+            ):
+                heap_f[k], heap_f[parent] = heap_f[parent], heap_f[k]
+                heap_d[k], heap_d[parent] = heap_d[parent], heap_d[k]
+                heap_u[k], heap_u[parent] = heap_u[parent], heap_u[k]
+                k = parent
+            else:
+                break
+
+    expansions = 0
+    found = False
+    while size > 0:
+        d = heap_d[0]
+        u = heap_u[0]
+        # pop: move the last element to the root and sift down
+        size -= 1
+        heap_f[0] = heap_f[size]
+        heap_d[0] = heap_d[size]
+        heap_u[0] = heap_u[size]
+        k = 0
+        while True:
+            left = 2 * k + 1
+            if left >= size:
+                break
+            right = left + 1
+            child = left
+            if right < size and (
+                heap_f[right] < heap_f[left]
+                or (
+                    heap_f[right] == heap_f[left]
+                    and (
+                        heap_d[right] < heap_d[left]
+                        or (
+                            heap_d[right] == heap_d[left]
+                            and heap_u[right] < heap_u[left]
+                        )
+                    )
+                )
+            ):
+                child = right
+            if (
+                heap_f[child] < heap_f[k]
+                or (
+                    heap_f[child] == heap_f[k]
+                    and (
+                        heap_d[child] < heap_d[k]
+                        or (
+                            heap_d[child] == heap_d[k]
+                            and heap_u[child] < heap_u[k]
+                        )
+                    )
+                )
+            ):
+                heap_f[k], heap_f[child] = heap_f[child], heap_f[k]
+                heap_d[k], heap_d[child] = heap_d[child], heap_d[k]
+                heap_u[k], heap_u[child] = heap_u[child], heap_u[k]
+                k = child
+            else:
+                break
+
+        if d > dist[u]:
+            continue
+        expansions += 1
+        if u == sink:
+            found = True
+            break
+        for e in range(indptr[u], indptr[u + 1]):
+            v = indices[e]
+            vx = node_x[v]
+            vy = node_y[v]
+            if vx < lo_x or vx > hi_x or vy < lo_y or vy > hi_y:
+                continue
+            cost = tree_reuse if on_tree[v] == stamp else node_cost[v]
+            nd = d + cost
+            if seen[v] != stamp:
+                seen[v] = stamp
+            elif nd >= dist[v]:
+                continue
+            dist[v] = nd
+            prev[v] = u
+            h = abs(vx - sink_x) + abs(vy - sink_y) - 2
+            nf = nd + astar * h if h > 0 else nd
+            if size == heap_f.shape[0]:
+                new_cap = 2 * size
+                nhf = np.empty(new_cap, np.float64)
+                nhd = np.empty(new_cap, np.float64)
+                nhu = np.empty(new_cap, np.int64)
+                nhf[:size] = heap_f
+                nhd[:size] = heap_d
+                nhu[:size] = heap_u
+                heap_f, heap_d, heap_u = nhf, nhd, nhu
+            heap_f[size] = nf
+            heap_d[size] = nd
+            heap_u[size] = v
+            k = size
+            size += 1
+            while k > 0:
+                parent = (k - 1) >> 1
+                if (
+                    heap_f[k] < heap_f[parent]
+                    or (
+                        heap_f[k] == heap_f[parent]
+                        and (
+                            heap_d[k] < heap_d[parent]
+                            or (
+                                heap_d[k] == heap_d[parent]
+                                and heap_u[k] < heap_u[parent]
+                            )
+                        )
+                    )
+                ):
+                    heap_f[k], heap_f[parent] = heap_f[parent], heap_f[k]
+                    heap_d[k], heap_d[parent] = heap_d[parent], heap_d[k]
+                    heap_u[k], heap_u[parent] = heap_u[parent], heap_u[k]
+                    k = parent
+                else:
+                    break
+    return found, expansions

@@ -4,9 +4,15 @@ from __future__ import annotations
 
 from ..core.cache import config_fingerprint, fingerprint, netlist_fingerprint
 from ..core.pipeline import CompileContext, CompilePass, register_pass
+from .options import PnROptions
 from .pnr import PlaceAndRoute
 
 __all__ = ["PnRPass"]
+
+#: version salt of the P&R artifact: bumped whenever the engine's output
+#: changes for the same inputs (v2 = the parallel engine's batched
+#: annealing schedule and 1.6x A* inflation).
+_PNR_ARTIFACT_VERSION = "pnr-v2"
 
 
 @register_pass
@@ -23,13 +29,16 @@ class PnRPass(CompilePass):
             ctx.config,
             channel_width=options.pnr_channel_width,
             seed=options.effective_pnr_seed(),
+            options=PnROptions(jobs=options.pnr_jobs),
         ).run(ctx.mapping.netlist)
 
     def cache_key(self, ctx: CompileContext) -> str:
         # keyed on the netlist artifact actually routed, so any mapping
-        # producer (standard or custom) gets a correct cache entry
+        # producer (standard or custom) gets a correct cache entry.
+        # ``pnr_jobs`` is deliberately absent: it is an execution knob and
+        # every jobs value produces the bit-identical artifact.
         return fingerprint(
-            "pnr",
+            _PNR_ARTIFACT_VERSION,
             netlist_fingerprint(ctx.mapping.netlist),
             config_fingerprint(ctx.config),
             ctx.options.pnr_channel_width,

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import math
 import random
+import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -23,8 +25,16 @@ import numpy as np
 from ..errors import CapacityError
 from ..mapper.netlist import BlockType, FunctionBlockNetlist, Net
 from .fabric import FabricGrid
+from .options import PnROptions
 
-__all__ = ["Placement", "PlacementCostModel", "SimulatedAnnealingPlacer"]
+__all__ = [
+    "Placement",
+    "PlacementCostModel",
+    "SimulatedAnnealingPlacer",
+    "RegionGrid",
+    "PlacementStats",
+    "ParallelAnnealingPlacer",
+]
 
 #: nets with at least this many member blocks track their bounding box
 #: incrementally (boundary values + counts) instead of rescanning members.
@@ -446,3 +456,781 @@ class SimulatedAnnealingPlacer:
                 break
         placement.positions.update(model.positions())
         return placement
+
+
+# --------------------------------------------------------------------------
+# region-parallel batched annealing
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RegionGrid:
+    """Disjoint rectangular regions tiling the fabric's core sites.
+
+    The grid shape is a pure function of the fabric geometry (never of
+    the jobs count), so the region id of a move — the major key of the
+    deterministic merge order — is identical no matter how many workers
+    evaluate the batch.
+    """
+
+    width: int
+    height: int
+    nx: int
+    ny: int
+
+    @classmethod
+    def for_fabric(
+        cls, width: int, height: int, target_span: int = 4
+    ) -> "RegionGrid":
+        """Tile a ``width x height`` fabric into roughly
+        ``target_span``-wide regions."""
+        if width <= 0 or height <= 0:
+            raise ValueError("fabric dimensions must be positive")
+        nx = max(1, math.ceil(width / target_span))
+        ny = max(1, math.ceil(height / target_span))
+        return cls(width, height, nx, ny)
+
+    @property
+    def n_regions(self) -> int:
+        return self.nx * self.ny
+
+    def region_of(self, x: int, y: int) -> int:
+        """Region id of core site ``(x, y)``."""
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise ValueError(f"({x}, {y}) is outside the fabric")
+        return (x * self.nx // self.width) * self.ny + (y * self.ny // self.height)
+
+    def sites_by_region(self) -> list[list[tuple[int, int]]]:
+        """Core sites grouped by region (for the coverage invariant)."""
+        groups: list[list[tuple[int, int]]] = [[] for _ in range(self.n_regions)]
+        for x in range(self.width):
+            for y in range(self.height):
+                groups[self.region_of(x, y)].append((x, y))
+        return groups
+
+
+@dataclass
+class PlacementStats:
+    """Observability of one annealing run."""
+
+    #: per-temperature (temperature, moves proposed, moves accepted)
+    temperatures: list[tuple[float, int, int]] = field(default_factory=list)
+    moves_proposed: int = 0
+    moves_accepted: int = 0
+    replicas: int = 1
+    final_cost: int = 0
+    #: seconds spent inside the batched delta-cost evaluation
+    place_delta_seconds: float = 0.0
+
+    @property
+    def rounds(self) -> int:
+        return len(self.temperatures)
+
+
+class _NetGeometry:
+    """Padded member / incidence index arrays for one netlist.
+
+    The geometry specialization of the placer: member block ids per net
+    and incident net ids per block are flattened once into rectangular
+    padded arrays (padding ``-1``), so a whole batch of delta costs is a
+    handful of gathers and masked reductions instead of per-move Python
+    loops.  Shared by every replica; immutable.
+    """
+
+    def __init__(self, netlist: FunctionBlockNetlist):
+        names = list(netlist.blocks)
+        self.block_names = names
+        self.block_index = {name: i for i, name in enumerate(names)}
+        n_blocks = len(names)
+
+        members: list[list[int]] = []
+        for net in netlist.nets:
+            unique = dict.fromkeys((net.driver, *net.sinks))
+            members.append([self.block_index[b] for b in unique])
+        self.n_nets = len(members)
+
+        fanout = max((len(m) for m in members), default=1)
+        self.members_pad = np.full((self.n_nets, fanout), -1, dtype=np.int64)
+        for i, mem in enumerate(members):
+            self.members_pad[i, : len(mem)] = mem
+        # the padding mask and the clipped gather indices never change:
+        # precomputing them keeps the per-batch sweep to pure gathers
+        self.members_mask = self.members_pad >= 0
+        self.members_clipped = np.maximum(self.members_pad, 0)
+
+        nets_of: list[list[int]] = [[] for _ in range(n_blocks)]
+        for index, mem in enumerate(members):
+            for b in mem:
+                nets_of[b].append(index)
+        degree = max((len(n) for n in nets_of), default=1)
+        self.nets_of_pad = np.full((n_blocks, degree), -1, dtype=np.int64)
+        for i, incident in enumerate(nets_of):
+            self.nets_of_pad[i, : len(incident)] = incident
+
+        self.movable = np.array(
+            [
+                self.block_index[b.name]
+                for b in netlist.blocks.values()
+                if b.type != BlockType.IO and nets_of[self.block_index[b.name]]
+            ],
+            dtype=np.int64,
+        )
+        self.core_blocks = [
+            b.name for b in netlist.blocks.values() if b.type != BlockType.IO
+        ]
+        self.io_blocks = [
+            b.name for b in netlist.blocks.values() if b.type == BlockType.IO
+        ]
+
+    def net_costs(self, coords: np.ndarray) -> np.ndarray:
+        """Per-net HPWL from scratch, one vectorized sweep.
+
+        ``coords`` is the replica's ``(2, blocks)`` coordinate array.
+        """
+        if self.n_nets == 0:
+            return np.zeros(0, dtype=np.int64)
+        mask = self.members_mask
+        memc = self.members_clipped
+        big = np.int64(1) << 30
+        # one fused (2, nets, fanout) pass over both coordinates: the
+        # x and y spans fall out of a single gather + masked min/max
+        g = coords[:, memc]
+        lo = np.where(mask, g, big).min(axis=2)
+        hi = np.where(mask, g, -big).max(axis=2)
+        return (hi[0] - lo[0]) + (hi[1] - lo[1])
+
+    def net_costs_for(self, nets: np.ndarray, coords: np.ndarray) -> np.ndarray:
+        """Exact HPWL of just ``nets`` — the same masked min/max as
+        :meth:`net_costs`, restricted to the touched rows."""
+        mask = self.members_mask[nets]
+        memc = self.members_clipped[nets]
+        big = np.int64(1) << 30
+        g = coords[:, memc]
+        lo = np.where(mask, g, big).min(axis=2)
+        hi = np.where(mask, g, -big).max(axis=2)
+        return (hi[0] - lo[0]) + (hi[1] - lo[1])
+
+
+class _ReplicaState:
+    """Mutable annealing state of one replica."""
+
+    __slots__ = (
+        "rng", "coords", "xs", "ys", "occ", "net_costs", "total",
+        "io_positions", "scratch",
+    )
+
+    def __init__(
+        self,
+        geometry: _NetGeometry,
+        fabric: FabricGrid,
+        rng: np.random.Generator,
+    ):
+        self.rng = rng
+        n_blocks = len(geometry.block_names)
+        #: one (2, blocks) coordinate array; ``xs``/``ys`` are row views
+        #: of it, so the cost kernels can gather both axes in one pass
+        self.coords = np.zeros((2, n_blocks), dtype=np.int64)
+        self.xs = self.coords[0]
+        self.ys = self.coords[1]
+        self.occ = np.full(fabric.width * fabric.height, -1, dtype=np.int64)
+
+        sites = [s.position for s in fabric.sites()]
+        if len(geometry.core_blocks) > len(sites):
+            raise CapacityError(
+                f"netlist has {len(geometry.core_blocks)} blocks but the fabric "
+                f"only has {len(sites)} sites",
+                details={"blocks": len(geometry.core_blocks), "sites": len(sites)},
+            )
+        order = rng.permutation(len(sites))
+        height = fabric.height
+        for i, name in enumerate(geometry.core_blocks):
+            x, y = sites[order[i]]
+            b = geometry.block_index[name]
+            self.xs[b] = x
+            self.ys[b] = y
+            self.occ[x * height + y] = b
+
+        io_sites = [s.position for s in fabric.io_sites()]
+        if len(geometry.io_blocks) > len(io_sites):
+            raise CapacityError(
+                "not enough I/O sites for the netlist's I/O blocks",
+                details={
+                    "io_blocks": len(geometry.io_blocks),
+                    "io_sites": len(io_sites),
+                },
+            )
+        io_order = rng.permutation(len(io_sites))
+        self.io_positions = {}
+        for i, name in enumerate(geometry.io_blocks):
+            x, y = io_sites[io_order[i]]
+            b = geometry.block_index[name]
+            self.xs[b] = x
+            self.ys[b] = y
+            self.io_positions[name] = (x, y)
+
+        self.net_costs = geometry.net_costs(self.coords)
+        self.total = int(self.net_costs.sum())
+        #: per-batch arbitration scratch (block winners, site winners,
+        #: move id ramp), allocated lazily on first use
+        self.scratch = None
+
+
+class ParallelAnnealingPlacer:
+    """Region-parallel batched simulated annealing.
+
+    Each temperature round proposes a whole batch of range-limited moves
+    at once against the frozen pre-batch state, resolves conflicts by
+    awarding every contested resource (block, site, net) to the move
+    with the smallest ``(region id, move id)`` key, evaluates the
+    surviving — mutually independent — moves with vectorized padded-array
+    delta kernels, applies the Metropolis-accepted ones, and cools on
+    VPR's adaptive schedule.  Because survivors share no nets, blocks or
+    sites, applying them in any order gives the same state; the merge
+    order ``(region id, move id)`` makes the accepted-move *sequence*
+    reproducible too, and a serial replay of that sequence through
+    :class:`PlacementCostModel` reaches the identical placement.
+
+    ``jobs`` only splits the delta evaluation of one batch across worker
+    threads (grouped by region) and, in tempering mode, runs replicas
+    concurrently; every random draw comes from per-replica generators
+    that never see the jobs value, so results are bit-identical for any
+    ``jobs``.
+    """
+
+    #: exit temperature factor (VPR): stop when T < this * cost / nets.
+    #: Higher than the classic 0.005 on purpose: the cold tail only
+    #: shuffles near-zero-delta moves, and the exact greedy descent of
+    #: :meth:`_refine` recovers those improvements at a fraction of the
+    #: cost of annealing through them.
+    _EXIT_FACTOR = 0.02
+    _MAX_ROUNDS = 2000
+    #: consecutive all-zero-delta rounds that count as frozen
+    _FROZEN_ROUNDS = 5
+
+    def __init__(self, options: PnROptions | None = None, seed: int = 0):
+        self.options = options if options is not None else PnROptions()
+        self.seed = seed
+        self.initial_acceptance = 0.5
+        self.last_stats: PlacementStats | None = None
+
+    # ---------------------------------------------------------------- one batch
+    def _batch(
+        self,
+        geometry: _NetGeometry,
+        state: _ReplicaState,
+        fabric: FabricGrid,
+        region_of_site: np.ndarray,
+        temperature: float,
+        rlim: int,
+        batch: int,
+        pool: ThreadPoolExecutor | None,
+        use_jit: bool,
+        collect_moves: bool = False,
+    ) -> tuple[int, int, int, float, list[tuple[int, int, int, int]]]:
+        """One batch: propose, arbitrate, evaluate survivors, apply.
+
+        Returns ``(evaluated, accepted, accepted_nonzero, delta_seconds,
+        moves)``: how many independent survivors were evaluated, how many
+        were accepted, how many accepted moves changed the cost, the
+        seconds spent in the delta kernel, and — only when
+        ``collect_moves`` — the applied moves in merge order as
+        ``(block, tx, ty, swap)`` id tuples (``swap == -1`` for a
+        relocation to a free site).
+        """
+        width, height = fabric.width, fabric.height
+        rng = state.rng
+        xs, ys, occ = state.xs, state.ys, state.occ
+        movable = geometry.movable
+        nets_of = geometry.nets_of_pad
+        n_blocks = len(geometry.block_names)
+
+        # every batch draws exactly three fixed-size streams (the dx/dy
+        # displacements share one draw: bounded-integer sampling consumes
+        # the bit stream element-wise, so one 2*batch draw yields the
+        # same values as two batch draws), and the rng state after a
+        # round is a function of seed and geometry alone
+        bi = rng.integers(0, movable.size, size=batch)
+        d = rng.integers(-rlim, rlim + 1, size=2 * batch)
+        dx, dy = d[:batch], d[batch:]
+        uniforms = rng.random(batch)
+
+        b = movable[bi]
+        sx, sy = xs[b], ys[b]
+        tx = sx + dx
+        np.maximum(tx, 0, out=tx)
+        np.minimum(tx, width - 1, out=tx)
+        ty = sy + dy
+        np.maximum(ty, 0, out=ty)
+        np.minimum(ty, height - 1, out=ty)
+        ssite = sx * height + sy
+        tsite = tx * height + ty
+        valid = tsite != ssite
+        swap = occ[tsite]
+        region = region_of_site[ssite]
+        scratch = state.scratch
+        if scratch is None or scratch[2].size != batch:
+            scratch = state.scratch = (
+                np.empty(n_blocks, dtype=np.int64),
+                np.empty(occ.size, dtype=np.int64),
+                np.arange(batch, dtype=np.int64),
+            )
+        key = region * np.int64(batch) + scratch[2]
+
+        # ------------------------------------------------- conflict arbitration
+        # every move claims its blocks and sites; the smallest
+        # (region id, move id) key wins each resource and a move survives
+        # only if it wins all of its claims.  Survivors therefore touch
+        # disjoint blocks and sites — applying them in any order reaches
+        # the same placement — while nets may be shared: their deltas are
+        # evaluated against the frozen pre-batch state (synchronous
+        # parallel annealing) and the exact per-net costs are restored by
+        # a full vectorized sweep after the batch is applied.
+        inf = np.int64(1) << 62
+        block_win, site_win = scratch[0], scratch[1]
+        kv = key[valid]
+        block_win.fill(inf)
+        np.minimum.at(block_win, b[valid], kv)
+        has_swap = valid & (swap >= 0)
+        np.minimum.at(block_win, swap[has_swap], key[has_swap])
+
+        site_win.fill(inf)
+        np.minimum.at(site_win, ssite[valid], kv)
+        np.minimum.at(site_win, tsite[valid], kv)
+
+        win = valid.copy()
+        win &= block_win[b] == key
+        win &= np.where(swap >= 0, block_win[np.maximum(swap, 0)] == key, True)
+        win &= (site_win[ssite] == key) & (site_win[tsite] == key)
+
+        survivors = np.flatnonzero(win)
+        if survivors.size == 0:
+            return 0, 0, 0, 0.0, []
+
+        # ------------------------------------------------------ delta evaluation
+        sb = b[survivors]
+        ss = swap[survivors]
+        stx, sty = tx[survivors], ty[survivors]
+        sox, soy = sx[survivors], sy[survivors]
+
+        nb = nets_of[sb]
+        ns = np.where(ss[:, None] >= 0, nets_of[np.maximum(ss, 0)], -1)
+        # a net containing both ends of an exchange swap keeps the same
+        # coordinate multiset: drop it from the swap side (delta 0)
+        shared = (ns[:, :, None] == nb[:, None, :]).any(axis=2)
+        pair_rows_b, pair_cols_b = np.nonzero(nb >= 0)
+        pair_rows_s, pair_cols_s = np.nonzero((ns >= 0) & ~shared)
+        pair_mv = np.concatenate([pair_rows_b, pair_rows_s])
+        pair_net = np.concatenate(
+            [nb[pair_rows_b, pair_cols_b], ns[pair_rows_s, pair_cols_s]]
+        )
+
+        t_delta = time.perf_counter()
+        new_cost = np.empty(pair_net.size, dtype=np.int64)
+        if use_jit:
+            from .kernels import batch_delta_kernel
+
+            delta = np.zeros(survivors.size, dtype=np.int64)
+            batch_delta_kernel(
+                pair_mv, pair_net, geometry.members_pad, xs, ys,
+                sb, ss, stx, sty, sox, soy,
+                state.net_costs, new_cost, delta,
+            )
+        else:
+            pair_region = region[survivors][pair_mv]
+            if pool is not None and survivors.size >= 2:
+                groups = [
+                    np.flatnonzero(pair_region == r)
+                    for r in np.unique(pair_region)
+                ]
+                list(
+                    pool.map(
+                        lambda idx: self._eval_pairs(
+                            geometry, state, pair_mv, pair_net,
+                            sb, ss, stx, sty, sox, soy, new_cost, idx,
+                        ),
+                        groups,
+                    )
+                )
+            else:
+                self._eval_pairs(
+                    geometry, state, pair_mv, pair_net,
+                    sb, ss, stx, sty, sox, soy, new_cost, None,
+                )
+            pair_delta = new_cost - state.net_costs[pair_net]
+            delta = np.bincount(
+                pair_mv, weights=pair_delta, minlength=survivors.size
+            ).astype(np.int64)
+        delta_seconds = time.perf_counter() - t_delta
+
+        # ------------------------------------------------------------ metropolis
+        accept = uniforms[survivors] < np.exp(
+            np.minimum(-delta / temperature, 0.0)
+        )
+        n_accepted = int(accept.sum())
+        moves: list[tuple[int, int, int, int]] = []
+        if n_accepted == 0:
+            return int(survivors.size), 0, 0, delta_seconds, moves
+
+        # ------------------------------------------- apply, in (region, id) order
+        acc = np.flatnonzero(accept)
+        acc = acc[np.argsort(key[survivors][acc], kind="stable")]
+        ab, as_ = sb[acc], ss[acc]
+        atx, aty = stx[acc], sty[acc]
+        aox, aoy = sox[acc], soy[acc]
+        xs[ab] = atx
+        ys[ab] = aty
+        swapped = as_ >= 0
+        xs[as_[swapped]] = aox[swapped]
+        ys[as_[swapped]] = aoy[swapped]
+        occ[atx * height + aty] = ab
+        occ[aox * height + aoy] = np.where(swapped, as_, -1)
+
+        # exact per-net costs: when no net appears under two accepted
+        # moves the staged per-pair costs already are the from-scratch
+        # values (exchange-swap shared nets keep their coordinate
+        # multiset), so the batch commits incrementally; genuinely
+        # shared nets are recomputed exactly, but only those rows
+        acc_pairs = accept[pair_mv]
+        acc_nets = pair_net[acc_pairs]
+        uniq = np.unique(acc_nets)
+        if acc_nets.size == uniq.size:
+            state.net_costs[acc_nets] = new_cost[acc_pairs]
+            state.total += int(delta[acc].sum())
+        else:
+            sub = geometry.net_costs_for(uniq, state.coords)
+            state.total += int(sub.sum() - state.net_costs[uniq].sum())
+            state.net_costs[uniq] = sub
+
+        if collect_moves:
+            moves = [
+                (int(ab[i]), int(atx[i]), int(aty[i]), int(as_[i]))
+                for i in range(acc.size)
+            ]
+        n_nonzero = int((delta[acc] != 0).sum())
+        return int(survivors.size), n_accepted, n_nonzero, delta_seconds, moves
+
+    @staticmethod
+    def _eval_pairs(
+        geometry: _NetGeometry,
+        state: _ReplicaState,
+        pair_mv: np.ndarray,
+        pair_net: np.ndarray,
+        sb: np.ndarray,
+        ss: np.ndarray,
+        stx: np.ndarray,
+        sty: np.ndarray,
+        sox: np.ndarray,
+        soy: np.ndarray,
+        out_new_cost: np.ndarray,
+        idx: np.ndarray | None,
+    ) -> None:
+        """HPWL of each pair's net with the pair's move applied.
+
+        ``idx`` selects a subset of pairs (one region's worth when worker
+        threads split the batch); results land in the shared output array
+        at their global positions, so the merged output is identical no
+        matter how the pairs were grouped.
+        """
+        if idx is None:
+            mv, nets = pair_mv, pair_net
+        else:
+            mv, nets = pair_mv[idx], pair_net[idx]
+        mem = geometry.members_pad[nets]
+        mask = geometry.members_mask[nets]
+        memc = geometry.members_clipped[nets]
+        pxy = state.coords[:, memc]
+        sbm = sb[mv][:, None]
+        ssm = ss[mv][:, None]
+        is_b = mem == sbm
+        is_s = (ssm >= 0) & (mem == ssm)
+        # both coordinates move through one fused (2, pairs, fanout)
+        # where/min/max pass; the boolean masks broadcast across axis 0
+        txy = np.empty((2, mv.size, 1), dtype=np.int64)
+        txy[0, :, 0] = stx[mv]
+        txy[1, :, 0] = sty[mv]
+        oxy = np.empty((2, mv.size, 1), dtype=np.int64)
+        oxy[0, :, 0] = sox[mv]
+        oxy[1, :, 0] = soy[mv]
+        nxy = np.where(is_b, txy, np.where(is_s, oxy, pxy))
+        big = np.int64(1) << 30
+        lo = np.where(mask, nxy, big).min(axis=2)
+        hi = np.where(mask, nxy, -big).max(axis=2)
+        cost = (hi[0] - lo[0]) + (hi[1] - lo[1])
+        if idx is None:
+            out_new_cost[:] = cost
+        else:
+            out_new_cost[idx] = cost
+
+    # ---------------------------------------------------------------- schedule
+    @staticmethod
+    def _cool(temperature: float, alpha: float, mid: float = 0.95) -> float:
+        """VPR's adaptive cooling: fast through the trivial-acceptance and
+        frozen phases, slow through the productive middle.
+
+        ``mid`` is the mid-phase factor: small netlists cool slower there
+        because each of their batches yields only a handful of
+        conflict-free moves, so they need more rounds to spend the same
+        effective move budget per temperature.
+        """
+        if alpha > 0.96:
+            return temperature * 0.5
+        if alpha > 0.8:
+            return temperature * 0.9
+        if alpha > 0.15:
+            return temperature * mid
+        return temperature * 0.8
+
+    def place(
+        self, netlist: FunctionBlockNetlist, fabric: FabricGrid | None = None
+    ) -> Placement:
+        """Place the netlist; returns the final placement.
+
+        Populates :attr:`last_stats` with the run's observability data.
+        """
+        options = self.options
+        fabric = fabric if fabric is not None else FabricGrid.for_netlist(netlist)
+        geometry = _NetGeometry(netlist)
+        stats = PlacementStats(replicas=options.tempering)
+        self.last_stats = stats
+
+        n_replicas = options.tempering
+        children = np.random.SeedSequence(self.seed).spawn(n_replicas + 1)
+        states = [
+            _ReplicaState(geometry, fabric, np.random.default_rng(children[k]))
+            for k in range(n_replicas)
+        ]
+        swap_rng = np.random.default_rng(children[n_replicas])
+
+        placement = Placement(fabric)
+        if geometry.n_nets == 0 or geometry.movable.size == 0:
+            self._export(geometry, states[0], placement)
+            stats.final_cost = states[0].total
+            return placement
+
+        region = RegionGrid.for_fabric(fabric.width, fabric.height)
+        region_of_site = np.array(
+            [
+                region.region_of(site // fabric.height, site % fabric.height)
+                for site in range(fabric.width * fabric.height)
+            ],
+            dtype=np.int64,
+        )
+        # one temperature round spends the classic budget of
+        # moves_per_block * movable proposals, split into several batches
+        # so later batches within a round see the earlier batches' moves.
+        # Small netlists cool slower through the mid phase: each of their
+        # batches yields only a handful of conflict-free moves, so they
+        # need more rounds per temperature.  The choice depends only on
+        # the netlist, never on jobs.
+        batches_per_round = 4
+        mid_cooling = 0.96 if geometry.movable.size < 64 else 0.95
+        batch = max(
+            16,
+            -(-options.moves_per_block * int(geometry.movable.size)
+              // batches_per_round),
+        )
+        max_dim = max(fabric.width, fabric.height)
+        use_jit = options.jit_enabled()
+        if use_jit:
+            from .kernels import HAVE_NUMBA
+
+            use_jit = HAVE_NUMBA  # soft-fail to the numpy path
+
+        jobs = options.effective_jobs()
+        pool = ThreadPoolExecutor(max_workers=jobs) if jobs > 1 else None
+        try:
+            base = max(1.0, states[0].total / max(geometry.n_nets, 1))
+            t0 = base / max(self.initial_acceptance, 1e-6)
+            # replica 0 is the coldest rung; higher rungs run hotter
+            temps = [t0 * (2.0**k) for k in range(n_replicas)]
+            rlims = [float(max_dim)] * n_replicas
+            zero_rounds = 0
+
+            for round_index in range(self._MAX_ROUNDS):
+                def run_one(k: int) -> tuple[int, int, int, float]:
+                    evaluated = accepted = nonzero = 0
+                    delta_seconds = 0.0
+                    for _ in range(batches_per_round):
+                        ev, acc, nz, dt, _ = self._batch(
+                            geometry, states[k], fabric, region_of_site,
+                            temps[k], max(1, int(round(rlims[k]))), batch,
+                            pool if n_replicas == 1 else None, use_jit,
+                        )
+                        evaluated += ev
+                        accepted += acc
+                        nonzero += nz
+                        delta_seconds += dt
+                    return evaluated, accepted, nonzero, delta_seconds
+
+                if pool is not None and n_replicas > 1:
+                    results = list(pool.map(run_one, range(n_replicas)))
+                else:
+                    results = [run_one(k) for k in range(n_replicas)]
+
+                proposed = batch * batches_per_round * n_replicas
+                accepted = sum(r[1] for r in results)
+                nonzero = sum(r[2] for r in results)
+                stats.temperatures.append((temps[0], proposed, accepted))
+                stats.moves_proposed += proposed
+                stats.moves_accepted += accepted
+                stats.place_delta_seconds += sum(r[3] for r in results)
+
+                for k in range(n_replicas):
+                    # acceptance over the *evaluated* independent survivors:
+                    # conflict-losers never reached the Metropolis test and
+                    # must not read as rejections to the schedule
+                    alpha = results[k][1] / max(results[k][0], 1)
+                    temps[k] = self._cool(temps[k], alpha, mid_cooling)
+                    rlims[k] = min(
+                        float(max_dim), max(1.0, rlims[k] * (0.56 + alpha))
+                    )
+
+                if n_replicas > 1:
+                    # deterministic replica-exchange sweep over alternating
+                    # adjacent pairs; the swap rng stream never depends on
+                    # the jobs count
+                    for k in range(round_index % 2, n_replicas - 1, 2):
+                        d = (states[k].total - states[k + 1].total) * (
+                            1.0 / temps[k] - 1.0 / temps[k + 1]
+                        )
+                        r = swap_rng.random()
+                        if d >= 0 or r < math.exp(max(d, -700.0)):
+                            states[k], states[k + 1] = states[k + 1], states[k]
+
+                # a round whose accepted moves were all zero-delta shuffles
+                # cannot have improved the cost: after a few of those in a
+                # row the anneal is frozen, whatever the temperature says
+                zero_rounds = zero_rounds + 1 if nonzero == 0 else 0
+                cold = min(state.total for state in states)
+                if (
+                    cold == 0
+                    or zero_rounds >= self._FROZEN_ROUNDS
+                    or temps[0]
+                    < self._EXIT_FACTOR * max(cold, 1) / max(geometry.n_nets, 1)
+                ):
+                    break
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=True)
+
+        best = min(range(n_replicas), key=lambda k: (states[k].total, k))
+        self._refine(geometry, states[best], fabric, stats)
+
+        stats.final_cost = states[best].total
+        self._export(geometry, states[best], placement)
+        return placement
+
+    # ------------------------------------------------------------- refinement
+    def _refine(
+        self,
+        geometry: _NetGeometry,
+        state: _ReplicaState,
+        fabric: FabricGrid,
+        stats: PlacementStats,
+        radius: int = 2,
+        max_passes: int = 8,
+    ) -> None:
+        """Exhaustive window-limited greedy descent on the final state.
+
+        Serial and rng-free: blocks are visited in index order and each
+        takes its best strictly-improving move (ties broken by lowest
+        site id) within a ``radius`` window, so the polish is
+        deterministic and trivially independent of ``jobs``.  Deltas are
+        exact — the state is committed between moves — which lets the
+        quench escape the plateau the batched anneal's frozen phase
+        leaves behind.
+        """
+        width, height = fabric.width, fabric.height
+        xs, ys, occ = state.xs, state.ys, state.occ
+        nets_of = geometry.nets_of_pad
+        members = geometry.members_pad
+        t_start = time.perf_counter()
+        offs = np.array(
+            [
+                (ox, oy)
+                for ox in range(-radius, radius + 1)
+                for oy in range(-radius, radius + 1)
+                if (ox, oy) != (0, 0)
+            ],
+            dtype=np.int64,
+        )
+        # dirty list: a block is revisited only while its neighbourhood
+        # keeps changing, so converged passes cost almost nothing
+        dirty = np.ones(len(geometry.block_names), dtype=bool)
+        for _ in range(max_passes):
+            improved = False
+            for block in geometry.movable:
+                b = int(block)
+                if not dirty[b]:
+                    continue
+                dirty[b] = False
+                bx, by = int(xs[b]), int(ys[b])
+                cand_x = np.clip(bx + offs[:, 0], 0, width - 1)
+                cand_y = np.clip(by + offs[:, 1], 0, height - 1)
+                site = bx * height + by
+                tsite = np.unique(cand_x * height + cand_y)
+                tsite = tsite[tsite != site]
+                if tsite.size == 0:
+                    continue
+                n_cand = tsite.size
+                stx, sty = tsite // height, tsite % height
+                ss = occ[tsite]
+                sb = np.full(n_cand, b, dtype=np.int64)
+                sox = np.full(n_cand, bx, dtype=np.int64)
+                soy = np.full(n_cand, by, dtype=np.int64)
+                nb = nets_of[sb]
+                ns = np.where(ss[:, None] >= 0, nets_of[np.maximum(ss, 0)], -1)
+                shared = (ns[:, :, None] == nb[:, None, :]).any(axis=2)
+                rows_b, cols_b = np.nonzero(nb >= 0)
+                rows_s, cols_s = np.nonzero((ns >= 0) & ~shared)
+                pair_mv = np.concatenate([rows_b, rows_s])
+                pair_net = np.concatenate(
+                    [nb[rows_b, cols_b], ns[rows_s, cols_s]]
+                )
+                stats.moves_proposed += n_cand
+                if pair_net.size == 0:
+                    continue
+                new_cost = np.empty(pair_net.size, dtype=np.int64)
+                self._eval_pairs(
+                    geometry, state, pair_mv, pair_net,
+                    sb, ss, stx, sty, sox, soy, new_cost, None,
+                )
+                delta = np.bincount(
+                    pair_mv,
+                    weights=new_cost - state.net_costs[pair_net],
+                    minlength=n_cand,
+                ).astype(np.int64)
+                j = int(np.argmin(delta))
+                if delta[j] >= 0:
+                    continue
+                s = int(ss[j])
+                xs[b], ys[b] = int(stx[j]), int(sty[j])
+                if s >= 0:
+                    xs[s], ys[s] = bx, by
+                occ[tsite[j]] = b
+                occ[site] = s
+                # exact incremental update: a shared net of an exchange
+                # swap keeps its coordinate multiset, every other
+                # affected net's post-move cost is new_cost
+                touched = pair_mv == j
+                state.net_costs[pair_net[touched]] = new_cost[touched]
+                state.total += int(delta[j])
+                stats.moves_accepted += 1
+                improved = True
+                # every block sharing a net with either end may have a
+                # new best move now
+                near = members[pair_net[touched]]
+                dirty[near[near >= 0]] = True
+                dirty[b] = True
+                if s >= 0:
+                    dirty[s] = True
+            if not improved:
+                break
+        stats.place_delta_seconds += time.perf_counter() - t_start
+
+    @staticmethod
+    def _export(
+        geometry: _NetGeometry, state: _ReplicaState, placement: Placement
+    ) -> None:
+        for i, name in enumerate(geometry.block_names):
+            placement.positions[name] = (int(state.xs[i]), int(state.ys[i]))

@@ -1,10 +1,18 @@
 """The placement & routing driver.
 
-Bundles the fabric construction, the simulated-annealing placer, the
-PathFinder router and the timing analyzer into one call, mirroring the role
-mrVPR plays in the paper's toolchain: it consumes the function-block
-netlist emitted by the mapper and reports wirelength, channel occupancy and
-the communication critical path that feeds the performance model.
+Bundles the fabric construction, the annealing placer, the PathFinder
+router and the timing analyzer into one call, mirroring the role mrVPR
+plays in the paper's toolchain: it consumes the function-block netlist
+emitted by the mapper and reports wirelength, channel occupancy and the
+communication critical path that feeds the performance model.
+
+The engine is selected by :class:`~repro.pnr.options.PnROptions`:
+``"parallel"`` (default) runs the batched region-parallel annealer and the
+window-confined domain router; ``"serial"`` keeps the classic single-move
+annealer and whole-netlist PathFinder loop as the reference engine the
+bench harness baselines against.  Either engine is deterministic for a
+fixed seed, and the parallel engine is bit-identical for any ``jobs``/
+``jit`` setting.
 """
 
 from __future__ import annotations
@@ -15,7 +23,13 @@ from dataclasses import dataclass, field
 from ..arch.params import FPSAConfig
 from ..mapper.netlist import FunctionBlockNetlist
 from .fabric import FabricGrid
-from .placement import Placement, SimulatedAnnealingPlacer
+from .options import PnROptions
+from .placement import (
+    ParallelAnnealingPlacer,
+    Placement,
+    PlacementStats,
+    SimulatedAnnealingPlacer,
+)
 from .routing import PathFinderRouter, RoutingResult
 from .rrgraph import RoutingResourceGraph
 from .timing import TimingReport, analyze_timing
@@ -33,8 +47,13 @@ class PnRResult:
     routing: RoutingResult
     timing: TimingReport
     channel_width: int
-    #: wall-clock seconds of each P&R stage (place / rrgraph / route / timing)
+    #: wall-clock seconds of each P&R stage (place / rrgraph / route /
+    #: timing) plus the ``place_delta`` / ``route_expand`` kernel
+    #: sub-timers
     stage_seconds: dict[str, float] = field(default_factory=dict)
+    #: annealing observability of the parallel placer (``None`` for the
+    #: classic serial placer)
+    placement_stats: PlacementStats | None = None
 
     @property
     def total_wirelength(self) -> int:
@@ -56,6 +75,58 @@ class PnRResult:
             f"({self.timing.critical_net})"
         )
 
+    def explain(self, max_temperature_rows: int = 12) -> str:
+        """Human-readable annealing/search observability.
+
+        The placer section lists moves proposed/accepted per temperature
+        (head and tail of the schedule when it is longer than
+        ``max_temperature_rows``); the router section reports negotiation
+        iterations, node expansions, rip-up volume and congestion domains.
+        """
+        lines = ["P&R observability"]
+        stats = self.placement_stats
+        if stats is not None:
+            lines.append(
+                f"  placer: {stats.rounds} temperature rounds, "
+                f"{stats.moves_proposed} proposed / "
+                f"{stats.moves_accepted} accepted moves, "
+                f"{stats.replicas} replica(s), final cost {stats.final_cost}"
+            )
+            rows = list(enumerate(stats.temperatures))
+            if len(rows) > max_temperature_rows:
+                head = max_temperature_rows // 2
+                tail = max_temperature_rows - head - 1
+                rows = rows[:head] + [None] + rows[-tail:]
+            lines.append(f"  {'round':>7} {'temperature':>12} {'proposed':>9} {'accepted':>9}")
+            for row in rows:
+                if row is None:
+                    lines.append("      ...")
+                    continue
+                index, (temperature, proposed, accepted) = row
+                lines.append(
+                    f"  {index:>7} {temperature:>12.3f} {proposed:>9} {accepted:>9}"
+                )
+        else:
+            lines.append("  placer: serial reference engine (no batched stats)")
+        routing = self.routing
+        lines.append(
+            f"  router: {routing.iterations} negotiation iteration(s), "
+            f"{routing.nodes_expanded} nodes expanded, "
+            f"{routing.rerouted_nets} nets rerouted, "
+            f"{routing.domains} congestion domain(s)"
+        )
+        for stage in ("place", "rrgraph", "route", "timing"):
+            if stage in self.stage_seconds:
+                lines.append(
+                    f"  {stage + ':':<9} {self.stage_seconds[stage] * 1e3:8.1f} ms"
+                )
+        for sub in ("place_delta", "route_expand"):
+            if sub in self.stage_seconds:
+                lines.append(
+                    f"  {sub + ':':<13} {self.stage_seconds[sub] * 1e3:8.1f} ms (kernel)"
+                )
+        return "\n".join(lines)
+
 
 class PlaceAndRoute:
     """End-to-end placement & routing for function-block netlists."""
@@ -64,14 +135,21 @@ class PlaceAndRoute:
         self,
         config: FPSAConfig | None = None,
         channel_width: int | None = None,
-        placer: SimulatedAnnealingPlacer | None = None,
+        placer: SimulatedAnnealingPlacer | ParallelAnnealingPlacer | None = None,
         max_route_iterations: int = 30,
         seed: int = 0,
+        options: PnROptions | None = None,
     ):
         self.config = config if config is not None else FPSAConfig()
         self.channel_width = channel_width
-        self.placer = placer if placer is not None else SimulatedAnnealingPlacer(seed=seed)
         self.max_route_iterations = max_route_iterations
+        self.options = options if options is not None else PnROptions()
+        if placer is not None:
+            self.placer = placer
+        elif self.options.engine == "serial":
+            self.placer = SimulatedAnnealingPlacer(seed=seed)
+        else:
+            self.placer = ParallelAnnealingPlacer(options=self.options, seed=seed)
 
     def run(self, netlist: FunctionBlockNetlist) -> PnRResult:
         """Place and route ``netlist``; raises RoutingError when the fabric's
@@ -85,11 +163,26 @@ class PlaceAndRoute:
         graph = RoutingResourceGraph(fabric, channel_width=width)
         graph.compiled()  # build the router's integer view inside this stage
         t2 = time.perf_counter()
-        router = PathFinderRouter(graph, max_iterations=self.max_route_iterations)
+        router = PathFinderRouter(
+            graph,
+            max_iterations=self.max_route_iterations,
+            options=self.options,
+        )
         routing = router.route(netlist, placement)
         t3 = time.perf_counter()
         timing = analyze_timing(routing, self.config.routing)
         t4 = time.perf_counter()
+
+        placement_stats = getattr(self.placer, "last_stats", None)
+        stage_seconds = {
+            "place": t1 - t0,
+            "rrgraph": t2 - t1,
+            "route": t3 - t2,
+            "timing": t4 - t3,
+            "route_expand": routing.expand_seconds,
+        }
+        if placement_stats is not None:
+            stage_seconds["place_delta"] = placement_stats.place_delta_seconds
         return PnRResult(
             model=netlist.model,
             fabric=fabric,
@@ -97,10 +190,6 @@ class PlaceAndRoute:
             routing=routing,
             timing=timing,
             channel_width=width,
-            stage_seconds={
-                "place": t1 - t0,
-                "rrgraph": t2 - t1,
-                "route": t3 - t2,
-                "timing": t4 - t3,
-            },
+            stage_seconds=stage_seconds,
+            placement_stats=placement_stats,
         )

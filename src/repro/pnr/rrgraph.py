@@ -10,11 +10,21 @@ many nets can cross the same channel.
 Wire segments have unit length (one block span), matching mrFPGA's
 single-length segments; the disjoint switch-box pattern connects track ``t``
 only to track ``t`` of the adjacent channels.
+
+The graph the router actually searches is the :class:`CompiledRRGraph`,
+which :meth:`CompiledRRGraph.from_geometry` assembles directly from integer
+index formulas — no intermediate :class:`RRNode` adjacency dict — in the
+exact node-id order the dict construction would produce, so heap
+tie-breaking (and therefore every routing artifact) is unchanged.  The
+object-level adjacency of :class:`RoutingResourceGraph` is built lazily on
+first access; the compile flow never touches it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+import numpy as np
 
 from .fabric import FabricGrid
 
@@ -46,9 +56,17 @@ class CompiledRRGraph:
     computation keyed on ids (heap tie-breaking in particular) is
     reproducible across processes — unlike iteration over sets of
     :class:`RRNode`, whose order depends on randomized string hashing.
+
+    Adjacency is held twice: ``neighbors`` (list of lists, fastest for the
+    native heapq search) and the CSR pair ``indptr``/``indices`` (flat
+    int64 arrays for the optional numba kernel).  ``xa``/``ya``/``base``
+    are array twins of the coordinate/cost lists for the same reason.
     """
 
-    __slots__ = ("nodes", "ids", "neighbors", "is_wire", "base_cost", "x", "y")
+    __slots__ = (
+        "nodes", "ids", "neighbors", "is_wire", "base_cost", "x", "y",
+        "xa", "ya", "base", "indptr", "indices",
+    )
 
     def __init__(self, adjacency: dict[RRNode, list[RRNode]]):
         self.nodes: list[RRNode] = list(adjacency)
@@ -57,12 +75,129 @@ class CompiledRRGraph:
         self.neighbors: list[list[int]] = [
             [ids[n] for n in adjacency[node]] for node in self.nodes
         ]
+        self._finalize()
+
+    def _finalize(self) -> None:
+        """Derive the per-node attribute lists and flat CSR arrays."""
         self.is_wire: list[bool] = [node.is_wire for node in self.nodes]
         self.base_cost: list[float] = [
             1.0 if node.is_wire else 0.5 for node in self.nodes
         ]
         self.x: list[int] = [node.x for node in self.nodes]
         self.y: list[int] = [node.y for node in self.nodes]
+        self.xa = np.array(self.x, dtype=np.int64)
+        self.ya = np.array(self.y, dtype=np.int64)
+        self.base = np.array(self.base_cost, dtype=np.float64)
+        counts = np.fromiter(
+            (len(adj) for adj in self.neighbors), dtype=np.int64,
+            count=len(self.neighbors),
+        )
+        self.indptr = np.zeros(len(self.neighbors) + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.indptr[1:])
+        flat = [v for adj in self.neighbors for v in adj]
+        self.indices = np.array(flat, dtype=np.int64)
+
+    @classmethod
+    def from_geometry(
+        cls, width: int, height: int, tracks: int
+    ) -> "CompiledRRGraph":
+        """Build the compiled graph straight from the fabric geometry.
+
+        Node ids, edge set and per-node attributes are identical to
+        compiling a dict-built :class:`RoutingResourceGraph` for the same
+        ``(width, height, tracks)`` — only the construction cost differs
+        (integer formulas and vectorized edge assembly instead of
+        dataclass hashing).
+        """
+        if width <= 0 or height <= 0:
+            raise ValueError("fabric dimensions must be positive")
+        if tracks <= 0:
+            raise ValueError("channel_width must be positive")
+        n_ch_x, n_ch_y = width + 1, height + 1
+        n_wires = 2 * n_ch_x * n_ch_y * tracks
+        n_pin_cols, n_pin_rows = width + 2, height + 2
+
+        self = cls.__new__(cls)
+        nodes: list[RRNode] = []
+        for x in range(-1, width):
+            for y in range(-1, height):
+                for t in range(tracks):
+                    nodes.append(RRNode("H", x, y, t))
+                    nodes.append(RRNode("V", x, y, t))
+        for x in range(-1, width + 1):
+            for y in range(-1, height + 1):
+                nodes.append(RRNode("OPIN", x, y))
+                nodes.append(RRNode("IPIN", x, y))
+        self.nodes = nodes
+        self.ids = {node: i for i, node in enumerate(nodes)}
+
+        # wire ids follow the interleaved H/V insertion order above:
+        # H(x, y, t) = 2*(((x+1)*n_ch_y + (y+1))*tracks + t), V = H + 1
+        cx, cy, tt = np.meshgrid(
+            np.arange(n_ch_x), np.arange(n_ch_y), np.arange(tracks),
+            indexing="ij",
+        )
+        h = 2 * ((cx * n_ch_y + cy) * tracks + tt)
+        v = h + 1
+
+        src_parts: list[np.ndarray] = []
+        dst_parts: list[np.ndarray] = []
+
+        def bidir(a: np.ndarray, b: np.ndarray) -> None:
+            src_parts.extend((a.ravel(), b.ravel()))
+            dst_parts.extend((b.ravel(), a.ravel()))
+
+        # switch boxes: same-track H <-> V at every channel intersection,
+        # straight continuations while the next segment exists
+        bidir(h, v)
+        bidir(h[:-1], h[1:])  # x + 1 < width
+        bidir(v[:-1], v[1:])
+        bidir(h[:, :-1], h[:, 1:])  # y + 1 < height
+        bidir(v[:, :-1], v[:, 1:])
+
+        # connection boxes: every block pin reaches all tracks of the four
+        # surrounding channels (those that exist)
+        px, py, pt = np.meshgrid(
+            np.arange(n_pin_cols), np.arange(n_pin_rows), np.arange(tracks),
+            indexing="ij",
+        )
+        pin_base = n_wires + 2 * (px * n_pin_rows + py)
+        opin, ipin = pin_base, pin_base + 1
+
+        def wire_at(kind_offset: int, wx: np.ndarray, wy: np.ndarray) -> np.ndarray:
+            return 2 * ((wx * n_ch_y + wy) * tracks + pt) + kind_offset
+
+        # (wire coordinates here are channel indices cx = x + 1, cy = y + 1)
+        for kind_offset, wx, wy in (
+            (0, px, py),          # H(x, y, t): channel above
+            (0, px, py - 1),      # H(x, y - 1, t): channel below
+            (1, px, py),          # V(x, y, t): channel to the right
+            (1, px - 1, py),      # V(x - 1, y, t): channel to the left
+        ):
+            exists = (
+                (wx >= 0) & (wx < n_ch_x) & (wy >= 0) & (wy < n_ch_y)
+            )
+            wire = wire_at(kind_offset, np.clip(wx, 0, n_ch_x - 1),
+                           np.clip(wy, 0, n_ch_y - 1))
+            src_parts.append(opin[exists])
+            dst_parts.append(wire[exists])
+            src_parts.append(wire[exists])
+            dst_parts.append(ipin[exists])
+
+        src = np.concatenate(src_parts)
+        dst = np.concatenate(dst_parts)
+        n_nodes = len(nodes)
+        order = np.argsort(src, kind="stable")
+        sorted_dst = dst[order]
+        counts = np.bincount(src, minlength=n_nodes)
+        indptr = np.zeros(n_nodes + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        flat = sorted_dst.tolist()
+        self.neighbors = [
+            flat[indptr[i]:indptr[i + 1]] for i in range(n_nodes)
+        ]
+        self._finalize()
+        return self
 
     def __len__(self) -> int:
         return len(self.nodes)
@@ -75,20 +210,32 @@ class CompiledRRGraph:
 
 
 class RoutingResourceGraph:
-    """Adjacency structure over :class:`RRNode` objects."""
+    """Adjacency structure over :class:`RRNode` objects.
+
+    The object-level adjacency dict exists for inspection and tests; it is
+    built lazily on first access.  The compile flow only ever calls
+    :meth:`compiled`, which assembles the integer-indexed graph directly
+    from the geometry.
+    """
 
     def __init__(self, fabric: FabricGrid, channel_width: int = 16):
         if channel_width <= 0:
             raise ValueError("channel_width must be positive")
         self.fabric = fabric
         self.channel_width = channel_width
-        self._adjacency: dict[RRNode, list[RRNode]] = {}
+        self._lazy_adjacency: dict[RRNode, list[RRNode]] | None = None
         self._compiled: CompiledRRGraph | None = None
-        self._build()
 
     # ------------------------------------------------------------ construction
+    @property
+    def _adjacency(self) -> dict[RRNode, list[RRNode]]:
+        if self._lazy_adjacency is None:
+            self._lazy_adjacency = {}
+            self._build()
+        return self._lazy_adjacency
+
     def _add_edge(self, a: RRNode, b: RRNode) -> None:
-        self._adjacency.setdefault(a, []).append(b)
+        self._lazy_adjacency.setdefault(a, []).append(b)
 
     def _add_bidirectional(self, a: RRNode, b: RRNode) -> None:
         self._add_edge(a, b)
@@ -97,6 +244,7 @@ class RoutingResourceGraph:
     def _build(self) -> None:
         fabric = self.fabric
         width, height, tracks = fabric.width, fabric.height, self.channel_width
+        adjacency = self._lazy_adjacency
 
         # wire nodes: H(x, y, t) runs along the channel above row y between
         # columns x and x+1; V(x, y, t) runs along the channel right of
@@ -107,8 +255,8 @@ class RoutingResourceGraph:
                 for t in range(tracks):
                     h = RRNode("H", x, y, t)
                     v = RRNode("V", x, y, t)
-                    self._adjacency.setdefault(h, [])
-                    self._adjacency.setdefault(v, [])
+                    adjacency.setdefault(h, [])
+                    adjacency.setdefault(v, [])
 
         # switch boxes (disjoint pattern): at each channel intersection the
         # same-track horizontal and vertical wires interconnect, and wires
@@ -139,11 +287,11 @@ class RoutingResourceGraph:
                     continue
                 opin = RRNode("OPIN", x, y)
                 ipin = RRNode("IPIN", x, y)
-                self._adjacency.setdefault(opin, [])
-                self._adjacency.setdefault(ipin, [])
+                adjacency.setdefault(opin, [])
+                adjacency.setdefault(ipin, [])
                 for t in range(self.channel_width):
                     for wire in self._adjacent_wires(x, y, t):
-                        if wire in self._adjacency:
+                        if wire in adjacency:
                             self._add_edge(opin, wire)
                             self._add_edge(wire, ipin)
 
@@ -181,5 +329,7 @@ class RoutingResourceGraph:
     def compiled(self) -> CompiledRRGraph:
         """The integer-indexed view of this graph (built once, cached)."""
         if self._compiled is None:
-            self._compiled = CompiledRRGraph(self._adjacency)
+            self._compiled = CompiledRRGraph.from_geometry(
+                self.fabric.width, self.fabric.height, self.channel_width
+            )
         return self._compiled

@@ -110,6 +110,10 @@ class CompileRequest:
     max_schedule_reuse: int | None = None
     pnr_channel_width: int | None = None
     pnr_seed: int = 0
+    #: worker threads for the parallel P&R engine (``None``/1 serial).  An
+    #: execution knob: results are bit-identical for any value, so it is
+    #: excluded from :meth:`fingerprint` (like ``tags``).
+    pnr_jobs: int | None = None
     seed: int | None = None
     #: multi-chip partitioned compilation: ``None`` (single chip, classic
     #: flow), an integer chip count, or ``"auto"`` for the smallest count
@@ -170,6 +174,15 @@ class CompileRequest:
                 f"shard_jobs must be an integer >= 1, got {self.shard_jobs!r}",
                 details={"shard_jobs": repr(self.shard_jobs)},
             )
+        if self.pnr_jobs is not None and (
+            not isinstance(self.pnr_jobs, int)
+            or isinstance(self.pnr_jobs, bool)
+            or self.pnr_jobs < 1
+        ):
+            raise InvalidRequestError(
+                f"pnr_jobs must be an integer >= 1, got {self.pnr_jobs!r}",
+                details={"pnr_jobs": repr(self.pnr_jobs)},
+            )
         if self.passes is not None:
             object.__setattr__(self, "passes", tuple(self.passes))
 
@@ -198,9 +211,16 @@ class CompileRequest:
         return cls.from_dict(_load_json(payload, "CompileRequest"))
 
     def fingerprint(self) -> str:
-        """Content-addressed identity of this request (tags excluded)."""
+        """Content-addressed identity of this request.
+
+        ``tags`` (caller metadata) and ``pnr_jobs`` (a pure execution knob
+        whose every value produces the bit-identical artifact) are
+        excluded, so e.g. coalescing and the artifact store treat requests
+        differing only in those fields as the same compilation.
+        """
         data = self.to_dict()
         data.pop("tags")
+        data.pop("pnr_jobs")
         canonical = json.dumps(data, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
@@ -215,6 +235,7 @@ class CompileRequest:
             "max_schedule_reuse": self.max_schedule_reuse,
             "pnr_channel_width": self.pnr_channel_width,
             "pnr_seed": self.pnr_seed,
+            "pnr_jobs": self.pnr_jobs,
             "seed": self.seed,
             "num_chips": self.num_chips,
             "shard_jobs": self.shard_jobs,
@@ -425,7 +446,20 @@ class ResultSummary:
                 "total_wirelength": float(result.pnr.total_wirelength),
                 "critical_path_ns": result.pnr.critical_path_ns,
                 "mean_route_segments": result.pnr.mean_route_segments,
+                # router observability: negotiation iterations, total A*
+                # expansions, the rip-up/reroute volume and the number of
+                # independent congestion domains of the final iteration
+                "router_iterations": float(result.pnr.routing.iterations),
+                "router_nodes_expanded": float(result.pnr.routing.nodes_expanded),
+                "router_rerouted_nets": float(result.pnr.routing.rerouted_nets),
+                "router_domains": float(result.pnr.routing.domains),
             }
+            stats = result.pnr.placement_stats
+            if stats is not None:
+                # annealing observability (parallel engine only)
+                pnr["place_rounds"] = float(stats.rounds)
+                pnr["place_moves_proposed"] = float(stats.moves_proposed)
+                pnr["place_moves_accepted"] = float(stats.moves_accepted)
             for stage, seconds in result.pnr.stage_seconds.items():
                 pnr[f"{stage}_seconds"] = seconds
         if result.pipeline is not None:
