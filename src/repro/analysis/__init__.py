@@ -1,0 +1,36 @@
+"""Static analysis & verification layer.
+
+Two cooperating sub-systems guard the toolchain's correctness contracts:
+
+* :mod:`repro.analysis.verify` — runtime IR verifiers: per-artifact
+  structural invariant checkers the pass manager interposes between
+  pipeline stages (``CompileOptions.verify`` / ``--verify`` /
+  ``REPRO_VERIFY=1``) and the cache/store layers run on loads, raising a
+  typed :class:`~repro.errors.VerificationError`.
+* :mod:`repro.analysis.lint` — a static determinism & concurrency linter
+  (``repro lint``) with AST rules for the hazards that break the
+  bit-identity contract: unseeded RNG, unsorted set iteration on the
+  deterministic path, impure fingerprints, shared-state mutation in pool
+  workers, and untyped raise-sites.
+"""
+
+from .lint import RULES, Finding, lint_paths, lint_source
+from .verify import (
+    ARTIFACT_VERIFIERS,
+    VERIFY_ENV,
+    verification_enabled,
+    verify_artifact,
+    verify_artifacts,
+)
+
+__all__ = [
+    "VERIFY_ENV",
+    "ARTIFACT_VERIFIERS",
+    "verification_enabled",
+    "verify_artifact",
+    "verify_artifacts",
+    "RULES",
+    "Finding",
+    "lint_paths",
+    "lint_source",
+]

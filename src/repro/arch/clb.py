@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..errors import InvalidRequestError
 from .params import CLBParams
 
 __all__ = ["LookUpTable", "IterationCounter", "ConfigurableLogicBlock"]
@@ -29,12 +30,12 @@ class LookUpTable:
 
     def __post_init__(self) -> None:
         if self.n_inputs <= 0:
-            raise ValueError("n_inputs must be positive")
+            raise InvalidRequestError("n_inputs must be positive")
         size = 1 << self.n_inputs
         if not self.table:
             self.table = [False] * size
         if len(self.table) != size:
-            raise ValueError(f"truth table must have {size} entries")
+            raise InvalidRequestError(f"truth table must have {size} entries")
 
     @classmethod
     def from_function(cls, n_inputs: int, fn) -> "LookUpTable":
@@ -48,7 +49,7 @@ class LookUpTable:
 
     def evaluate(self, *inputs: bool) -> bool:
         if len(inputs) != self.n_inputs:
-            raise ValueError(f"expected {self.n_inputs} inputs, got {len(inputs)}")
+            raise InvalidRequestError(f"expected {self.n_inputs} inputs, got {len(inputs)}")
         idx = 0
         for bit, value in enumerate(inputs):
             if value:
@@ -70,9 +71,9 @@ class IterationCounter:
 
     def __post_init__(self) -> None:
         if self.period <= 0:
-            raise ValueError("period must be positive")
+            raise InvalidRequestError("period must be positive")
         if not 0 <= self.value < self.period:
-            raise ValueError("initial value outside [0, period)")
+            raise InvalidRequestError("initial value outside [0, period)")
 
     def step(self) -> bool:
         """Advance one cycle; returns True on wrap-around (terminal count)."""
@@ -121,18 +122,18 @@ class ConfigurableLogicBlock:
 
     def add_lut(self, lut: LookUpTable) -> LookUpTable:
         if lut.n_inputs > self.params.lut_inputs:
-            raise ValueError(
+            raise InvalidRequestError(
                 f"LUT has {lut.n_inputs} inputs; CLB supports {self.params.lut_inputs}"
             )
         if self.luts_free < 1:
-            raise RuntimeError("CLB is full")
+            raise RuntimeError("CLB is full")  # repro-lint: disable=ERR001
         self._luts.append(lut)
         return lut
 
     def add_counter(self, period: int) -> IterationCounter:
         counter = IterationCounter(period)
         if counter.lut_cost(self.params.lut_inputs) > self.luts_free:
-            raise RuntimeError("CLB does not have room for the counter")
+            raise RuntimeError("CLB does not have room for the counter")  # repro-lint: disable=ERR001
         self._counters.append(counter)
         return counter
 

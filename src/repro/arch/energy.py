@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..errors import InvalidRequestError
 from .params import FPSAConfig
 
 __all__ = ["BlockMix", "EnergyReport", "estimate_energy"]
@@ -31,7 +32,7 @@ class BlockMix:
 
     def __post_init__(self) -> None:
         if min(self.n_pe, self.n_smb, self.n_clb) < 0:
-            raise ValueError("block counts must be non-negative")
+            raise InvalidRequestError("block counts must be non-negative")
 
 
 @dataclass(frozen=True)

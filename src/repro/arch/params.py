@@ -27,6 +27,8 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass, field
 
+from ..errors import InvalidRequestError
+
 __all__ = [
     "BlockParams",
     "PEComponentParams",
@@ -80,7 +82,7 @@ class BlockParams:
         operate in parallel.
         """
         if count < 0:
-            raise ValueError(f"count must be non-negative, got {count}")
+            raise InvalidRequestError(f"count must be non-negative, got {count}")
         return BlockParams(
             energy_pj=self.energy_pj * count,
             area_um2=self.area_um2 * count,
@@ -159,14 +161,14 @@ class PEParams:
 
     def __post_init__(self) -> None:
         if self.physical_cols != 2 * self.logical_cols:
-            raise ValueError(
+            raise InvalidRequestError(
                 "physical_cols must be twice logical_cols "
                 f"({self.physical_cols} != 2*{self.logical_cols})"
             )
         if self.rows <= 0 or self.logical_cols <= 0:
-            raise ValueError("crossbar dimensions must be positive")
+            raise InvalidRequestError("crossbar dimensions must be positive")
         if self.io_bits <= 0 or self.weight_bits <= 0 or self.cell_bits <= 0:
-            raise ValueError("bit widths must be positive")
+            raise InvalidRequestError("bit widths must be positive")
 
     @property
     def sampling_window(self) -> int:
@@ -236,13 +238,13 @@ class SMBParams:
     def values_capacity(self, value_bits: int) -> int:
         """How many values of ``value_bits`` bits fit in one SMB."""
         if value_bits <= 0:
-            raise ValueError("value_bits must be positive")
+            raise InvalidRequestError("value_bits must be positive")
         return self.capacity_bits // value_bits
 
     def blocks_for_values(self, n_values: int, value_bits: int) -> int:
         """Number of SMBs needed to hold ``n_values`` values."""
         if n_values < 0:
-            raise ValueError("n_values must be non-negative")
+            raise InvalidRequestError("n_values must be non-negative")
         if n_values == 0:
             return 0
         per_block = self.values_capacity(value_bits)
@@ -268,7 +270,7 @@ class CLBParams:
     def blocks_for_luts(self, n_luts: int) -> int:
         """Number of CLBs needed to implement ``n_luts`` LUTs of control logic."""
         if n_luts < 0:
-            raise ValueError("n_luts must be non-negative")
+            raise InvalidRequestError("n_luts must be non-negative")
         if n_luts == 0:
             return 0
         return -(-n_luts // self.luts_per_clb)
@@ -301,7 +303,7 @@ class RoutingParams:
     def hop_delay_ns(self, n_segments: int) -> float:
         """Delay of a routed connection crossing ``n_segments`` segments."""
         if n_segments < 0:
-            raise ValueError("n_segments must be non-negative")
+            raise InvalidRequestError("n_segments must be non-negative")
         if n_segments == 0:
             return 0.0
         # one CB at each end + one SB per segment boundary
@@ -337,18 +339,18 @@ class InterChipParams:
 
     def __post_init__(self) -> None:
         if self.max_pes_per_chip <= 0:
-            raise ValueError("max_pes_per_chip must be positive")
+            raise InvalidRequestError("max_pes_per_chip must be positive")
         if self.link_bandwidth_bits_per_ns <= 0:
-            raise ValueError("link_bandwidth_bits_per_ns must be positive")
+            raise InvalidRequestError("link_bandwidth_bits_per_ns must be positive")
         if self.link_latency_ns < 0:
-            raise ValueError("link_latency_ns must be non-negative")
+            raise InvalidRequestError("link_latency_ns must be non-negative")
         if self.links_per_chip <= 0:
-            raise ValueError("links_per_chip must be positive")
+            raise InvalidRequestError("links_per_chip must be positive")
 
     def transfer_ns(self, bits: float) -> float:
         """Latency of moving ``bits`` over one link (framing + serialisation)."""
         if bits < 0:
-            raise ValueError("bits must be non-negative")
+            raise InvalidRequestError("bits must be non-negative")
         if bits == 0:
             return 0.0
         return self.link_latency_ns + bits / self.link_bandwidth_bits_per_ns
@@ -420,7 +422,7 @@ class FPSAConfig:
     def chip_area_mm2(self, n_pe: int, n_smb: int, n_clb: int) -> float:
         """Total chip area for a given block mix, including routing overhead."""
         if min(n_pe, n_smb, n_clb) < 0:
-            raise ValueError("block counts must be non-negative")
+            raise InvalidRequestError("block counts must be non-negative")
         blocks = (
             n_pe * self.pe.area_mm2
             + n_smb * self.smb.area_mm2

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..errors import InvalidRequestError
 from .params import PEParams
 from .reram import ReRAMCellModel, ReRAMCrossbar
 from .spiking import SpikingCrossbarPE, decode_from_counts, encode_to_counts
@@ -72,10 +73,10 @@ class ProcessingElement:
         self.params = params if params is not None else PEParams()
         weights = np.asarray(weights, dtype=float)
         if weights.ndim != 2:
-            raise ValueError("weights must be a 2-D tile")
+            raise InvalidRequestError("weights must be a 2-D tile")
         rows, cols = weights.shape
         if rows > self.params.rows or cols > self.params.logical_cols:
-            raise ValueError(
+            raise InvalidRequestError(
                 f"tile {weights.shape} exceeds crossbar "
                 f"({self.params.rows} x {self.params.logical_cols})"
             )
@@ -127,10 +128,10 @@ class ProcessingElement:
         Returns the output spike counts for the tile columns.
         """
         if self._spiking is None:
-            raise RuntimeError("PE constructed with functional=False")
+            raise RuntimeError("PE constructed with functional=False")  # repro-lint: disable=ERR001
         input_counts = np.asarray(input_counts, dtype=np.int64)
         if input_counts.shape != (self.tile_rows,):
-            raise ValueError(
+            raise InvalidRequestError(
                 f"expected {self.tile_rows} input counts, got {input_counts.shape}"
             )
         full = np.zeros(self.params.rows, dtype=np.int64)

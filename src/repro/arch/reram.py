@@ -21,6 +21,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..errors import InvalidRequestError
+
 __all__ = [
     "ReRAMCellModel",
     "WeightComposition",
@@ -56,11 +58,11 @@ class ReRAMCellModel:
 
     def __post_init__(self) -> None:
         if self.bits <= 0:
-            raise ValueError("bits must be positive")
+            raise InvalidRequestError("bits must be positive")
         if self.g_max <= self.g_min:
-            raise ValueError("g_max must exceed g_min")
+            raise InvalidRequestError("g_max must exceed g_min")
         if self.sigma < 0:
-            raise ValueError("sigma must be non-negative")
+            raise InvalidRequestError("sigma must be non-negative")
 
     @property
     def levels(self) -> int:
@@ -118,7 +120,7 @@ class WeightComposition:
 
     def __init__(self, cell: ReRAMCellModel, n_cells: int):
         if n_cells <= 0:
-            raise ValueError("n_cells must be positive")
+            raise InvalidRequestError("n_cells must be positive")
         self.cell = cell
         self.n_cells = n_cells
 
@@ -254,7 +256,7 @@ def make_composition(
     try:
         cls = methods[method]
     except KeyError:
-        raise ValueError(
+        raise InvalidRequestError(
             f"unknown composition method {method!r}; expected one of {sorted(methods)}"
         ) from None
     return cls(cell, n_cells)
@@ -279,7 +281,7 @@ class ReRAMCrossbar:
     ):
         weights = np.asarray(weights, dtype=float)
         if weights.ndim != 2:
-            raise ValueError("weights must be a 2-D matrix (rows x logical cols)")
+            raise InvalidRequestError("weights must be a 2-D matrix (rows x logical cols)")
         self.cell = cell if cell is not None else ReRAMCellModel()
         self.composition = make_composition(composition, self.cell, cells_per_weight)
         self.rows, self.logical_cols = weights.shape
@@ -306,7 +308,7 @@ class ReRAMCrossbar:
         """
         inputs = np.asarray(inputs, dtype=float)
         if inputs.shape[-1] != self.rows:
-            raise ValueError(
+            raise InvalidRequestError(
                 f"input length {inputs.shape[-1]} does not match crossbar rows {self.rows}"
             )
         return inputs @ self.effective_weights

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..errors import InvalidRequestError
 from .params import SMBParams
 from .spiking import SpikeTrain
 
@@ -54,7 +55,7 @@ class SpikingMemoryBlock:
 
     def __post_init__(self) -> None:
         if self.value_bits <= 0:
-            raise ValueError("value_bits must be positive")
+            raise InvalidRequestError("value_bits must be positive")
 
     @property
     def capacity_values(self) -> int:
@@ -80,9 +81,9 @@ class SpikingMemoryBlock:
         """
         counts = np.asarray(counts, dtype=np.int64)
         if counts.ndim != 1:
-            raise ValueError("counts must be a 1-D vector")
+            raise InvalidRequestError("counts must be a 1-D vector")
         if np.any(counts < 0) or np.any(counts > self.max_count):
-            raise ValueError(
+            raise InvalidRequestError(
                 f"counts must lie in [0, {self.max_count}] for {self.value_bits}-bit storage"
             )
         existing = self._slots.get(name)
@@ -103,14 +104,14 @@ class SpikingMemoryBlock:
         try:
             return self._slots[name].copy()
         except KeyError:
-            raise KeyError(f"no slot named {name!r} in SMB") from None
+            raise KeyError(f"no slot named {name!r} in SMB") from None  # repro-lint: disable=ERR001
 
     def read_train(self, name: str, window: int | None = None) -> SpikeTrain:
         """Regenerate a spike-train bundle for a stored slot."""
         window = window if window is not None else self.max_count
         counts = self.read_counts(name)
         if np.any(counts > window):
-            raise ValueError("stored counts exceed the requested window")
+            raise InvalidRequestError("stored counts exceed the requested window")
         return SpikeTrain.from_counts(counts, window)
 
     def release(self, name: str) -> None:

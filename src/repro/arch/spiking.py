@@ -22,6 +22,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..errors import InvalidRequestError
+
 __all__ = [
     "SpikeTrain",
     "IFNeuron",
@@ -40,7 +42,7 @@ def encode_to_counts(values: np.ndarray, window: int) -> np.ndarray:
 def decode_from_counts(counts: np.ndarray, window: int) -> np.ndarray:
     """Decode spike counts back to real values in [0, 1]."""
     if window <= 0:
-        raise ValueError("window must be positive")
+        raise InvalidRequestError("window must be positive")
     return np.asarray(counts, dtype=float) / window
 
 
@@ -61,7 +63,7 @@ class SpikeTrain:
     def from_count(cls, count: int, window: int) -> "SpikeTrain":
         """A train with ``count`` evenly spread spikes in ``window`` cycles."""
         if not 0 <= count <= window:
-            raise ValueError(f"count {count} outside [0, {window}]")
+            raise InvalidRequestError(f"count {count} outside [0, {window}]")
         spikes = np.zeros(window, dtype=bool)
         if count:
             positions = np.floor(np.arange(count) * window / count).astype(int)
@@ -73,7 +75,7 @@ class SpikeTrain:
         """A bundle of trains, one column per element of ``counts``."""
         counts = np.asarray(counts, dtype=np.int64)
         if np.any(counts < 0) or np.any(counts > window):
-            raise ValueError("spike counts must lie in [0, window]")
+            raise InvalidRequestError("spike counts must lie in [0, window]")
         spikes = np.zeros((window, counts.size), dtype=bool)
         for idx, count in enumerate(counts.ravel()):
             if count:
@@ -112,7 +114,7 @@ class IFNeuron:
 
     def __post_init__(self) -> None:
         if self.threshold <= 0:
-            raise ValueError("threshold must be positive")
+            raise InvalidRequestError("threshold must be positive")
 
     def reset(self) -> None:
         """Clear internal state at the start of a new sampling window."""
@@ -127,7 +129,7 @@ class IFNeuron:
         cycle), so excess charge carries over.
         """
         if charge < 0:
-            raise ValueError("injected charge must be non-negative")
+            raise InvalidRequestError("injected charge must be non-negative")
         self.state += charge
         if self.state >= self.threshold:
             self.state -= self.threshold
@@ -191,9 +193,9 @@ class SpikingCrossbarPE:
     def __post_init__(self) -> None:
         weights = np.asarray(self.weights, dtype=float)
         if weights.ndim != 2:
-            raise ValueError("weights must be 2-D")
+            raise InvalidRequestError("weights must be 2-D")
         if self.window <= 0:
-            raise ValueError("window must be positive")
+            raise InvalidRequestError("window must be positive")
         self.weights = weights
         self._positive = np.clip(weights, 0.0, None)
         self._negative = np.clip(-weights, 0.0, None)
@@ -215,7 +217,7 @@ class SpikingCrossbarPE:
         """
         input_counts = np.asarray(input_counts, dtype=np.int64)
         if input_counts.shape != (self.rows,):
-            raise ValueError(
+            raise InvalidRequestError(
                 f"expected input of shape ({self.rows},), got {input_counts.shape}"
             )
         trains = SpikeTrain.from_counts(input_counts, self.window)

@@ -3,10 +3,10 @@
 from .fp_prime import FPPrimeArchitecture
 from .prime import PRIME_PUBLISHED, PrimeArchitecture
 from .reference import (
-    AcceleratorReference,
     EYERISS_REFERENCE,
     ISAAC_REFERENCE,
     PIPELAYER_REFERENCE,
+    AcceleratorReference,
 )
 
 __all__ = [

@@ -633,7 +633,7 @@ def _run_serve_bench(
         response.raise_for_status()
     summaries_identical = all(
         _summary_key(a) == _summary_key(b)
-        for a, b in zip(baseline_responses, runtime_responses)
+        for a, b in zip(baseline_responses, runtime_responses, strict=True)
     )
 
     shared_hits = sum(

@@ -18,6 +18,8 @@ Usage (after ``pip install -e .``)::
     python -m repro models
     python -m repro bench --models lenet,mlp --check-regression
     python -m repro experiments fig6 table3
+    python -m repro deploy LeNet --verify
+    python -m repro lint src/repro --json
 
 Every compile-facing subcommand accepts ``--json`` to emit the wire-level
 :class:`~repro.service.schemas.CompileResponse` payloads instead of the
@@ -158,6 +160,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true", help="bypass the stage cache",
     )
     deploy.add_argument(
+        "--verify", action="store_true",
+        help="run the IR verifiers between passes (structural invariant "
+        "checks on every artifact; REPRO_VERIFY=1 does the same globally)",
+    )
+    deploy.add_argument(
         "--explain", action="store_true",
         help="print the resolved pass list with per-pass wall-clock timings "
         "and the stage-cache hit/miss counters",
@@ -188,6 +195,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--no-cache", action="store_true", help="bypass the stage cache",
+    )
+    sweep.add_argument(
+        "--verify", action="store_true",
+        help="run the IR verifiers between passes of every sweep point",
     )
     _add_json_flag(sweep)
     _add_store_flag(sweep)
@@ -283,6 +294,20 @@ def build_parser() -> argparse.ArgumentParser:
         "names", nargs="*", metavar="NAME",
         help=f"experiments to run (default: all). Known: {', '.join(sorted(EXPERIMENTS))}",
     )
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the determinism & concurrency linter over Python sources",
+    )
+    lint.add_argument(
+        "paths", nargs="+", metavar="PATH",
+        help="files or directories to lint (directories are walked for .py)",
+    )
+    lint.add_argument(
+        "--select", metavar="RULES", default=None,
+        help="comma-separated rule ids to run (default: all rules)",
+    )
+    _add_json_flag(lint)
     return parser
 
 
@@ -335,6 +360,7 @@ def _command_deploy(args: argparse.Namespace) -> int:
         shard_jobs=args.chip_jobs,
         pnr_jobs=args.pnr_jobs,
         passes=tuple(args.passes) if args.passes is not None else None,
+        verify=args.verify,
     )
     served = _client(args).serve(request)
     response = served.response
@@ -430,7 +456,12 @@ def _print_responses_json(responses) -> None:
 def _command_sweep(args: argparse.Namespace) -> int:
     chip_points = args.chips if args.chips is not None else [None]
     requests = [
-        CompileRequest(model=args.model, duplication_degree=degree, num_chips=chips)
+        CompileRequest(
+            model=args.model,
+            duplication_degree=degree,
+            num_chips=chips,
+            verify=args.verify,
+        )
         for degree in args.duplication
         for chips in chip_points
     ]
@@ -523,7 +554,7 @@ def _command_jobs(args: argparse.Namespace) -> int:
     header = f"{'job':<10} {'model':<14} {'dup':>5} {'state':<8} lifecycle"
     print(header)
     print("-" * len(header))
-    for info, request in zip(infos, requests):
+    for info, request in zip(infos, requests, strict=True):
         print(
             f"{info.job_id:<10} {info.model:<14} {request.duplication_degree:>5} "
             f"{info.state.value:<8} {' -> '.join(observed[info.job_id])}"
@@ -645,6 +676,29 @@ def _command_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_lint(args: argparse.Namespace) -> int:
+    from .analysis.lint import RULES, lint_paths
+
+    select = None
+    if args.select is not None:
+        select = {r.strip().upper() for r in args.select.split(",") if r.strip()}
+        unknown = select - set(RULES)
+        if unknown:
+            raise InvalidRequestError(
+                f"unknown lint rule(s): {', '.join(sorted(unknown))}; "
+                f"known rules: {', '.join(sorted(RULES))}"
+            )
+    findings = lint_paths(args.paths, select=select)
+    if args.json:
+        print(json.dumps([f.to_dict() for f in findings], indent=2))
+    else:
+        for finding in findings:
+            print(finding.format())
+        n = len(findings)
+        print(f"{n} finding(s)" if n else "clean: no findings")
+    return 1 if findings else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -659,6 +713,7 @@ def main(argv: list[str] | None = None) -> int:
         "models": _command_models,
         "bench": _run_bench_args,
         "experiments": _command_experiments,
+        "lint": _command_lint,
     }
     try:
         return handlers[args.command](args)

@@ -5,7 +5,6 @@ the (batch) deployment helpers."""
 from .api import DeployPoint, WorkerPool, deploy, deploy_many, deploy_model
 from .cache import CacheStats, StageCache, clear_default_cache, default_cache
 from .compiler import FPSACompiler
-from .shared_cache import SharedStageCache, shared_cache_from_env
 from .pipeline import (
     CompileContext,
     CompileOptions,
@@ -21,6 +20,7 @@ from .pipeline import (
     resolve_passes,
 )
 from .result import DeploymentResult
+from .shared_cache import SharedStageCache, shared_cache_from_env
 
 __all__ = [
     "FPSACompiler",

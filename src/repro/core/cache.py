@@ -22,6 +22,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
+from ..errors import InvalidRequestError
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..arch.params import FPSAConfig
     from ..graph.graph import ComputationalGraph
@@ -236,7 +238,7 @@ class StageCache:
         shared: "SharedStageCache | None" = None,
     ):
         if max_entries <= 0:
-            raise ValueError("max_entries must be positive")
+            raise InvalidRequestError("max_entries must be positive")
         self.max_entries = max_entries
         self.stats = CacheStats()
         self.shared = shared

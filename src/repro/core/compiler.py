@@ -100,6 +100,7 @@ class FPSACompiler:
         shard_jobs: int | None = None,
         passes: Sequence[str] | None = None,
         use_cache: bool = True,
+        verify: bool = False,
     ) -> DeploymentResult:
         """Compile a model and evaluate the resulting deployment.
 
@@ -162,6 +163,15 @@ class FPSACompiler:
             (the simulator needs the instance-level schedule).
         use_cache:
             Set ``False`` to bypass the stage cache for this compilation.
+        verify:
+            Run the IR verifiers (:mod:`repro.analysis.verify`) between
+            passes: every artifact is structurally checked right after it
+            lands on the context (freshly computed or cache-installed),
+            failing fast with a typed
+            :class:`~repro.errors.VerificationError` naming the stage, the
+            invariant and the offending ids.  Per-verifier wall-clock
+            appears as ``verify:<artifact>`` rows in the timings.
+            ``REPRO_VERIFY=1`` turns verification on globally.
 
         Notes
         -----
@@ -186,6 +196,7 @@ class FPSACompiler:
             seed=seed,
             num_chips=num_chips,
             shard_jobs=shard_jobs,
+            verify=verify,
         )
         if options.partitioned:
             if passes is not None:

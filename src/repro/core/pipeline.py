@@ -133,6 +133,12 @@ class CompileOptions:
     #: P&R annealing starts.  The partition backend pins each shard's
     #: per-chip capacity here as a safety net against partitioner drift.
     max_pes: int | None = None
+    #: run the IR verifiers (:mod:`repro.analysis.verify`) between passes,
+    #: failing fast with a :class:`~repro.errors.VerificationError` on any
+    #: structural invariant violation.  A pure execution knob (it changes
+    #: no artifact), so it never enters cache keys or request fingerprints;
+    #: ``REPRO_VERIFY=1`` turns it on globally.
+    verify: bool = False
 
     def __post_init__(self) -> None:
         from ..errors import InvalidRequestError
@@ -228,7 +234,7 @@ class CompileContext:
 
     def set(self, name: str, value: Any) -> None:
         if name not in ARTIFACTS:
-            raise KeyError(f"unknown artifact {name!r}; known: {ARTIFACTS}")
+            raise KeyError(f"unknown artifact {name!r}; known: {ARTIFACTS}")  # repro-lint: disable=ERR001
         setattr(self, name, value)
 
     @staticmethod
@@ -236,7 +242,7 @@ class CompileContext:
         # the initial context fields are readable (a pass may require them)
         # but only real artifacts are writable
         if name not in ARTIFACTS and name not in _INITIAL_ARTIFACTS:
-            raise KeyError(
+            raise KeyError(  # repro-lint: disable=ERR001
                 f"unknown artifact {name!r}; known: {ARTIFACTS + _INITIAL_ARTIFACTS}"
             )
 
@@ -327,11 +333,36 @@ class PassManager:
         (including the shared-tier split) are tallied *locally* and merged
         into ``ctx.cache_stats`` — deltas of the cache's global counters
         would include concurrent compiles sharing the same cache.
+
+        When verification is on (``ctx.options.verify`` or
+        ``REPRO_VERIFY=1``), every artifact with a registered verifier is
+        checked right after it lands on the context — whether freshly
+        computed or installed from a cache hit — and each check's
+        wall-clock is appended as a ``verify:<artifact>`` timing row
+        (``cached=False``, empty ``provides``; excluded from the cache
+        hit/miss counters).
         """
+        from ..analysis.verify import verification_enabled, verify_artifact
         from .cache import CacheStats
 
         timings: list[PassTiming] = []
         stats = CacheStats() if cache is not None else None
+        verify = verification_enabled(
+            True if getattr(ctx.options, "verify", False) else None
+        )
+        if verify and ctx.graph is not None:
+            # the input graph is checked once, up front (shard backends
+            # run graph-less contexts and skip straight to the artifacts)
+            start = time.perf_counter()
+            verify_artifact("graph", ctx.graph, ctx)
+            timings.append(
+                PassTiming(
+                    name="verify:graph",
+                    seconds=time.perf_counter() - start,
+                    cached=False,
+                    provides=(),
+                )
+            )
         for p in self.passes:
             missing = [r for r in p.requires if not ctx.has(r)]
             if missing:
@@ -363,6 +394,20 @@ class PassManager:
                     provides=p.provides,
                 )
             )
+            if verify:
+                for artifact in p.provides:
+                    if not ctx.has(artifact):
+                        continue
+                    start = time.perf_counter()
+                    if verify_artifact(artifact, ctx.get(artifact), ctx):
+                        timings.append(
+                            PassTiming(
+                                name=f"verify:{artifact}",
+                                seconds=time.perf_counter() - start,
+                                cached=False,
+                                provides=(),
+                            )
+                        )
         if stats is not None:
             if ctx.cache_stats is None:
                 ctx.cache_stats = stats

@@ -8,11 +8,12 @@ from typing import TYPE_CHECKING
 from ..arch.energy import BlockMix, EnergyReport, estimate_energy
 from ..arch.params import FPSAConfig
 from ..config_gen.bitstream import FPSABitstream
+from ..errors import InvalidRequestError
 from ..graph.graph import ComputationalGraph
-from ..perf.analytic import traffic_values_per_sample
-from ..perf.comm import mean_route_segments
 from ..mapper.mapper import MappingResult
+from ..perf.analytic import traffic_values_per_sample
 from ..perf.bounds import UtilizationBounds
+from ..perf.comm import mean_route_segments
 from ..perf.metrics import PerformanceReport
 from ..perf.pipeline_sim import PipelineSimulationResult
 from ..pnr.pnr import PnRResult
@@ -86,7 +87,7 @@ class DeploymentResult:
     def _require(self, artifact: str):
         value = getattr(self, artifact)
         if value is None:
-            raise ValueError(
+            raise InvalidRequestError(
                 f"the {artifact!r} artifact was not produced by this compile "
                 f"(it ran a partial pass list); include the producing pass or "
                 f"run the full pipeline"
@@ -156,8 +157,16 @@ class DeploymentResult:
 
     @property
     def cache_misses(self) -> int:
-        """Passes of this compile that had to run (not served from cache)."""
-        return sum(1 for t in self.timings or () if not t.cached)
+        """Passes of this compile that had to run (not served from cache).
+
+        ``verify:*`` rows (interposed IR verifiers, see ``--verify``) are
+        not passes and never consult the cache, so they are excluded.
+        """
+        return sum(
+            1
+            for t in self.timings or ()
+            if not t.cached and not t.name.startswith("verify:")
+        )
 
     def timings_table(self) -> str:
         """Fixed-width table of the per-pass wall-clock timings."""
@@ -236,8 +245,11 @@ class DeploymentResult:
         if self.timings is not None:
             total_ms = sum(t.seconds for t in self.timings) * 1e3
             cached = sum(1 for t in self.timings if t.cached)
+            passes = sum(
+                1 for t in self.timings if not t.name.startswith("verify:")
+            )
             lines.append(
-                f"  compile: {len(self.timings)} passes in {total_ms:.1f} ms "
+                f"  compile: {passes} passes in {total_ms:.1f} ms "
                 f"({cached} cached)"
             )
         if self.pnr is not None:

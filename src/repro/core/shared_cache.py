@@ -37,6 +37,9 @@ import threading
 from dataclasses import dataclass
 from typing import Any
 
+from ..analysis.verify import verification_enabled, verify_artifacts
+from ..errors import InvalidRequestError, VerificationError
+
 __all__ = [
     "SHARED_CACHE_ENV",
     "SHARED_CACHE_MAX_BYTES_ENV",
@@ -91,11 +94,21 @@ class SharedStageCache:
     processes on one filesystem.
     """
 
-    def __init__(self, directory: str, max_bytes: int = DEFAULT_MAX_BYTES):
+    def __init__(
+        self,
+        directory: str,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        verify: bool | None = None,
+    ):
         if max_bytes <= 0:
-            raise ValueError("max_bytes must be positive")
+            raise InvalidRequestError("max_bytes must be positive")
         self.directory = os.path.abspath(directory)
         self.max_bytes = max_bytes
+        #: run the IR verifiers over every loaded entry (``None`` defers to
+        #: the ``REPRO_VERIFY`` environment variable).  A verification
+        #: failure deletes the entry and raises — a poisoned pickle must
+        #: surface at the boundary, not three passes downstream.
+        self.verify = verify
         self.stats = SharedCacheStats()
         self._lock = threading.Lock()
         #: running estimate of the on-disk footprint, maintained so puts
@@ -161,6 +174,26 @@ class SharedStageCache:
                 self.stats.errors += 1
             self._remove(path)
             return None
+        if verification_enabled(self.verify):
+            try:
+                if not isinstance(artifacts, dict):
+                    raise VerificationError(
+                        f"shared-cache: entry-shape: entry under {key!r} is a "
+                        f"{type(artifacts).__name__}, not an artifact dict",
+                        stage="shared-cache",
+                        invariant="entry-shape",
+                        ids=(key,),
+                    )
+                verify_artifacts(artifacts)
+            except VerificationError:
+                # a structurally invalid entry is worse than a missing one:
+                # drop it so the next compile recomputes, and raise so this
+                # load fails at the boundary with the pinpointed violation
+                with self._lock:
+                    self.stats.errors += 1
+                    self.stats.misses += 1
+                self._remove(path)
+                raise
         # refresh the mtime so eviction sees this entry as recently used
         try:
             os.utime(path)

@@ -15,6 +15,7 @@ The hierarchy is flat under the base class::
       +-- MappingError          spatial-to-temporal mapping   (code mapping_error)
       +-- PnRError              placement & routing failure   (code pnr_error)
       +-- CapacityError         design does not fit a budget  (code capacity_error)
+      +-- VerificationError     IR invariant violated         (code verification_error)
 
 For backward compatibility each subclass also derives from the builtin
 exception the toolchain historically raised at the same sites
@@ -34,6 +35,7 @@ __all__ = [
     "MappingError",
     "PnRError",
     "CapacityError",
+    "VerificationError",
     "ERROR_CODES",
     "error_from_payload",
 ]
@@ -110,6 +112,39 @@ class CapacityError(FPSAError, ValueError):
     code = "capacity_error"
 
 
+class VerificationError(FPSAError):
+    """An IR artifact violates a structural invariant.
+
+    Raised by the verifier passes (:mod:`repro.analysis.verify`): the
+    message names the pipeline stage, the invariant, and the offending ids,
+    which also appear machine-readably in ``details`` under ``stage``,
+    ``invariant`` and ``ids``.
+    """
+
+    code = "verification_error"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        stage: str = "",
+        invariant: str = "",
+        ids: tuple | list = (),
+        details: Mapping[str, Any] | None = None,
+    ):
+        merged: dict[str, Any] = dict(details or {})
+        if stage:
+            merged.setdefault("stage", stage)
+        if invariant:
+            merged.setdefault("invariant", invariant)
+        if ids:
+            merged.setdefault("ids", [str(i) for i in ids])
+        super().__init__(message, details=merged)
+        self.stage = str(merged.get("stage", ""))
+        self.invariant = str(merged.get("invariant", ""))
+        self.ids = tuple(merged.get("ids", ()))
+
+
 #: payload ``code`` -> exception class, for rehydrating wire errors.
 ERROR_CODES: dict[str, type[FPSAError]] = {
     cls.code: cls
@@ -121,6 +156,7 @@ ERROR_CODES: dict[str, type[FPSAError]] = {
         MappingError,
         PnRError,
         CapacityError,
+        VerificationError,
     )
 }
 

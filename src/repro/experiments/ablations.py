@@ -222,7 +222,7 @@ def run_duplication_sweep(
             "throughput_samples_per_s", "latency_us", "temporal_utilization",
         ],
     )
-    for degree, response in zip(degrees, responses):
+    for degree, response in zip(degrees, responses, strict=True):
         summary = response.raise_for_status().summary
         result.add_row(
             duplication=degree,
@@ -273,7 +273,7 @@ def run_chip_partition_sweep(
             "throughput_samples_per_s", "latency_us",
         ],
     )
-    for chips, response in zip(chip_counts, responses):
+    for chips, response in zip(chip_counts, responses, strict=True):
         summary = response.raise_for_status().summary
         partition = summary.partition or {}
         shards = partition.get("shards", [])

@@ -18,11 +18,11 @@ classification task.
 from __future__ import annotations
 
 from ..arch.reram import ReRAMCellModel
+from ..seeding import derive_seed
 from ..variation.accuracy import AccuracyModel, accuracy_sweep
 from ..variation.devices import measured_cell
 from ..variation.montecarlo import SyntheticTask, run_montecarlo
 from ..variation.representation import normalized_deviation
-from ..seeding import derive_seed
 from .common import ExperimentResult
 
 __all__ = ["run", "PAPER_ANCHORS"]

@@ -4,6 +4,7 @@ from .analysis import GraphProfile, LayerStats, profile_graph
 from .builder import GraphBuilder
 from .graph import ComputationalGraph, GraphNode, GraphValidationError
 from .ops import (
+    LRN,
     Add,
     AvgPool2d,
     BatchNorm,
@@ -14,7 +15,6 @@ from .ops import (
     Flatten,
     GlobalAvgPool,
     InputOp,
-    LRN,
     MaxPool2d,
     Operation,
     ReLU,

@@ -19,6 +19,7 @@ import itertools
 
 from .graph import ComputationalGraph, GraphNode
 from .ops import (
+    LRN,
     Add,
     AvgPool2d,
     BatchNorm,
@@ -29,7 +30,6 @@ from .ops import (
     Flatten,
     GlobalAvgPool,
     InputOp,
-    LRN,
     MaxPool2d,
     ReLU,
     Softmax,

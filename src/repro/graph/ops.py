@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..errors import InvalidRequestError
 from .tensor import TensorSpec
 
 __all__ = [
@@ -42,7 +43,7 @@ __all__ = [
 def _conv_output_dim(size: int, kernel: int, stride: int, padding: int) -> int:
     out = (size + 2 * padding - kernel) // stride + 1
     if out <= 0:
-        raise ValueError(
+        raise InvalidRequestError(
             f"convolution/pool output collapsed to {out} "
             f"(size={size}, kernel={kernel}, stride={stride}, padding={padding})"
         )
@@ -77,11 +78,11 @@ class Operation:
     def validate_arity(self, inputs: list[TensorSpec]) -> None:
         expected = self.n_inputs
         if expected >= 0 and len(inputs) != expected:
-            raise ValueError(
+            raise InvalidRequestError(
                 f"{self.kind} expects {expected} input(s), got {len(inputs)}"
             )
         if expected < 0 and len(inputs) < 1:
-            raise ValueError(f"{self.kind} expects at least one input")
+            raise InvalidRequestError(f"{self.kind} expects at least one input")
 
 
 @dataclass(frozen=True)
@@ -112,19 +113,19 @@ class Conv2d(Operation):
 
     def __post_init__(self) -> None:
         if self.out_channels <= 0 or self.kernel <= 0 or self.stride <= 0:
-            raise ValueError("out_channels, kernel and stride must be positive")
+            raise InvalidRequestError("out_channels, kernel and stride must be positive")
         if self.padding < 0:
-            raise ValueError("padding must be non-negative")
+            raise InvalidRequestError("padding must be non-negative")
         if self.groups <= 0:
-            raise ValueError("groups must be positive")
+            raise InvalidRequestError("groups must be positive")
 
     def infer_shape(self, inputs: list[TensorSpec]) -> TensorSpec:
         self.validate_arity(inputs)
         x = inputs[0]
         if not x.is_feature_map:
-            raise ValueError(f"Conv2d expects a feature map, got shape {x.shape}")
+            raise InvalidRequestError(f"Conv2d expects a feature map, got shape {x.shape}")
         if x.channels % self.groups or self.out_channels % self.groups:
-            raise ValueError("channels must be divisible by groups")
+            raise InvalidRequestError("channels must be divisible by groups")
         out_h = _conv_output_dim(x.height, self.kernel, self.stride, self.padding)
         out_w = _conv_output_dim(x.width, self.kernel, self.stride, self.padding)
         return TensorSpec((self.out_channels, out_h, out_w), bits=x.bits)
@@ -154,7 +155,7 @@ class Dense(Operation):
 
     def __post_init__(self) -> None:
         if self.out_features <= 0:
-            raise ValueError("out_features must be positive")
+            raise InvalidRequestError("out_features must be positive")
 
     def infer_shape(self, inputs: list[TensorSpec]) -> TensorSpec:
         self.validate_arity(inputs)
@@ -176,11 +177,11 @@ class _Pool2d(Operation):
 
     def __post_init__(self) -> None:
         if self.kernel <= 0:
-            raise ValueError("kernel must be positive")
+            raise InvalidRequestError("kernel must be positive")
         if self.stride is not None and self.stride <= 0:
-            raise ValueError("stride must be positive")
+            raise InvalidRequestError("stride must be positive")
         if self.padding < 0:
-            raise ValueError("padding must be non-negative")
+            raise InvalidRequestError("padding must be non-negative")
 
     @property
     def effective_stride(self) -> int:
@@ -190,7 +191,7 @@ class _Pool2d(Operation):
         self.validate_arity(inputs)
         x = inputs[0]
         if not x.is_feature_map:
-            raise ValueError(f"{self.kind} expects a feature map, got {x.shape}")
+            raise InvalidRequestError(f"{self.kind} expects a feature map, got {x.shape}")
         out_h = _conv_output_dim(x.height, self.kernel, self.effective_stride, self.padding)
         out_w = _conv_output_dim(x.width, self.kernel, self.effective_stride, self.padding)
         return TensorSpec((x.channels, out_h, out_w), bits=x.bits)
@@ -219,7 +220,7 @@ class GlobalAvgPool(Operation):
         self.validate_arity(inputs)
         x = inputs[0]
         if not x.is_feature_map:
-            raise ValueError(f"GlobalAvgPool expects a feature map, got {x.shape}")
+            raise InvalidRequestError(f"GlobalAvgPool expects a feature map, got {x.shape}")
         return TensorSpec((x.channels,), bits=x.bits)
 
     def op_count(self, inputs: list[TensorSpec]) -> int:
@@ -250,7 +251,7 @@ class Add(Operation):
         self.validate_arity(inputs)
         a, b = inputs
         if a.shape != b.shape:
-            raise ValueError(f"Add requires matching shapes, got {a.shape} and {b.shape}")
+            raise InvalidRequestError(f"Add requires matching shapes, got {a.shape} and {b.shape}")
         return a
 
     def op_count(self, inputs: list[TensorSpec]) -> int:
@@ -272,7 +273,7 @@ class Concat(Operation):
             h, w = first.height, first.width
             for t in inputs[1:]:
                 if not t.is_feature_map or t.height != h or t.width != w:
-                    raise ValueError("Concat inputs must share spatial dimensions")
+                    raise InvalidRequestError("Concat inputs must share spatial dimensions")
             channels = sum(t.channels for t in inputs)
             return TensorSpec((channels, h, w), bits=first.bits)
         total = sum(t.size for t in inputs)
@@ -328,7 +329,7 @@ class Dropout(Operation):
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.rate < 1.0:
-            raise ValueError("rate must lie in [0, 1)")
+            raise InvalidRequestError("rate must lie in [0, 1)")
 
     def infer_shape(self, inputs: list[TensorSpec]) -> TensorSpec:
         self.validate_arity(inputs)

@@ -14,6 +14,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..errors import InvalidRequestError
+
 __all__ = ["TensorSpec"]
 
 
@@ -27,11 +29,11 @@ class TensorSpec:
 
     def __post_init__(self) -> None:
         if not self.shape:
-            raise ValueError("shape must have at least one dimension")
+            raise InvalidRequestError("shape must have at least one dimension")
         if any(int(d) <= 0 for d in self.shape):
-            raise ValueError(f"all dimensions must be positive, got {self.shape}")
+            raise InvalidRequestError(f"all dimensions must be positive, got {self.shape}")
         if self.bits <= 0:
-            raise ValueError("bits must be positive")
+            raise InvalidRequestError("bits must be positive")
         object.__setattr__(self, "shape", tuple(int(d) for d in self.shape))
 
     @property
@@ -60,19 +62,19 @@ class TensorSpec:
     @property
     def channels(self) -> int:
         if not self.is_feature_map:
-            raise ValueError(f"tensor {self.shape} is not a feature map")
+            raise InvalidRequestError(f"tensor {self.shape} is not a feature map")
         return self.shape[0]
 
     @property
     def height(self) -> int:
         if not self.is_feature_map:
-            raise ValueError(f"tensor {self.shape} is not a feature map")
+            raise InvalidRequestError(f"tensor {self.shape} is not a feature map")
         return self.shape[1]
 
     @property
     def width(self) -> int:
         if not self.is_feature_map:
-            raise ValueError(f"tensor {self.shape} is not a feature map")
+            raise InvalidRequestError(f"tensor {self.shape} is not a feature map")
         return self.shape[2]
 
     def flattened(self) -> "TensorSpec":

@@ -41,9 +41,9 @@ class GroupAllocation:
 
     def __post_init__(self) -> None:
         if self.tiles <= 0 or self.duplication <= 0 or self.reuse <= 0:
-            raise ValueError("tiles, duplication and reuse must be positive")
+            raise MappingError("tiles, duplication and reuse must be positive")
         if self.duplication > self.reuse:
-            raise ValueError(
+            raise MappingError(
                 f"group {self.group!r}: duplication {self.duplication} exceeds reuse {self.reuse}"
             )
 
@@ -77,7 +77,7 @@ class AllocationResult:
 
     def __post_init__(self) -> None:
         if self.replication <= 0:
-            raise ValueError("replication must be positive")
+            raise MappingError("replication must be positive")
 
     @property
     def pes_per_replica(self) -> int:
@@ -101,7 +101,7 @@ class AllocationResult:
         try:
             return self.allocations[group]
         except KeyError:
-            raise KeyError(f"no allocation for group {group!r}") from None
+            raise KeyError(f"no allocation for group {group!r}") from None  # repro-lint: disable=ERR001
 
     def iterations(self, group: str) -> int:
         return self.allocation(group).iterations
@@ -125,7 +125,7 @@ class AllocationResult:
 def _balanced_duplication(group: WeightGroup, target_iterations: int) -> int:
     """Smallest duplication that keeps the group's iterations <= target."""
     if target_iterations <= 0:
-        raise ValueError("target_iterations must be positive")
+        raise MappingError("target_iterations must be positive")
     duplication = math.ceil(group.reuse / target_iterations)
     return max(1, min(group.reuse, duplication))
 

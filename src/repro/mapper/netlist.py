@@ -15,6 +15,7 @@ import math
 from dataclasses import dataclass, field
 
 from ..arch.params import FPSAConfig
+from ..errors import MappingError
 from ..synthesizer.coreop import CoreOpGraph
 from .allocation import AllocationResult
 
@@ -44,7 +45,7 @@ class Block:
 
     def __post_init__(self) -> None:
         if self.type not in BlockType.ALL:
-            raise ValueError(f"unknown block type {self.type!r}")
+            raise MappingError(f"unknown block type {self.type!r}")
 
 
 @dataclass(frozen=True)
@@ -58,9 +59,9 @@ class Net:
 
     def __post_init__(self) -> None:
         if not self.sinks:
-            raise ValueError(f"net {self.name!r} has no sinks")
+            raise MappingError(f"net {self.name!r} has no sinks")
         if self.bits <= 0:
-            raise ValueError(f"net {self.name!r} must carry at least one bit")
+            raise MappingError(f"net {self.name!r} must carry at least one bit")
 
 
 @dataclass
@@ -78,7 +79,7 @@ class FunctionBlockNetlist:
 
     def add_block(self, block: Block) -> Block:
         if block.name in self.blocks:
-            raise ValueError(f"duplicate block name {block.name!r}")
+            raise MappingError(f"duplicate block name {block.name!r}")
         self.blocks[block.name] = block
         self.mutation_count += 1
         return block
@@ -86,7 +87,7 @@ class FunctionBlockNetlist:
     def add_net(self, net: Net) -> Net:
         unknown = [b for b in (net.driver, *net.sinks) if b not in self.blocks]
         if unknown:
-            raise ValueError(f"net {net.name!r} references unknown blocks {unknown}")
+            raise MappingError(f"net {net.name!r} references unknown blocks {unknown}")
         self.nets.append(net)
         self.mutation_count += 1
         return net

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..errors import MappingError
 from ..synthesizer.coreop import CoreOpInstanceGraph
 from .allocation import AllocationResult
 
@@ -139,7 +140,7 @@ def schedule_instances(
 ) -> Schedule:
     """Greedy Algorithm-1 scheduling of an instance graph."""
     if window <= 0:
-        raise ValueError("window must be positive")
+        raise MappingError("window must be positive")
     assignment = assign_pes(instances, allocation)
     result = Schedule(model=instances.name, window=window)
 
@@ -228,7 +229,7 @@ def validate_schedule(
 
     # RC
     for pe, intervals in schedule.pe_intervals().items():
-        for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+        for (s1, e1), (s2, e2) in zip(intervals, intervals[1:], strict=False):
             if s2 < e1:
                 violations.append(f"RC: overlap on {pe}: ({s1},{e1}) and ({s2},{e2})")
 
@@ -260,7 +261,7 @@ def validate_schedule(
         readers.setdefault(src, []).append(schedule.ops[dst].start)
     for src, starts in readers.items():
         starts.sort()
-        for a, b in zip(starts, starts[1:]):
+        for a, b in zip(starts, starts[1:], strict=False):
             if b - a < window and b != a:
                 violations.append(
                     f"BC: readers of {src} start {a} and {b} within one window"

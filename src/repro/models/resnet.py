@@ -11,6 +11,7 @@ examples that need a residual network without the full 152-layer cost.
 
 from __future__ import annotations
 
+from ..errors import InvalidRequestError
 from ..graph import ComputationalGraph, GraphBuilder
 
 __all__ = ["build_resnet152", "build_resnet50", "build_resnet"]
@@ -57,7 +58,7 @@ def _bottleneck(
 def build_resnet(depth: int = 152, num_classes: int = 1000) -> ComputationalGraph:
     """Build a bottleneck ResNet of the given depth (50, 101 or 152)."""
     if depth not in _DEPTH_CONFIGS:
-        raise ValueError(f"unsupported depth {depth}; choose from {sorted(_DEPTH_CONFIGS)}")
+        raise InvalidRequestError(f"unsupported depth {depth}; choose from {sorted(_DEPTH_CONFIGS)}")
     blocks = _DEPTH_CONFIGS[depth]
 
     builder = GraphBuilder(f"ResNet{depth}", input_shape=(3, 224, 224))
@@ -68,7 +69,8 @@ def build_resnet(depth: int = 152, num_classes: int = 1000) -> ComputationalGrap
 
     current = builder.current
     stage_channels = ((64, 256), (128, 512), (256, 1024), (512, 2048))
-    for stage, (n_blocks, (mid, out)) in enumerate(zip(blocks, stage_channels), start=2):
+    stages = enumerate(zip(blocks, stage_channels, strict=True), start=2)
+    for stage, (n_blocks, (mid, out)) in stages:
         for block in range(n_blocks):
             stride = 2 if (stage > 2 and block == 0) else 1
             project = block == 0

@@ -18,7 +18,7 @@ from .cifar_vgg import build_cifar_vgg17
 from .googlenet import build_googlenet
 from .lenet import build_lenet
 from .mlp import build_mlp_500_100
-from .resnet import build_resnet50, build_resnet152
+from .resnet import build_resnet152, build_resnet50
 from .vgg import build_vgg16
 
 __all__ = [

@@ -179,7 +179,7 @@ def compile_shards(
     shard_macs = [shard.coreops.total_macs() for shard in plan.shards]
     total_macs = sum(shard_macs)
     payloads = []
-    for shard, macs in zip(plan.shards, shard_macs):
+    for shard, macs in zip(plan.shards, shard_macs, strict=True):
         if total_macs > 0:
             fraction = macs / total_macs
         else:
@@ -273,8 +273,8 @@ def combine_bounds(
     weights = [shard.pes for shard in plan.shards]
     total = sum(weights) or 1
     peak = bounds[0].peak_density
-    spatial = sum(b.spatial_utilization * w for b, w in zip(bounds, weights)) / total
-    temporal = sum(b.temporal_utilization * w for b, w in zip(bounds, weights)) / total
+    spatial = sum(b.spatial_utilization * w for b, w in zip(bounds, weights, strict=True)) / total
+    temporal = sum(b.temporal_utilization * w for b, w in zip(bounds, weights, strict=True)) / total
     return UtilizationBounds(
         model=plan.model,
         duplication_degree=plan.duplication_degree,

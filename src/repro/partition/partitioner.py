@@ -341,7 +341,7 @@ def partition_coreops(
             # a balanced split can overshoot the capacity on group
             # granularity; fall back to greedy packing, which cannot
             loads: dict[int, float] = {}
-            for name, chip in zip(order, chips):
+            for name, chip in zip(order, chips, strict=True):
                 loads[chip] = loads.get(chip, 0.0) + weights[name]
             if any(load > capacity_pes for load in loads.values()):
                 packed = _pack_by_capacity(order, weights, capacity_pes)
@@ -354,7 +354,7 @@ def partition_coreops(
 
     chips = _refine_boundaries(order, chips, weights, traffic, limit)
     k = max(chips) + 1 if chips else 1
-    chip_of = dict(zip(order, chips))
+    chip_of = dict(zip(order, chips, strict=True))
 
     if capacity_pes is not None:
         # the enforcement contract holds for explicit chip counts too: a

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from ..errors import InvalidRequestError
 from ..synthesizer.coreop import CoreOpGraph
 
 __all__ = ["CutEdge", "Shard", "PartitionResult"]
@@ -35,7 +36,7 @@ class CutEdge:
 
     def __post_init__(self) -> None:
         if self.src_chip == self.dst_chip:
-            raise ValueError(
+            raise InvalidRequestError(
                 f"cut edge {self.src!r}->{self.dst!r} does not cross chips "
                 f"(both on chip {self.src_chip})"
             )

@@ -1,8 +1,8 @@
 """Performance models: bounds, the analytic pipelined model, the simulator."""
 
 from .analytic import (
-    AreaSweepPoint,
     ArchitectureModel,
+    AreaSweepPoint,
     BlockCounts,
     FPSAArchitecture,
     estimate_block_counts,

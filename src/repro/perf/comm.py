@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Mapping
 
 from ..arch.params import FPSAConfig, InterChipParams, RoutingParams
+from ..errors import InvalidRequestError
 
 __all__ = [
     "CommContext",
@@ -97,7 +98,7 @@ class SharedBusComm(CommunicationModel):
 
     def per_vmm_latency_ns(self, ctx: CommContext) -> float:
         if self.bandwidth_bits_per_ns <= 0:
-            raise ValueError("bus bandwidth must be positive")
+            raise InvalidRequestError("bus bandwidth must be positive")
         concurrent = max(1.0, ctx.active_pes)
         return ctx.bits_per_vmm * concurrent / self.bandwidth_bits_per_ns
 

@@ -5,6 +5,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..errors import InvalidRequestError
+
 __all__ = ["PerformanceReport", "LatencyBreakdown", "geometric_mean"]
 
 
@@ -77,9 +79,9 @@ class PerformanceReport:
 def geometric_mean(values: list[float]) -> float:
     """Geometric mean (used for the cross-model speedup summaries)."""
     if not values:
-        raise ValueError("geometric_mean of an empty sequence")
+        raise InvalidRequestError("geometric_mean of an empty sequence")
     if any(v <= 0 for v in values):
-        raise ValueError("geometric_mean requires positive values")
+        raise InvalidRequestError("geometric_mean requires positive values")
     product = 1.0
     for v in values:
         product *= v

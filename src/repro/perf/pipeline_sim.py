@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..arch.params import PEParams
+from ..errors import InvalidRequestError
 from ..mapper.schedule import Schedule
 
 __all__ = ["PipelineSimulationResult", "PipelineSimulator"]
@@ -76,7 +77,7 @@ class PipelineSimulator:
             return True
         shifted = [(s + offset, e + offset) for s, e in intervals]
         merged = sorted(intervals + shifted)
-        for (s1, e1), (s2, e2) in zip(merged, merged[1:]):
+        for (s1, e1), (s2, e2) in zip(merged, merged[1:], strict=False):
             if s2 < e1:
                 return True
         return False
@@ -107,7 +108,7 @@ class PipelineSimulator:
         of itself shifted by ``offset``, or ``None`` when conflict-free."""
         shifted = [(s + offset, e + offset) for s, e in intervals]
         merged = sorted(intervals + shifted)
-        for (s1, e1), (s2, e2) in zip(merged, merged[1:]):
+        for (s1, e1), (s2, e2) in zip(merged, merged[1:], strict=False):
             if s2 < e1:
                 return (s1, e1), (s2, e2)
         return None
@@ -116,7 +117,7 @@ class PipelineSimulator:
     def run(self, schedule: Schedule, n_samples: int = 8) -> PipelineSimulationResult:
         """Simulate ``n_samples`` samples streaming through the schedule."""
         if n_samples <= 0:
-            raise ValueError("n_samples must be positive")
+            raise InvalidRequestError("n_samples must be positive")
         ii = self.minimum_initiation_interval(schedule)
         makespan = schedule.makespan
 
@@ -131,9 +132,9 @@ class PipelineSimulator:
             for pe, intervals in schedule.pe_intervals().items():
                 # k = 0: the schedule itself must not double-book the PE
                 ordered = sorted(intervals)
-                for (s1, e1), (s2, e2) in zip(ordered, ordered[1:]):
+                for (s1, e1), (s2, e2) in zip(ordered, ordered[1:], strict=False):
                     if s2 < e1:
-                        raise RuntimeError(
+                        raise RuntimeError(  # repro-lint: disable=ERR001
                             f"initiation interval {ii} double-books PE {pe}: "
                             f"({s1},{e1}) overlaps ({s2},{e2})"
                         )
@@ -143,7 +144,7 @@ class PipelineSimulator:
                     overlap = self._overlap_at_offset(intervals, k * ii)
                     if overlap is not None:
                         (s1, e1), (s2, e2) = overlap
-                        raise RuntimeError(
+                        raise RuntimeError(  # repro-lint: disable=ERR001
                             f"initiation interval {ii} double-books PE {pe}: "
                             f"({s1},{e1}) overlaps ({s2},{e2})"
                         )

@@ -1,11 +1,11 @@
 """Placement & routing on the island-style reconfigurable fabric."""
 
 from .fabric import FabricGrid, Site
-from .placement import Placement, SimulatedAnnealingPlacer
 from .passes import PnRPass
+from .placement import Placement, SimulatedAnnealingPlacer
 from .pnr import PlaceAndRoute, PnRResult
 from .routing import PathFinderRouter, RoutedNet, RoutingError, RoutingResult
-from .rrgraph import RRNode, RoutingResourceGraph
+from .rrgraph import RoutingResourceGraph, RRNode
 from .timing import NetTiming, TimingReport, analyze_timing
 
 __all__ = [

@@ -14,6 +14,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from ..errors import InvalidRequestError
 from ..mapper.netlist import BlockType, FunctionBlockNetlist
 
 __all__ = ["Site", "FabricGrid"]
@@ -37,7 +38,7 @@ class FabricGrid:
 
     def __init__(self, width: int, height: int):
         if width <= 0 or height <= 0:
-            raise ValueError("fabric dimensions must be positive")
+            raise InvalidRequestError("fabric dimensions must be positive")
         self.width = width
         self.height = height
         self._sites = [Site(x, y) for x in range(width) for y in range(height)]
@@ -81,7 +82,7 @@ class FabricGrid:
 
     def site(self, x: int, y: int) -> Site:
         if not self.contains(x, y):
-            raise ValueError(f"({x}, {y}) is outside the {self.width}x{self.height} fabric")
+            raise InvalidRequestError(f"({x}, {y}) is outside the {self.width}x{self.height} fabric")
         return self._sites[x * self.height + y]
 
     @staticmethod

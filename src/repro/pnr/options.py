@@ -14,6 +14,8 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 
+from ..errors import InvalidRequestError
+
 __all__ = ["PnROptions", "jit_requested"]
 
 #: environment flag that turns on the numba-compiled inner kernels.  The
@@ -66,17 +68,17 @@ class PnROptions:
 
     def __post_init__(self) -> None:
         if self.jobs is not None and self.jobs < 1:
-            raise ValueError("pnr jobs must be >= 1")
+            raise InvalidRequestError("pnr jobs must be >= 1")
         if self.engine not in _ENGINES:
-            raise ValueError(
+            raise InvalidRequestError(
                 f"unknown pnr engine {self.engine!r}; expected one of {_ENGINES}"
             )
         if self.moves_per_block <= 0:
-            raise ValueError("moves_per_block must be positive")
+            raise InvalidRequestError("moves_per_block must be positive")
         if self.tempering < 1:
-            raise ValueError("tempering replica count must be >= 1")
+            raise InvalidRequestError("tempering replica count must be >= 1")
         if self.bb_margin < 1:
-            raise ValueError("bb_margin must be >= 1")
+            raise InvalidRequestError("bb_margin must be >= 1")
 
     def effective_jobs(self) -> int:
         if self.jobs is None:

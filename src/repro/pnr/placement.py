@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..errors import CapacityError
+from ..errors import CapacityError, InvalidRequestError, PnRError
 from ..mapper.netlist import BlockType, FunctionBlockNetlist, Net
 from .fabric import FabricGrid
 from .options import PnROptions
@@ -75,7 +75,7 @@ class Placement:
         try:
             return self.positions[block]
         except KeyError:
-            raise KeyError(f"block {block!r} has not been placed") from None
+            raise KeyError(f"block {block!r} has not been placed") from None  # repro-lint: disable=ERR001
 
     def net_hpwl(self, net: Net) -> int:
         """Half-perimeter wirelength of one net."""
@@ -245,7 +245,7 @@ class PlacementCostModel:
         :meth:`commit` or :meth:`reject`.
         """
         if self._pending is not None:
-            raise RuntimeError("a staged move is already pending")
+            raise PnRError("a staged move is already pending")
         xs, ys = self.xs, self.ys
         nets_of = self.nets_of
         b = self.block_index[block]
@@ -286,7 +286,9 @@ class PlacementCostModel:
                 new_costs.append((i, cost, state))
                 delta += cost - net_costs[i]
             if not exchange:
-                for i in shared:
+                # sorted: float accumulation into delta and the order of
+                # new_costs must not depend on set iteration order
+                for i in sorted(shared):
                     cost, state = self._eval_net_move(
                         i, [(old_b, new_pos), (old_s, old_b)]
                     )
@@ -298,7 +300,7 @@ class PlacementCostModel:
     def commit(self) -> None:
         """Finalise the staged move."""
         if self._pending is None:
-            raise RuntimeError("no staged move to commit")
+            raise PnRError("no staged move to commit")
         _, _, _, _, new_costs, delta = self._pending
         net_costs = self.net_costs
         bbox = self._bbox
@@ -312,7 +314,7 @@ class PlacementCostModel:
     def reject(self) -> None:
         """Undo the staged move."""
         if self._pending is None:
-            raise RuntimeError("no staged move to reject")
+            raise PnRError("no staged move to reject")
         b, s, old_b, old_s, _, _ = self._pending
         self.xs[b], self.ys[b] = old_b
         if s is not None:
@@ -339,9 +341,9 @@ class SimulatedAnnealingPlacer:
         seed: int = 0,
     ):
         if not 0.0 < cooling < 1.0:
-            raise ValueError("cooling must lie in (0, 1)")
+            raise InvalidRequestError("cooling must lie in (0, 1)")
         if moves_per_block <= 0:
-            raise ValueError("moves_per_block must be positive")
+            raise InvalidRequestError("moves_per_block must be positive")
         self.moves_per_block = moves_per_block
         self.cooling = cooling
         self.initial_acceptance = initial_acceptance
@@ -365,7 +367,7 @@ class SimulatedAnnealingPlacer:
                 details={"blocks": len(core_blocks), "sites": len(sites)},
             )
         rng.shuffle(sites)
-        for block, site in zip(core_blocks, sites):
+        for block, site in zip(core_blocks, sites, strict=False):
             placement.positions[block] = site
 
         io_sites = [s.position for s in fabric.io_sites()]
@@ -375,7 +377,7 @@ class SimulatedAnnealingPlacer:
                 details={"io_blocks": len(io_blocks), "io_sites": len(io_sites)},
             )
         rng.shuffle(io_sites)
-        for block, site in zip(io_blocks, io_sites):
+        for block, site in zip(io_blocks, io_sites, strict=False):
             placement.positions[block] = site
         return placement
 
@@ -383,7 +385,7 @@ class SimulatedAnnealingPlacer:
     def _nets_by_block(netlist: FunctionBlockNetlist) -> dict[str, list[int]]:
         mapping: dict[str, list[int]] = {}
         for index, net in enumerate(netlist.nets):
-            for block in {net.driver, *net.sinks}:
+            for block in sorted({net.driver, *net.sinks}):
                 mapping.setdefault(block, []).append(index)
         return mapping
 
@@ -485,7 +487,7 @@ class RegionGrid:
         """Tile a ``width x height`` fabric into roughly
         ``target_span``-wide regions."""
         if width <= 0 or height <= 0:
-            raise ValueError("fabric dimensions must be positive")
+            raise InvalidRequestError("fabric dimensions must be positive")
         nx = max(1, math.ceil(width / target_span))
         ny = max(1, math.ceil(height / target_span))
         return cls(width, height, nx, ny)
@@ -497,7 +499,7 @@ class RegionGrid:
     def region_of(self, x: int, y: int) -> int:
         """Region id of core site ``(x, y)``."""
         if not (0 <= x < self.width and 0 <= y < self.height):
-            raise ValueError(f"({x}, {y}) is outside the fabric")
+            raise InvalidRequestError(f"({x}, {y}) is outside the fabric")
         return (x * self.nx // self.width) * self.ny + (y * self.ny // self.height)
 
     def sites_by_region(self) -> list[list[tuple[int, int]]]:

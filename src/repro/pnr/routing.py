@@ -43,11 +43,11 @@ from heapq import heapify, heappop, heappush
 
 import numpy as np
 
-from ..errors import PnRError
+from ..errors import InvalidRequestError, PnRError
 from ..mapper.netlist import FunctionBlockNetlist, Net
 from .options import PnROptions
 from .placement import Placement
-from .rrgraph import RRNode, RoutingResourceGraph
+from .rrgraph import RoutingResourceGraph, RRNode
 
 __all__ = ["RoutedNet", "RoutingResult", "PathFinderRouter", "RoutingError"]
 
@@ -175,7 +175,7 @@ class PathFinderRouter:
         if astar_factor is None:
             astar_factor = 1.2 if self.options.engine == "serial" else 1.6
         if astar_factor < 1.0:
-            raise ValueError("astar_factor must be >= 1.0")
+            raise InvalidRequestError("astar_factor must be >= 1.0")
         self.astar_factor = astar_factor
 
     # ----------------------------------------------------------- preparation
@@ -315,7 +315,8 @@ class PathFinderRouter:
             def run(dom: list[int]) -> tuple[int, int, int, float]:
                 state = getattr(local, "state", None)
                 if state is None:
-                    state = local.state = _SearchState(n_nodes, use_jit)
+                    # threading.local: per-thread scratch, not shared state
+                    state = local.state = _SearchState(n_nodes, use_jit)  # repro-lint: disable=CONC001
                 return route_domain(dom, state)
 
             with ThreadPoolExecutor(max_workers=jobs) as pool:
@@ -428,7 +429,8 @@ class PathFinderRouter:
                         overused.add(u)
             if not overused:
                 return iteration, expansions, rerouted, expand_seconds
-            for u in overused:
+            # independent += on distinct indices: order cannot matter
+            for u in overused:  # repro-lint: disable=DET002
                 history[u] += self.history_cost_factor * (occupancy[u] - 1)
 
         raise RoutingError(

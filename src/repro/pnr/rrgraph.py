@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..errors import InvalidRequestError
 from .fabric import FabricGrid
 
 __all__ = ["RRNode", "CompiledRRGraph", "RoutingResourceGraph"]
@@ -110,9 +111,9 @@ class CompiledRRGraph:
         dataclass hashing).
         """
         if width <= 0 or height <= 0:
-            raise ValueError("fabric dimensions must be positive")
+            raise InvalidRequestError("fabric dimensions must be positive")
         if tracks <= 0:
-            raise ValueError("channel_width must be positive")
+            raise InvalidRequestError("channel_width must be positive")
         n_ch_x, n_ch_y = width + 1, height + 1
         n_wires = 2 * n_ch_x * n_ch_y * tracks
         n_pin_cols, n_pin_rows = width + 2, height + 2
@@ -206,7 +207,7 @@ class CompiledRRGraph:
         try:
             return self.ids[node]
         except KeyError:
-            raise KeyError(f"node {node} is not in the routing-resource graph") from None
+            raise KeyError(f"node {node} is not in the routing-resource graph") from None  # repro-lint: disable=ERR001
 
 
 class RoutingResourceGraph:
@@ -220,7 +221,7 @@ class RoutingResourceGraph:
 
     def __init__(self, fabric: FabricGrid, channel_width: int = 16):
         if channel_width <= 0:
-            raise ValueError("channel_width must be positive")
+            raise InvalidRequestError("channel_width must be positive")
         self.fabric = fabric
         self.channel_width = channel_width
         self._lazy_adjacency: dict[RRNode, list[RRNode]] | None = None
@@ -315,7 +316,7 @@ class RoutingResourceGraph:
         try:
             return self._adjacency[node]
         except KeyError:
-            raise KeyError(f"node {node} is not in the routing-resource graph") from None
+            raise KeyError(f"node {node} is not in the routing-resource graph") from None  # repro-lint: disable=ERR001
 
     def opin(self, x: int, y: int) -> RRNode:
         return RRNode("OPIN", x, y)

@@ -123,6 +123,10 @@ class CompileRequest:
     shard_jobs: int | None = None
     passes: tuple[str, ...] | None = None
     use_cache: bool = True
+    #: run the IR verifiers between passes (see ``--verify`` /
+    #: ``REPRO_VERIFY=1``).  An execution knob — it changes no artifact —
+    #: so it is excluded from :meth:`fingerprint` like ``pnr_jobs``.
+    verify: bool = False
     synthesis_options: dict[str, Any] | None = None
     tags: dict[str, str] = field(default_factory=dict)
     schema_version: int = SCHEMA_VERSION
@@ -183,6 +187,11 @@ class CompileRequest:
                 f"pnr_jobs must be an integer >= 1, got {self.pnr_jobs!r}",
                 details={"pnr_jobs": repr(self.pnr_jobs)},
             )
+        if not isinstance(self.verify, bool):
+            raise InvalidRequestError(
+                f"verify must be a boolean, got {self.verify!r}",
+                details={"verify": repr(self.verify)},
+            )
         if self.passes is not None:
             object.__setattr__(self, "passes", tuple(self.passes))
 
@@ -213,14 +222,16 @@ class CompileRequest:
     def fingerprint(self) -> str:
         """Content-addressed identity of this request.
 
-        ``tags`` (caller metadata) and ``pnr_jobs`` (a pure execution knob
-        whose every value produces the bit-identical artifact) are
-        excluded, so e.g. coalescing and the artifact store treat requests
-        differing only in those fields as the same compilation.
+        ``tags`` (caller metadata) and the pure execution knobs
+        ``pnr_jobs`` and ``verify`` (every value produces the bit-identical
+        artifact) are excluded, so e.g. coalescing and the artifact store
+        treat requests differing only in those fields as the same
+        compilation.
         """
         data = self.to_dict()
         data.pop("tags")
         data.pop("pnr_jobs")
+        data.pop("verify")
         canonical = json.dumps(data, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
@@ -241,6 +252,7 @@ class CompileRequest:
             "shard_jobs": self.shard_jobs,
             "passes": self.passes,
             "use_cache": self.use_cache,
+            "verify": self.verify,
         }
 
 
@@ -308,11 +320,17 @@ class CompileTimings:
             )
             for t in timings
         )
+        # ``verify:*`` rows are interposed IR verifiers, not passes: they
+        # never consult the cache, so they stay out of the miss counter
         return cls(
             passes=entries,
             total_seconds=sum(t.seconds for t in timings),
             cache_hits=sum(1 for t in timings if t.cached),
-            cache_misses=sum(1 for t in timings if not t.cached),
+            cache_misses=sum(
+                1
+                for t in timings
+                if not t.cached and not t.name.startswith("verify:")
+            ),
             evictions=getattr(cache_stats, "evictions", 0),
             shared_cache_hits=getattr(cache_stats, "shared_hits", 0),
             shared_cache_misses=getattr(cache_stats, "shared_misses", 0),

@@ -34,7 +34,8 @@ try:  # POSIX only; on other platforms saves fall back to the thread lock
 except ImportError:  # pragma: no cover - non-POSIX
     fcntl = None
 
-from ..errors import InvalidRequestError
+from ..analysis.verify import verification_enabled
+from ..errors import InvalidRequestError, VerificationError
 from .schemas import CompileResponse
 
 __all__ = ["ArtifactStore", "RunRecord"]
@@ -209,10 +210,30 @@ class ArtifactStore:
             )
         return run_dir
 
-    def load(self, run_id: str) -> CompileResponse:
-        """Reload the full response of a past run."""
+    def load(self, run_id: str, verify: bool | None = None) -> CompileResponse:
+        """Reload the full response of a past run.
+
+        With verification on (``verify=True`` or ``REPRO_VERIFY=1``), the
+        loaded response's content address is recomputed and compared to
+        ``run_id``: a tampered or bit-rotted ``response.json`` raises a
+        :class:`~repro.errors.VerificationError` at the load boundary
+        instead of feeding silently-corrupt numbers downstream.
+        """
         payload = (self._run_dir(run_id) / "response.json").read_text(encoding="utf-8")
-        return CompileResponse.from_json(payload)
+        response = CompileResponse.from_json(payload)
+        if verification_enabled(verify):
+            expected = self.run_id_for(response)
+            if expected != run_id:
+                raise VerificationError(
+                    f"store: content-address: run {run_id!r} re-hashes to "
+                    f"{expected!r}; the stored response was modified after "
+                    f"it was saved",
+                    stage="store",
+                    invariant="content-address",
+                    ids=(run_id, expected),
+                    details={"store": str(self.root)},
+                )
+        return response
 
     def load_bitstream(self, run_id: str) -> str | None:
         """The stored bitstream JSON of a run, or ``None`` if none was emitted."""

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..errors import SynthesisError
 from .splitting import TilePlan, plan_tiling
 
 __all__ = [
@@ -70,13 +71,13 @@ class WeightGroup:
 
     def __post_init__(self) -> None:
         if self.rows <= 0 or self.cols <= 0:
-            raise ValueError(f"group {self.name!r}: matrix dimensions must be positive")
+            raise SynthesisError(f"group {self.name!r}: matrix dimensions must be positive")
         if self.reuse <= 0:
-            raise ValueError(f"group {self.name!r}: reuse must be positive")
+            raise SynthesisError(f"group {self.name!r}: reuse must be positive")
         if not 0.0 < self.density <= 1.0:
-            raise ValueError(f"group {self.name!r}: density must lie in (0, 1]")
+            raise SynthesisError(f"group {self.name!r}: density must lie in (0, 1]")
         if self.macs_per_instance < 0:
-            raise ValueError(f"group {self.name!r}: macs_per_instance must be >= 0")
+            raise SynthesisError(f"group {self.name!r}: macs_per_instance must be >= 0")
 
     def tiling(self, max_rows: int = 256, max_cols: int = 256) -> TilePlan:
         """Tile plan of this group's weight matrix."""
@@ -115,7 +116,7 @@ class GroupEdge:
 
     def __post_init__(self) -> None:
         if self.values_per_instance < 0:
-            raise ValueError("values_per_instance must be non-negative")
+            raise SynthesisError("values_per_instance must be non-negative")
 
 
 #: pseudo group names used for graph boundary edges.
@@ -138,7 +139,7 @@ class CoreOpGraph:
     # ------------------------------------------------------------- building
     def add_group(self, group: WeightGroup) -> WeightGroup:
         if group.name in self._groups:
-            raise ValueError(f"duplicate group name {group.name!r}")
+            raise SynthesisError(f"duplicate group name {group.name!r}")
         self._groups[group.name] = group
         self.mutation_count += 1
         return group
@@ -146,7 +147,7 @@ class CoreOpGraph:
     def add_edge(self, src: str, dst: str, values_per_instance: int) -> GroupEdge:
         for endpoint in (src, dst):
             if endpoint not in self._groups and endpoint not in (GRAPH_INPUT, GRAPH_OUTPUT):
-                raise ValueError(f"edge references unknown group {endpoint!r}")
+                raise SynthesisError(f"edge references unknown group {endpoint!r}")
         edge = GroupEdge(src, dst, values_per_instance)
         self._edges.append(edge)
         self.mutation_count += 1
@@ -163,7 +164,7 @@ class CoreOpGraph:
         try:
             return self._groups[name]
         except KeyError:
-            raise KeyError(f"no group named {name!r}") from None
+            raise KeyError(f"no group named {name!r}") from None  # repro-lint: disable=ERR001
 
     def groups(self) -> list[WeightGroup]:
         return list(self._groups.values())
@@ -194,7 +195,7 @@ class CoreOpGraph:
                 if in_degree[succ] == 0:
                     ready.append(succ)
         if len(order) != len(names):
-            raise ValueError(f"core-op graph {self.name!r} contains a cycle")
+            raise SynthesisError(f"core-op graph {self.name!r} contains a cycle")
         return [self._groups[n] for n in order]
 
     # ------------------------------------------------------------ statistics
@@ -293,12 +294,12 @@ class CoreOpInstanceGraph:
 
     def add_instance(self, instance: CoreOpInstance) -> None:
         if instance.name in self.instances:
-            raise ValueError(f"duplicate instance {instance.name!r}")
+            raise SynthesisError(f"duplicate instance {instance.name!r}")
         self.instances[instance.name] = instance
 
     def add_edge(self, src: str, dst: str, values: int) -> None:
         if src not in self.instances or dst not in self.instances:
-            raise ValueError("instance edge references unknown instance")
+            raise SynthesisError("instance edge references unknown instance")
         self.edges.append(InstanceEdge(src, dst, values))
 
     def __len__(self) -> int:
@@ -326,7 +327,7 @@ class CoreOpInstanceGraph:
                 if in_degree[succ] == 0:
                     ready.append(succ)
         if len(order) != len(self.instances):
-            raise ValueError("instance graph contains a cycle")
+            raise SynthesisError("instance graph contains a cycle")
         return order
 
 
@@ -377,7 +378,7 @@ def expand(
         reuse = group.reuse if max_reuse is None else min(group.reuse, max_reuse)
         total += reuse * group.min_pes(max_rows, max_cols)
     if total > max_instances:
-        raise ValueError(
+        raise SynthesisError(
             f"expansion would create {total} instances (> {max_instances}); "
             "cap reuse with max_reuse or use the group-level mapper"
         )

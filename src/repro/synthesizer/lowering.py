@@ -19,17 +19,17 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from ..errors import SynthesisError
 from ..graph.graph import GraphNode
 from ..graph.ops import (
+    LRN,
     Add,
     AvgPool2d,
     Conv2d,
     Dense,
     GlobalAvgPool,
-    LRN,
     MaxPool2d,
 )
-from ..errors import SynthesisError
 from ..graph.tensor import TensorSpec
 from .coreop import GRAPH_INPUT, CoreOpGraph, WeightGroup
 from .splitting import plan_tiling

@@ -12,6 +12,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from ..errors import SynthesisError
+
 __all__ = ["Tile", "TilePlan", "plan_tiling", "reduction_tree_width"]
 
 
@@ -91,9 +93,9 @@ def plan_tiling(
 ) -> TilePlan:
     """Split a ``matrix_rows x matrix_cols`` weight matrix into crossbar tiles."""
     if matrix_rows <= 0 or matrix_cols <= 0:
-        raise ValueError("matrix dimensions must be positive")
+        raise SynthesisError("matrix dimensions must be positive")
     if max_rows <= 0 or max_cols <= 0:
-        raise ValueError("crossbar dimensions must be positive")
+        raise SynthesisError("crossbar dimensions must be positive")
 
     tiles: list[Tile] = []
     n_row_tiles = math.ceil(matrix_rows / max_rows)
@@ -121,7 +123,7 @@ def reduction_tree_width(n_partials: int, max_rows: int = 256) -> int:
     returned value is the number of sequential reduction stages.
     """
     if n_partials <= 0:
-        raise ValueError("n_partials must be positive")
+        raise SynthesisError("n_partials must be positive")
     if n_partials == 1:
         return 0
     stages = 0

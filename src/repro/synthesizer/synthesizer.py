@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from ..arch.params import PEParams
 from ..graph.graph import ComputationalGraph, GraphNode
 from ..graph.ops import (
+    LRN,
     Add,
     AvgPool2d,
     BatchNorm,
@@ -23,7 +24,6 @@ from ..graph.ops import (
     Flatten,
     GlobalAvgPool,
     InputOp,
-    LRN,
     MaxPool2d,
     ReLU,
     Softmax,

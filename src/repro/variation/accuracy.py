@@ -24,6 +24,7 @@ import math
 from dataclasses import dataclass
 
 from ..arch.reram import ReRAMCellModel
+from ..errors import InvalidRequestError
 from .representation import effective_weight_bits, normalized_deviation
 
 __all__ = [
@@ -56,7 +57,7 @@ class AccuracyModel:
     def variation_bound(self, deviation: float) -> float:
         """Normalized accuracy achievable with the given normalized deviation."""
         if deviation < 0:
-            raise ValueError("deviation must be non-negative")
+            raise InvalidRequestError("deviation must be non-negative")
         return math.exp(-self.variation_scale * deviation**2)
 
     def normalized_accuracy(self, method: str, n_cells: int, cell: ReRAMCellModel) -> float:

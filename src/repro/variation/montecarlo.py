@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..arch.reram import ReRAMCellModel, make_composition
+from ..errors import InvalidRequestError
 
 __all__ = ["SyntheticTask", "MonteCarloResult", "run_montecarlo"]
 
@@ -94,7 +95,7 @@ def run_montecarlo(
     ``tests/variation/test_variation.py::test_vectorized_matches_per_trial_crossbars``).
     """
     if trials <= 0:
-        raise ValueError("trials must be positive")
+        raise InvalidRequestError("trials must be positive")
     cell = cell if cell is not None else ReRAMCellModel()
     task = task if task is not None else SyntheticTask()
 

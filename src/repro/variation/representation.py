@@ -21,6 +21,7 @@ import math
 from dataclasses import dataclass
 
 from ..arch.reram import ReRAMCellModel, make_composition
+from ..errors import InvalidRequestError
 
 __all__ = [
     "RepresentationPoint",
@@ -52,12 +53,12 @@ def effective_weight_levels(method: str, n_cells: int, cell: ReRAMCellModel | No
     """Number of distinct weight values the composition can represent."""
     cell = cell if cell is not None else ReRAMCellModel()
     if n_cells <= 0:
-        raise ValueError("n_cells must be positive")
+        raise InvalidRequestError("n_cells must be positive")
     if method == "splice":
         return cell.levels**n_cells
     if method == "add":
         return n_cells * (cell.levels - 1) + 1
-    raise ValueError(f"unknown method {method!r}")
+    raise InvalidRequestError(f"unknown method {method!r}")
 
 
 def effective_weight_bits(method: str, n_cells: int, cell: ReRAMCellModel | None = None) -> float:

@@ -1,0 +1,368 @@
+"""Property tests of the IR verifiers: accept valid artifacts, reject
+targeted mutations.
+
+Each verifier is exercised two ways: hypothesis-generated *valid* artifacts
+must verify silently, and a drawn structural mutation of the same artifact
+must raise a :class:`~repro.errors.VerificationError` naming the violated
+invariant.  Mutations always run on a deep copy so the session-scoped
+fixtures stay pristine.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.verify import (
+    ARTIFACT_VERIFIERS,
+    verification_enabled,
+    verify_artifact,
+    verify_artifacts,
+    verify_coreops,
+    verify_graph,
+    verify_mapping,
+    verify_netlist,
+    verify_partition,
+    verify_placement,
+    verify_pnr,
+    verify_routing,
+)
+from repro.errors import VerificationError
+from repro.graph.graph import ComputationalGraph
+from repro.graph.ops import Dense, InputOp, ReLU
+from repro.mapper.mapper import SpatialTemporalMapper
+from repro.partition.partitioner import partition_coreops
+from repro.pnr.pnr import PlaceAndRoute
+from repro.synthesizer.synthesizer import synthesize
+
+# ---------------------------------------------------------------------------
+# generators
+# ---------------------------------------------------------------------------
+
+widths_st = st.lists(st.integers(min_value=2, max_value=40), min_size=1, max_size=4)
+in_size_st = st.integers(min_value=2, max_value=40)
+
+
+def build_mlp(in_size: int, widths: list[int], relu: bool = True) -> ComputationalGraph:
+    graph = ComputationalGraph("prop-mlp")
+    graph.add("input", InputOp((in_size,)))
+    prev = "input"
+    for i, width in enumerate(widths):
+        prev = graph.add(f"dense{i}", Dense(width), inputs=[prev]).name
+        if relu and i < len(widths) - 1:
+            prev = graph.add(f"relu{i}", ReLU(), inputs=[prev]).name
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# graph verifier
+# ---------------------------------------------------------------------------
+
+class TestVerifyGraph:
+    @settings(max_examples=15)
+    @given(in_size=in_size_st, widths=widths_st)
+    def test_accepts_valid_graphs(self, in_size, widths):
+        verify_graph(build_mlp(in_size, widths))
+
+    @settings(max_examples=15)
+    @given(in_size=in_size_st, widths=widths_st, mutation=st.sampled_from(
+        ["dangling", "rename", "cycle"]
+    ))
+    def test_rejects_mutations(self, in_size, widths, mutation):
+        graph = build_mlp(in_size, widths)
+        if mutation == "dangling":
+            graph.node("dense0").inputs.append("no_such_node")
+            invariant = "dangling-input"
+        elif mutation == "rename":
+            graph._nodes["ghost"] = graph._nodes.pop("dense0")
+            graph._order[graph._order.index("dense0")] = "ghost"
+            invariant = "name-mismatch"
+        else:
+            # an edge from the last layer back into the first closes a cycle
+            last = f"dense{len(widths) - 1}"
+            graph.node("dense0").inputs.append(last)
+            invariant = "cycle"
+        with pytest.raises(VerificationError) as excinfo:
+            verify_graph(graph)
+        assert excinfo.value.invariant == invariant
+        assert excinfo.value.stage == "graph"
+        assert excinfo.value.ids  # offending ids are always named
+
+    def test_verification_error_names_the_offender(self):
+        graph = build_mlp(4, [3])
+        graph.node("dense0").inputs.append("phantom")
+        with pytest.raises(VerificationError, match="dense0<-phantom"):
+            verify_graph(graph)
+
+
+# ---------------------------------------------------------------------------
+# core-op graph verifier
+# ---------------------------------------------------------------------------
+
+class TestVerifyCoreops:
+    @settings(max_examples=8)
+    @given(in_size=in_size_st, widths=widths_st)
+    def test_accepts_synthesized_graphs(self, in_size, widths):
+        verify_coreops(synthesize(build_mlp(in_size, widths)))
+
+    @settings(max_examples=8)
+    @given(in_size=in_size_st, widths=widths_st, mutation=st.sampled_from(
+        ["density", "ghost-edge", "key-mismatch", "cycle"]
+    ))
+    def test_rejects_mutations(self, in_size, widths, mutation):
+        coreops = synthesize(build_mlp(in_size, widths))
+        name = next(iter(coreops._groups))
+        edge_cls = type(coreops._edges[0])
+        if mutation == "density":
+            object.__setattr__(coreops._groups[name], "density", 0.0)
+            invariant = "weight-group-consistency"
+        elif mutation == "ghost-edge":
+            coreops._edges.append(
+                edge_cls(src="ghost", dst=name, values_per_instance=1)
+            )
+            invariant = "edge-endpoints"
+        elif mutation == "key-mismatch":
+            coreops._groups["ghost"] = coreops._groups.pop(name)
+            invariant = "name-mismatch"
+        else:
+            # a back edge from the last group to the first closes a cycle
+            # (for a single group it degenerates to a self-loop)
+            groups = list(coreops._groups)
+            coreops._edges.append(
+                edge_cls(src=groups[-1], dst=groups[0], values_per_instance=1)
+            )
+            invariant = "cycle"
+        with pytest.raises(VerificationError) as excinfo:
+            verify_coreops(coreops)
+        assert excinfo.value.invariant == invariant
+        assert excinfo.value.stage == "synthesis"
+
+
+# ---------------------------------------------------------------------------
+# netlist / mapping verifiers
+# ---------------------------------------------------------------------------
+
+class TestVerifyMapping:
+    @settings(max_examples=6)
+    @given(
+        in_size=in_size_st,
+        widths=widths_st,
+        duplication=st.sampled_from([1, 2, 4]),
+    )
+    def test_accepts_mapped_models(self, config, in_size, widths, duplication):
+        mapping = SpatialTemporalMapper(config).map(
+            synthesize(build_mlp(in_size, widths)),
+            duplication_degree=duplication,
+        )
+        verify_mapping(mapping)
+
+    @settings(max_examples=6)
+    @given(in_size=in_size_st, widths=widths_st, mutation=st.sampled_from(
+        ["drop-block", "empty-sinks", "pe-count", "duplicate-net", "zero-bits"]
+    ))
+    def test_rejects_mutations(self, config, in_size, widths, mutation):
+        mapping = SpatialTemporalMapper(config).map(
+            synthesize(build_mlp(in_size, widths)), duplication_degree=1
+        )
+        netlist = mapping.netlist
+        if mutation == "drop-block":
+            netlist.blocks.pop(netlist.nets[0].driver)
+            invariant = "net-terminals"
+        elif mutation == "empty-sinks":
+            object.__setattr__(netlist.nets[0], "sinks", ())
+            invariant = "net-sinks"
+        elif mutation == "pe-count":
+            object.__setattr__(
+                mapping.allocation, "total_pes", mapping.allocation.total_pes + 1
+            )
+            invariant = "pe-count"
+        elif mutation == "duplicate-net":
+            netlist.nets.append(netlist.nets[0])
+            invariant = "duplicate-net"
+        else:
+            object.__setattr__(netlist.nets[0], "bits", 0)
+            invariant = "net-bits"
+        with pytest.raises(VerificationError) as excinfo:
+            verify_mapping(mapping)
+        assert excinfo.value.invariant == invariant
+        assert excinfo.value.stage == "mapping"
+
+    def test_netlist_verifier_standalone(self, lenet_mapping):
+        netlist = copy.deepcopy(lenet_mapping.netlist)
+        verify_netlist(netlist)
+        netlist.blocks["ghost"] = netlist.blocks.pop(next(iter(netlist.blocks)))
+        with pytest.raises(VerificationError) as excinfo:
+            verify_netlist(netlist)
+        assert excinfo.value.invariant == "name-mismatch"
+
+
+# ---------------------------------------------------------------------------
+# placement / routing / pnr verifiers
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def mlp_pnr(config):
+    """One P&R run of a small MLP, shared (read-only) by the tests below."""
+    mapping = SpatialTemporalMapper(config).map(
+        synthesize(build_mlp(16, [8, 4])), duplication_degree=1
+    )
+    return mapping.netlist, PlaceAndRoute(config, seed=0).run(mapping.netlist)
+
+
+class TestVerifyPnR:
+    def test_accepts_real_pnr(self, mlp_pnr):
+        netlist, pnr = mlp_pnr
+        verify_placement(pnr.placement, netlist)
+        verify_routing(pnr.routing, netlist, pnr.placement)
+        verify_pnr(pnr, netlist)
+        # the intra-artifact subset (no context) must also pass
+        verify_pnr(pnr, None)
+
+    @pytest.mark.parametrize("mutation,invariant", [
+        ("out-of-bounds", "placement-bounds"),
+        ("overlap", "placement-overlap"),
+        ("unplaced", "placement-complete"),
+        ("phantom", "placement-phantom"),
+        ("io-site", "placement-io-sites"),
+    ])
+    def test_rejects_placement_mutations(self, mlp_pnr, mutation, invariant):
+        netlist, pnr = mlp_pnr
+        placement = copy.deepcopy(pnr.placement)
+        blocks = list(placement.positions)
+        non_io = [
+            b for b in blocks
+            if netlist.blocks[b].type != "IO"
+        ]
+        if mutation == "out-of-bounds":
+            placement.positions[blocks[0]] = (placement.fabric.width + 7, -9)
+        elif mutation == "overlap":
+            placement.positions[non_io[0]] = placement.positions[non_io[1]]
+        elif mutation == "unplaced":
+            placement.positions.pop(blocks[0])
+        elif mutation == "phantom":
+            placement.positions["ghost"] = (0, 0)
+        else:
+            # a compute block on a peripheral I/O site
+            placement.positions[non_io[0]] = (-1, 0)
+        with pytest.raises(VerificationError) as excinfo:
+            verify_placement(placement, netlist)
+        assert excinfo.value.invariant in (invariant, "placement-overlap")
+
+    @pytest.mark.parametrize("mutation,invariant", [
+        ("share-wire", "rr-capacity"),
+        ("overused-count", "routing-legal"),
+        ("rename", "name-mismatch"),
+        ("stray-path", "route-tree"),
+        ("drop-net", "nets-routed"),
+        ("phantom-net", "nets-phantom"),
+        ("drop-sink-path", "route-connects-sinks"),
+    ])
+    def test_rejects_routing_mutations(self, mlp_pnr, mutation, invariant):
+        netlist, pnr = mlp_pnr
+        routing = copy.deepcopy(pnr.routing)
+        names = sorted(routing.nets)
+        first, second = routing.nets[names[0]], routing.nets[names[1]]
+        if mutation == "share-wire":
+            wire = next(n for n in first.nodes if n.is_wire)
+            second.nodes.add(wire)
+        elif mutation == "overused-count":
+            routing.overused_nodes = 3
+        elif mutation == "rename":
+            routing.nets["ghost"] = routing.nets.pop(names[0])
+        elif mutation == "stray-path":
+            foreign = next(n for n in second.nodes if n.is_wire)
+            next(iter(first.sink_paths.values())).append(foreign)
+        elif mutation == "drop-net":
+            routing.nets.pop(names[0])
+        elif mutation == "phantom-net":
+            # an empty routed net: no shared wires, purely a phantom entry
+            routing.nets["ghost"] = type(first)(name="ghost")
+        else:
+            first.sink_paths.pop(next(iter(first.sink_paths)))
+        with pytest.raises(VerificationError) as excinfo:
+            verify_routing(routing, netlist, pnr.placement)
+        assert excinfo.value.invariant == invariant
+        assert excinfo.value.stage == "pnr"
+
+
+# ---------------------------------------------------------------------------
+# partition verifier
+# ---------------------------------------------------------------------------
+
+class TestVerifyPartition:
+    @settings(max_examples=6)
+    @given(num_chips=st.integers(min_value=1, max_value=4))
+    def test_accepts_real_partitions(self, lenet_coreops, num_chips):
+        plan = partition_coreops(lenet_coreops, num_chips=num_chips)
+        verify_partition(plan)
+        verify_partition(plan, lenet_coreops)
+
+    @pytest.mark.parametrize("mutation,invariant", [
+        ("shard-count", "shard-count"),
+        ("reassign", "exactly-once"),
+        ("pe-total", "pe-total"),
+        ("same-chip-cut", "cut-crosses-chips"),
+        ("drop-cut-edge", "cut-set-closure"),
+    ])
+    def test_rejects_mutations(self, lenet_coreops, mutation, invariant):
+        plan = copy.deepcopy(partition_coreops(lenet_coreops, num_chips=2))
+        if mutation == "shard-count":
+            plan.num_chips = 3
+        elif mutation == "reassign":
+            group = plan.shards[0].groups[0]
+            plan.assignment[group] = 1
+        elif mutation == "pe-total":
+            plan.total_pes += 1
+        elif mutation == "same-chip-cut":
+            if not plan.cut_edges:
+                pytest.skip("partition produced no cut edges")
+            edge = plan.cut_edges[0]
+            object.__setattr__(edge, "dst_chip", edge.src_chip)
+        else:
+            if not plan.cut_edges:
+                pytest.skip("partition produced no cut edges")
+            plan.cut_edges.pop(0)
+        with pytest.raises(VerificationError) as excinfo:
+            verify_partition(plan, lenet_coreops)
+        assert excinfo.value.invariant == invariant
+        assert excinfo.value.stage == "partition"
+
+    def test_capacity_violation(self, lenet_coreops):
+        plan = copy.deepcopy(partition_coreops(lenet_coreops, num_chips=2))
+        plan.capacity_pes_per_chip = 1
+        with pytest.raises(VerificationError) as excinfo:
+            verify_partition(plan)
+        assert excinfo.value.invariant == "capacity"
+
+
+# ---------------------------------------------------------------------------
+# registry / enablement
+# ---------------------------------------------------------------------------
+
+class TestRegistry:
+    def test_registry_covers_the_structural_artifacts(self):
+        assert set(ARTIFACT_VERIFIERS) == {
+            "graph", "coreops", "partition", "mapping", "pnr"
+        }
+
+    def test_verify_artifact_skips_unknown_and_none(self, mlp_coreops):
+        assert verify_artifact("coreops", mlp_coreops)
+        assert not verify_artifact("performance", object())
+        assert not verify_artifact("coreops", None)
+
+    def test_verify_artifacts_reports_what_it_checked(self, mlp_coreops):
+        verified = verify_artifacts({"coreops": mlp_coreops, "performance": object()})
+        assert verified == ["coreops"]
+
+    def test_enablement_explicit_beats_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_VERIFY", raising=False)
+        assert not verification_enabled()
+        assert verification_enabled(True)
+        monkeypatch.setenv("REPRO_VERIFY", "1")
+        assert verification_enabled()
+        assert not verification_enabled(False)
+        monkeypatch.setenv("REPRO_VERIFY", "off")
+        assert not verification_enabled()

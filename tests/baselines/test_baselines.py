@@ -4,10 +4,10 @@ import pytest
 
 from repro.arch.params import PEParams
 from repro.baselines import (
-    FPPrimeArchitecture,
     ISAAC_REFERENCE,
     PIPELAYER_REFERENCE,
     PRIME_PUBLISHED,
+    FPPrimeArchitecture,
     PrimeArchitecture,
 )
 from repro.perf.comm import ReconfigurableRoutingComm, SharedBusComm

@@ -3,6 +3,7 @@ batch deployment path."""
 
 import pytest
 
+from repro.arch.params import FPSAConfig
 from repro.core import (
     CompileContext,
     CompileOptions,
@@ -22,7 +23,6 @@ from repro.core import (
     resolve_passes,
 )
 from repro.core.cache import config_fingerprint, graph_fingerprint
-from repro.arch.params import FPSAConfig
 from repro.models import build_lenet
 from repro.models.zoo import build_model
 
@@ -241,7 +241,7 @@ class TestDeployMany:
             for d in self.DEGREES
         ]
         assert len(batch) == len(sequential) == len(self.DEGREES)
-        for got, want in zip(batch, sequential):
+        for got, want in zip(batch, sequential, strict=True):
             assert got.model == want.model
             assert got.duplication_degree == want.duplication_degree
             assert got.mapping.netlist.n_pe == want.mapping.netlist.n_pe

@@ -43,7 +43,7 @@ class TestWorkerPool:
         assert pids_after_first == pids_after_second
         assert len(pids_after_first) >= 1
         assert os.getpid() not in pids_after_first
-        for a, b in zip(first, second):
+        for a, b in zip(first, second, strict=True):
             assert a.throughput_samples_per_s == b.throughput_samples_per_s
 
     def test_run_pool_reuses_given_pool(self):
@@ -57,7 +57,7 @@ class TestWorkerPool:
         sequential = deploy_many(["MLP-500-100", ("LeNet", 2)], jobs=1)
         with WorkerPool(max_workers=2) as pool:
             pooled = deploy_many(["MLP-500-100", ("LeNet", 2)], pool=pool)
-        for a, b in zip(sequential, pooled):
+        for a, b in zip(sequential, pooled, strict=True):
             assert a.throughput_samples_per_s == b.throughput_samples_per_s
             assert a.area_mm2 == b.area_mm2
             assert a.mapping.netlist.n_pe == b.mapping.netlist.n_pe

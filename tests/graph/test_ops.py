@@ -3,6 +3,7 @@
 import pytest
 
 from repro.graph.ops import (
+    LRN,
     Add,
     AvgPool2d,
     BatchNorm,
@@ -13,7 +14,6 @@ from repro.graph.ops import (
     Flatten,
     GlobalAvgPool,
     InputOp,
-    LRN,
     MaxPool2d,
     ReLU,
     Softmax,

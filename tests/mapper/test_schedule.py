@@ -71,7 +71,7 @@ class TestScheduleInstances:
         intervals = schedule.pe_intervals()
         assert len(intervals) == 1
         spans = next(iter(intervals.values()))
-        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:], strict=False):
             assert s2 >= e1
 
     def test_duplication_enables_parallelism(self):

@@ -83,7 +83,7 @@ class TestMultiChipCompile:
         )
         assert pooled.performance == sequential.performance
         assert pooled.bounds == sequential.bounds
-        for a, b in zip(sequential.shard_results, pooled.shard_results):
+        for a, b in zip(sequential.shard_results, pooled.shard_results, strict=True):
             assert netlist_fingerprint(a.mapping.netlist) == netlist_fingerprint(
                 b.mapping.netlist
             )

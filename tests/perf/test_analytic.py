@@ -115,7 +115,7 @@ class TestSweepArea:
         areas = [60.0, 120.0, 500.0, 2000.0]
         points = sweep_area(vgg16_coreops, vgg16_graph.total_ops(), FPSAArchitecture(), areas)
         reals = [p.real_ops for p in points if p.mapped]
-        assert all(b >= a * 0.95 for a, b in zip(reals, reals[1:]))
+        assert all(b >= a * 0.95 for a, b in zip(reals, reals[1:], strict=False))
 
     def test_prime_real_saturates(self, vgg16_coreops, vgg16_graph):
         areas = [100.0, 1000.0, 10000.0]

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.pnr.fabric import FabricGrid
-from repro.pnr.rrgraph import RRNode, RoutingResourceGraph
+from repro.pnr.rrgraph import RoutingResourceGraph, RRNode
 
 
 @pytest.fixture(scope="module")

@@ -82,7 +82,7 @@ class TestCompileBatch:
         ]
         sequential = FPSAClient().compile_batch(requests, jobs=1)
         parallel = FPSAClient().compile_batch(requests, jobs=2)
-        for a, b in zip(sequential, parallel):
+        for a, b in zip(sequential, parallel, strict=True):
             assert a.request == b.request
             assert a.summary.performance == b.summary.performance
             assert a.summary.blocks == b.summary.blocks

@@ -11,6 +11,7 @@ from repro.errors import (
     PnRError,
     SynthesisError,
     UnknownModelError,
+    VerificationError,
     error_from_payload,
 )
 
@@ -22,6 +23,7 @@ ALL_ERRORS = [
     MappingError,
     PnRError,
     CapacityError,
+    VerificationError,
 ]
 
 
@@ -46,6 +48,25 @@ class TestHierarchy:
         assert issubclass(MappingError, ValueError)
         assert issubclass(PnRError, RuntimeError)
         assert issubclass(CapacityError, ValueError)
+
+    def test_verification_error_carries_stage_invariant_ids(self):
+        error = VerificationError(
+            "pnr: rr-capacity: wire used twice",
+            stage="pnr",
+            invariant="rr-capacity",
+            ids=("net_a", "net_b"),
+        )
+        assert error.stage == "pnr"
+        assert error.invariant == "rr-capacity"
+        assert error.ids == ("net_a", "net_b")
+        assert error.details["stage"] == "pnr"
+        assert error.details["invariant"] == "rr-capacity"
+        assert error.details["ids"] == ["net_a", "net_b"]
+        # the payload round-trip keeps stage/invariant/ids machine-readable
+        rebuilt = error_from_payload(error.payload())
+        assert type(rebuilt) is VerificationError
+        assert rebuilt.stage == "pnr"
+        assert rebuilt.ids == ("net_a", "net_b")
 
     def test_str_is_the_plain_message(self):
         # KeyError would repr() the message; the hierarchy must not

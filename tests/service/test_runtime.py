@@ -183,7 +183,7 @@ class TestServingRuntime:
             second = runtime.serve_batch(["MLP-500-100", "LeNet"])
             assert runtime.stats()["worker_pids"] == pids
         assert all(r.ok for r in first + second)
-        for a, b in zip(first, second):
+        for a, b in zip(first, second, strict=True):
             assert a.summary.to_dict() == b.summary.to_dict()
 
     def test_owned_cache_dir_removed_on_close(self):

@@ -72,8 +72,8 @@ class TestSynthesizer:
 
     def test_unknown_operation_rejected(self):
         from repro.graph.graph import ComputationalGraph
-        from repro.graph.ops import Operation, InputOp
-        from repro.graph.tensor import TensorSpec
+        from repro.graph.ops import InputOp, Operation
+        from repro.synthesizer.lowering import LoweringError
 
         class Exotic(Operation):
             def infer_shape(self, inputs):
@@ -82,7 +82,7 @@ class TestSynthesizer:
         graph = ComputationalGraph("exotic")
         graph.add("input", InputOp((4,)))
         graph.add("weird", Exotic(), ["input"])
-        with pytest.raises(Exception):
+        with pytest.raises(LoweringError):
             synthesize(graph)
 
     def test_synthesizer_is_deterministic(self, lenet_graph):

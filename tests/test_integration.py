@@ -50,7 +50,12 @@ class TestPaperHeadlines:
         areas = [5000.0, 10000.0]
         prime = sweep_area(vgg16_coreops, ops, PrimeArchitecture(), areas)
         fpsa = sweep_area(vgg16_coreops, ops, FPSAArchitecture(), areas)
-        best = max(f.real_ops / p.real_ops for f, p in zip(fpsa, prime) if p.real_ops > 0)
+        ratios = [
+            f.real_ops / p.real_ops
+            for f, p in zip(fpsa, prime, strict=True)
+            if p.real_ops > 0
+        ]
+        best = max(ratios)
         assert 300 < best < 3000
 
     def test_computational_density_headline(self, config):
