@@ -20,6 +20,8 @@ Usage (after ``pip install -e .``)::
     python -m repro experiments fig6 table3
     python -m repro deploy LeNet --verify
     python -m repro lint src/repro --json
+    python -m repro fuzz --models 50 --seed 0
+    python -m repro fuzz --models 25 --shrink --json fuzz_report.json
 
 Every compile-facing subcommand accepts ``--json`` to emit the wire-level
 :class:`~repro.service.schemas.CompileResponse` payloads instead of the
@@ -126,7 +128,10 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     deploy = subparsers.add_parser("deploy", help="compile a model onto FPSA")
-    deploy.add_argument("model", choices=sorted(MODEL_BUILDERS), help="model zoo entry")
+    # no argparse choices= here: an unknown model must flow through the
+    # service layer and come back as a typed unknown_model ErrorPayload
+    # (same shape scripted callers see), not an argparse usage error
+    deploy.add_argument("model", help="model zoo entry (see 'repro models')")
     deploy.add_argument(
         "--duplication", type=_positive_int, default=1, help="duplication degree"
     )
@@ -177,7 +182,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep = subparsers.add_parser(
         "sweep", help="batch-deploy one model across several duplication degrees"
     )
-    sweep.add_argument("model", choices=sorted(MODEL_BUILDERS), help="model zoo entry")
+    sweep.add_argument("model", help="model zoo entry (see 'repro models')")
     sweep.add_argument(
         "--duplication", type=_positive_int, nargs="+", default=[1, 4, 16, 64],
         metavar="D", help="duplication degrees to sweep",
@@ -308,13 +313,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule ids to run (default: all rules)",
     )
     _add_json_flag(lint)
+
+    fuzz = subparsers.add_parser(
+        "fuzz",
+        help="differential fuzzing: random models compiled across the "
+        "configuration lattice, diffed for bit-identity",
+    )
+    fuzz.add_argument(
+        "--models", type=_positive_int, default=50, metavar="N",
+        help="number of random models to generate and check (default: 50)",
+    )
+    fuzz.add_argument(
+        "--seed", type=int, default=None, metavar="S",
+        help="campaign seed (default: from the HYPOTHESIS_PROFILE — the "
+        "derandomized 'ci' profile pins 0 so runs replay from the log line)",
+    )
+    fuzz.add_argument(
+        "--size-class", choices=("small", "near", "over"), default=None,
+        help="generate only this capacity class (default: mixed — mostly "
+        "small, with near- and over-capacity models interleaved)",
+    )
+    fuzz.add_argument(
+        "--shrink", action="store_true",
+        help="delta-debug every failing spec to a minimal reproducer",
+    )
+    fuzz.add_argument(
+        "--pnr-jobs", type=_positive_int, default=4, metavar="N",
+        help="parallel P&R worker count the jobs-invariance lattice point "
+        "compares against jobs=1 (default: 4)",
+    )
+    fuzz.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="write the campaign report as JSON to FILE ('-' for stdout)",
+    )
     return parser
+
+
+def _open_store(directory: str) -> ArtifactStore:
+    """An :class:`ArtifactStore`, with unusable directories surfaced as a
+    typed error (exit code 2 + ErrorPayload) instead of a raw OSError."""
+    try:
+        return ArtifactStore(directory)
+    except OSError as exc:
+        raise InvalidRequestError(
+            f"cannot open artifact store at {directory!r}: {exc}"
+        ) from exc
 
 
 def _client(args: argparse.Namespace) -> FPSAClient:
     import os
 
-    store = ArtifactStore(args.store) if getattr(args, "store", None) else None
+    store = _open_store(args.store) if getattr(args, "store", None) else None
     cache: StageCache | bool | None
     if getattr(args, "no_cache", False):
         cache = False
@@ -508,7 +557,7 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
         raise InvalidRequestError(
             "serve-batch needs a requests FILE or --model/--duplication"
         )
-    store = ArtifactStore(args.store) if args.store else None
+    store = _open_store(args.store) if args.store else None
     with JobManager(max_workers=args.jobs, store=store) as manager:
         job_ids = manager.submit_batch(requests)
         responses = [manager.result(job_id) for job_id in job_ids]
@@ -563,7 +612,7 @@ def _command_jobs(args: argparse.Namespace) -> int:
 
 
 def _command_runs(args: argparse.Namespace) -> int:
-    store = ArtifactStore(args.store)
+    store = _open_store(args.store)
     if args.show is not None:
         response = store.load(args.show)
         if args.json:
@@ -699,6 +748,39 @@ def _command_lint(args: argparse.Namespace) -> int:
     return 1 if findings else 0
 
 
+def _command_fuzz(args: argparse.Namespace) -> int:
+    from .fuzz import run_campaign
+
+    if args.json is not None and args.json != "-":
+        # fail before the campaign, not after it: an unwritable report path
+        # must not cost a full fuzzing run
+        try:
+            with open(args.json, "a", encoding="utf-8"):
+                pass
+        except OSError as exc:
+            raise InvalidRequestError(
+                f"cannot write fuzz report to {args.json!r}: {exc}"
+            ) from exc
+    progress = sys.stderr if args.json == "-" else sys.stdout
+    report = run_campaign(
+        models=args.models,
+        seed=args.seed,
+        size_class=args.size_class,
+        shrink_failures=args.shrink,
+        pnr_jobs=args.pnr_jobs,
+        log=lambda msg: print(msg, file=progress),
+    )
+    if args.json is not None:
+        payload = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+            print(f"report written to {args.json}", file=progress)
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -714,11 +796,19 @@ def main(argv: list[str] | None = None) -> int:
         "bench": _run_bench_args,
         "experiments": _command_experiments,
         "lint": _command_lint,
+        "fuzz": _command_fuzz,
     }
     try:
         return handlers[args.command](args)
     except (PassError, FPSAError) as error:
-        print(f"{parser.prog}: error: {error}", file=sys.stderr)
+        # same identity the wire carries: ErrorPayload code + message
+        from .service.schemas import ErrorPayload
+
+        payload = ErrorPayload.from_exception(error)
+        print(
+            f"{parser.prog}: error [{payload.code}]: {payload.message}",
+            file=sys.stderr,
+        )
         return 2
 
 

@@ -20,9 +20,22 @@ class TestParser:
         assert args.duplication == 8
         assert args.detailed is True
 
-    def test_unknown_model_rejected(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["deploy", "NotAModel"])
+    def test_unknown_model_parses(self):
+        # unknown models are not an argparse error: they flow through the
+        # service layer and come back as a typed unknown_model ErrorPayload
+        args = build_parser().parse_args(["deploy", "NotAModel"])
+        assert args.model == "NotAModel"
+
+    def test_fuzz_arguments(self):
+        args = build_parser().parse_args(
+            ["fuzz", "--models", "5", "--seed", "7", "--size-class", "near",
+             "--shrink", "--json", "report.json"]
+        )
+        assert args.models == 5
+        assert args.seed == 7
+        assert args.size_class == "near"
+        assert args.shrink is True
+        assert args.json == "report.json"
 
     def test_pipeline_flags(self):
         args = build_parser().parse_args(

@@ -1,0 +1,90 @@
+"""End-to-end CLI error paths: every failure mode must exit nonzero and
+surface a typed ErrorPayload (code + message), never a bare traceback or
+an argparse usage error."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestUnknownModel:
+    def test_deploy_unknown_model(self, capsys):
+        assert main(["deploy", "NotAModel"]) == 1
+        err = capsys.readouterr().err
+        assert "[unknown_model]" in err
+        assert "NotAModel" in err
+
+    def test_deploy_unknown_model_json_payload(self, capsys):
+        assert main(["deploy", "NotAModel", "--json"]) == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["status"] == "error"
+        assert data["error"]["code"] == "unknown_model"
+
+    def test_sweep_unknown_model(self, capsys):
+        assert main(["sweep", "NotAModel", "--duplication", "1", "--json"]) == 1
+        responses = json.loads(capsys.readouterr().out)
+        assert all(r["error"]["code"] == "unknown_model" for r in responses)
+
+
+class TestOverCapacity:
+    def test_deploy_over_capacity_on_one_chip(self, capsys):
+        assert main(["deploy", "VGG16", "--chips", "1", "--json"]) == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["status"] == "error"
+        assert data["error"]["code"] == "capacity_error"
+
+    def test_deploy_over_capacity_human_output(self, capsys):
+        assert main(["deploy", "VGG16", "--chips", "1"]) == 1
+        assert "[capacity_error]" in capsys.readouterr().err
+
+
+class TestBadDirectories:
+    def test_deploy_bad_store_dir(self, capsys, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("not a directory")
+        code = main(["deploy", "LeNet", "--store", str(blocker / "sub")])
+        assert code == 2
+        assert "[invalid_request]" in capsys.readouterr().err
+
+    def test_runs_bad_store_dir(self, capsys, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("not a directory")
+        assert main(["runs", "--store", str(blocker / "sub")]) == 2
+        assert "[invalid_request]" in capsys.readouterr().err
+
+    def test_fuzz_bad_json_path_fails_before_the_campaign(self, capsys, tmp_path):
+        target = tmp_path / "missing" / "report.json"
+        code = main(["fuzz", "--models", "1", "--json", str(target)])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "[invalid_request]" in captured.err
+        # the campaign never started: failing late would waste the full run
+        assert "fuzz campaign" not in captured.out
+
+
+class TestFuzzCommand:
+    def test_fuzz_smoke_writes_a_report(self, capsys, tmp_path):
+        report_path = tmp_path / "report.json"
+        code = main([
+            "fuzz", "--models", "2", "--seed", "0", "--json", str(report_path),
+        ])
+        assert code == 0
+        report = json.loads(report_path.read_text(encoding="utf-8"))
+        assert report["ok"] is True
+        assert report["seed"] == 0
+        assert len(report["specs"]) == 2
+
+    def test_fuzz_report_to_stdout(self, capsys):
+        assert main(["fuzz", "--models", "1", "--seed", "3", "--json", "-"]) == 0
+        captured = capsys.readouterr()
+        report = json.loads(captured.out)
+        assert report["ok"] is True
+        # progress went to stderr, keeping stdout parseable
+        assert "fuzz campaign" in captured.err
+
+    def test_fuzz_seed_defaults_from_profile(self, capsys, monkeypatch):
+        monkeypatch.setenv("HYPOTHESIS_PROFILE", "ci")
+        assert main(["fuzz", "--models", "1", "--json", "-"]) == 0
+        assert json.loads(capsys.readouterr().out)["seed"] == 0

@@ -1,0 +1,51 @@
+"""Regression corpus: fuzz-found model shapes replayed as permanent
+tier-1 differential checks.
+
+Every ``corpus/*.json`` file is one serialized :class:`ModelSpec`.  To
+add a regression, drop the shrunk reproducer from a fuzz report here —
+the parametrization picks it up by filename.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.verify import verify_graph
+from repro.fuzz import ModelSpec, build_graph, check_spec, estimate_pes
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+CORPUS_FILES = sorted(CORPUS_DIR.glob("*.json"))
+
+
+def _load(path: Path) -> ModelSpec:
+    return ModelSpec.from_dict(json.loads(path.read_text(encoding="utf-8")))
+
+
+class TestCorpus:
+    def test_corpus_is_populated(self):
+        names = [path.stem for path in CORPUS_FILES]
+        assert len(names) >= 3
+        # the corpus must keep covering the interesting regions
+        assert any("near" in name for name in names)
+        assert any("branchy" in name for name in names)
+
+    @pytest.mark.parametrize(
+        "path", CORPUS_FILES, ids=[path.stem for path in CORPUS_FILES]
+    )
+    def test_spec_builds_a_verified_graph(self, path):
+        graph = build_graph(_load(path))
+        verify_graph(graph)
+
+    @pytest.mark.parametrize(
+        "path", CORPUS_FILES, ids=[path.stem for path in CORPUS_FILES]
+    )
+    def test_spec_passes_the_differential_lattice(self, path):
+        spec = _load(path)
+        check = check_spec(spec)
+        assert check.ok, [f.detail for f in check.findings]
+
+    def test_capacity_classes_are_represented(self):
+        estimates = {path.stem: estimate_pes(_load(path)) for path in CORPUS_FILES}
+        assert any(e > 2048 for e in estimates.values()), estimates
+        assert any(e <= 2048 for e in estimates.values()), estimates

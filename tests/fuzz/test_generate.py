@@ -1,0 +1,96 @@
+"""Property tests of the random-model generator."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.verify import verify_graph
+from repro.errors import InvalidRequestError
+from repro.fuzz import (
+    LAYER_KINDS,
+    SIZE_CLASSES,
+    LayerSpec,
+    ModelSpec,
+    build_graph,
+    estimate_pes,
+    generate_spec,
+    generate_specs,
+)
+from repro.fuzz.generate import size_class_for_index
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+indices = st.integers(min_value=0, max_value=60)
+
+
+class TestGeneratedSpecs:
+    @given(seed=seeds, index=indices)
+    @settings(max_examples=40)
+    def test_every_spec_builds_a_verified_graph(self, seed, index):
+        spec = generate_spec(seed, index)
+        graph = build_graph(spec)
+        verify_graph(graph)  # raises VerificationError on any violation
+
+    @given(seed=seeds, index=indices)
+    @settings(max_examples=40)
+    def test_spec_round_trips_through_json(self, seed, index):
+        spec = generate_spec(seed, index)
+        clone = ModelSpec.from_json(spec.to_json())
+        assert clone == spec
+        assert clone.spec_id() == spec.spec_id()
+        # the dict form is plain JSON data
+        assert json.loads(json.dumps(spec.to_dict())) == spec.to_dict()
+
+    @given(seed=seeds, index=indices)
+    @settings(max_examples=20)
+    def test_generation_is_deterministic(self, seed, index):
+        assert generate_spec(seed, index) == generate_spec(seed, index)
+
+    @given(seed=seeds, index=indices)
+    @settings(max_examples=20)
+    def test_size_class_schedule(self, seed, index):
+        spec = generate_spec(seed, index)
+        assert spec.size_class == size_class_for_index(index)
+        assert spec.size_class in SIZE_CLASSES
+        assert all(layer.kind in LAYER_KINDS for layer in spec.layers)
+
+    @given(seed=seeds)
+    @settings(max_examples=10)
+    def test_capacity_classes_bracket_the_chip(self, seed):
+        near = generate_spec(seed, 0, size_class="near")
+        over = generate_spec(seed, 0, size_class="over")
+        assert estimate_pes(near) <= 2048 < estimate_pes(over)
+
+    def test_generate_specs_batch(self):
+        specs = generate_specs(12, seed=3)
+        assert len(specs) == 12
+        assert len({spec.spec_id() for spec in specs}) > 1
+        assert any(spec.size_class == "near" for spec in specs)
+        assert any(spec.size_class == "over" for spec in specs)
+
+
+class TestSpecValidation:
+    def test_unknown_layer_kind_rejected(self):
+        with pytest.raises(InvalidRequestError):
+            LayerSpec("transformer", width=8)
+
+    def test_empty_layer_list_rejected(self):
+        with pytest.raises(InvalidRequestError):
+            ModelSpec(name="x", input_shape=(8,), layers=())
+
+    def test_bad_input_shape_rejected(self):
+        with pytest.raises(InvalidRequestError):
+            ModelSpec(
+                name="x", input_shape=(3, 8), layers=(LayerSpec("dense", width=4),)
+            )
+        with pytest.raises(InvalidRequestError):
+            ModelSpec(
+                name="x", input_shape=(0,), layers=(LayerSpec("dense", width=4),)
+            )
+
+    def test_unknown_field_rejected_on_load(self):
+        data = generate_spec(0, 0).to_dict()
+        data["surprise"] = 1
+        with pytest.raises(InvalidRequestError):
+            ModelSpec.from_dict(data)

@@ -1,0 +1,71 @@
+"""Property tests of the delta-debugging shrinker (against synthetic
+oracles — the real differential oracle is exercised in test_campaign)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fuzz import generate_spec, shrink, spec_size
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+indices = st.integers(min_value=0, max_value=40)
+
+
+def _kind_oracle(kind):
+    """Synthetic bug: the failure reproduces while ``kind`` is present."""
+
+    def fails(spec):
+        return any(layer.kind == kind for layer in spec.layers)
+
+    return fails
+
+
+class TestShrink:
+    @given(seed=seeds, index=indices)
+    @settings(max_examples=25)
+    def test_output_still_fails_and_is_no_larger(self, seed, index):
+        spec = generate_spec(seed, index, size_class="small")
+        kind = spec.layers[0].kind
+        fails = _kind_oracle(kind)
+        assert fails(spec)
+        result = shrink(spec, fails)
+        assert fails(result.spec)
+        assert spec_size(result.spec) <= spec_size(spec)
+        assert len(result.spec.layers) <= len(spec.layers)
+        assert result.original == spec
+
+    @given(seed=seeds, index=indices)
+    @settings(max_examples=15)
+    def test_converges_to_the_triggering_layer(self, seed, index):
+        spec = generate_spec(seed, index, size_class="small")
+        kind = spec.layers[0].kind
+        result = shrink(spec, _kind_oracle(kind))
+        # 1-minimal for a single-layer trigger: nothing but the trigger
+        # (and, for the branch kinds, whatever the builder needs) remains
+        assert sum(layer.kind == kind for layer in result.spec.layers) == 1
+        assert len(result.spec.layers) <= 2
+
+    def test_zero_budget_returns_the_input(self):
+        spec = generate_spec(0, 0, size_class="small")
+        result = shrink(spec, _kind_oracle(spec.layers[0].kind), max_evaluations=0)
+        assert result.spec == spec
+        assert result.evaluations == 0
+        assert result.steps == []
+
+    def test_predicate_errors_reject_the_candidate(self):
+        spec = generate_spec(0, 0, size_class="small")
+
+        def explodes(candidate):
+            raise RuntimeError("flaky predicate")
+
+        result = shrink(spec, explodes)
+        assert result.spec == spec  # never lost the reproducer
+        assert result.evaluations > 0
+
+    def test_steps_replay_monotonically(self):
+        spec = generate_spec(7, 3, size_class="small")
+        result = shrink(spec, _kind_oracle(spec.layers[0].kind))
+        assert len(result.steps) > 0
+        data = result.to_dict()
+        assert data["spec_id"] == result.spec.spec_id()
+        assert data["original_id"] == spec.spec_id()
+        assert data["evaluations"] == result.evaluations
