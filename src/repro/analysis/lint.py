@@ -20,8 +20,8 @@ DET002  **unsorted-set-iteration** — iterating a ``set``/``frozenset`` in
 DET003  **impure-fingerprint** — wall-clock (``time.*``, ``datetime.now``),
         entropy (``os.urandom``, ``uuid.uuid1/uuid4``) or address-space
         (``id()``) dependence inside a function whose name marks it as a
-        content address (``*fingerprint*``, ``*cache_key*``, ``*run_id*``).
-        Content addresses must depend on content alone.
+        content address (``*fingerprint*``, ``*cache_key*``, ``*run_id*``,
+        ``*digest*``).  Content addresses must depend on content alone.
 CONC001 **shared-mutation-in-worker** — a function dispatched to an
         executor (``pool.submit(fn, ...)`` / ``executor.map(fn, ...)``)
         that writes ``global``/``nonlocal`` state or mutates a free
@@ -92,7 +92,7 @@ _BUILTIN_RAISES = frozenset({
 })
 
 #: function-name markers of content-address computations (DET003 scope).
-_FINGERPRINT_MARKERS = ("fingerprint", "cache_key", "run_id")
+_FINGERPRINT_MARKERS = ("fingerprint", "cache_key", "run_id", "digest")
 
 #: path fragments naming the order-sensitive stages (DET002 scope).
 _ORDER_SENSITIVE_DIRS = ("pnr", "partition", "mapper")

@@ -150,6 +150,10 @@ class CacheStats:
     either tier is a hit); ``shared_hits``/``shared_misses`` count the
     shared-tier lookups that happen on in-memory misses, and ``evictions``
     counts entries dropped from the in-memory LRU by :meth:`StageCache.put`.
+    ``dedup_hits``/``dedup_misses`` count subgraph-dedup-store lookups
+    (:mod:`repro.core.dedup`) folded in by the compiler — a separate
+    population from the stage-cache lookups above (per lowered node /
+    weight group, not per pass).
     """
 
     hits: int = 0
@@ -157,6 +161,8 @@ class CacheStats:
     evictions: int = 0
     shared_hits: int = 0
     shared_misses: int = 0
+    dedup_hits: int = 0
+    dedup_misses: int = 0
 
     @property
     def lookups(self) -> int:
@@ -176,6 +182,16 @@ class CacheStats:
             return 0.0
         return self.shared_hits / self.shared_lookups
 
+    @property
+    def dedup_lookups(self) -> int:
+        return self.dedup_hits + self.dedup_misses
+
+    @property
+    def dedup_hit_rate(self) -> float:
+        if not self.dedup_lookups:
+            return 0.0
+        return self.dedup_hits / self.dedup_lookups
+
     def snapshot(self) -> "CacheStats":
         """A point-in-time copy (for before/after deltas around a compile)."""
         return dataclasses.replace(self)
@@ -188,6 +204,8 @@ class CacheStats:
             evictions=self.evictions - before.evictions,
             shared_hits=self.shared_hits - before.shared_hits,
             shared_misses=self.shared_misses - before.shared_misses,
+            dedup_hits=self.dedup_hits - before.dedup_hits,
+            dedup_misses=self.dedup_misses - before.dedup_misses,
         )
 
     def merge(self, other: "CacheStats | None") -> "CacheStats":
@@ -198,6 +216,9 @@ class CacheStats:
             self.evictions += other.evictions
             self.shared_hits += other.shared_hits
             self.shared_misses += other.shared_misses
+            # rehydrated payloads predating the dedup counters lack them
+            self.dedup_hits += getattr(other, "dedup_hits", 0)
+            self.dedup_misses += getattr(other, "dedup_misses", 0)
         return self
 
     def record_lookup(self, tier: str) -> None:

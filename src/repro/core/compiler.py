@@ -30,6 +30,8 @@ from .cache import CacheStats, StageCache, default_cache
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from .api import WorkerPool
+    from .dedup import SubgraphStore
+from .dedup import fold_dedup_stats
 from .pipeline import (
     CompileContext,
     CompileOptions,
@@ -60,6 +62,11 @@ class FPSACompiler:
         A persistent :class:`~repro.core.api.WorkerPool` the partitioned
         flow reuses for parallel shard compiles (``shard_jobs > 1``)
         instead of spawning a fresh process pool per compile.
+    dedup_store:
+        A private :class:`~repro.core.dedup.SubgraphStore` for
+        ``compile(..., dedup=True)`` compiles; ``None`` (the default)
+        shares the process-wide store (whose disk tier is named by
+        ``REPRO_DEDUP_STORE``).
     """
 
     def __init__(
@@ -68,6 +75,7 @@ class FPSACompiler:
         synthesis_options: SynthesisOptions | None = None,
         cache: StageCache | bool | None = None,
         pool: "WorkerPool | None" = None,
+        dedup_store: "SubgraphStore | None" = None,
     ):
         self.config = config if config is not None else FPSAConfig()
         self.synthesis_options = (
@@ -76,6 +84,7 @@ class FPSACompiler:
             else SynthesisOptions.from_pe(self.config.pe)
         )
         self.pool = pool
+        self.dedup_store = dedup_store
         if cache is None or cache is True:
             self.cache: StageCache | None = default_cache()
         elif cache is False:
@@ -101,6 +110,7 @@ class FPSACompiler:
         passes: Sequence[str] | None = None,
         use_cache: bool = True,
         verify: bool = False,
+        dedup: bool = False,
     ) -> DeploymentResult:
         """Compile a model and evaluate the resulting deployment.
 
@@ -172,6 +182,16 @@ class FPSACompiler:
             invariant and the offending ids.  Per-verifier wall-clock
             appears as ``verify:<artifact>`` rows in the timings.
             ``REPRO_VERIFY=1`` turns verification on globally.
+        dedup:
+            Consult the subgraph-level dedup store
+            (:mod:`repro.core.dedup`) during synthesis and mapping:
+            repeated structures — within one model or across models
+            sharing the store — are compiled once and the stored
+            fragments spliced back in.  Bit-identical to ``dedup=False``
+            by contract, so (like ``pnr_jobs``) it is a pure execution
+            knob that enters neither cache keys nor request
+            fingerprints.  Hit/miss counters land on the result's
+            ``cache_stats`` (``dedup_hits`` / ``dedup_misses``).
 
         Notes
         -----
@@ -197,6 +217,7 @@ class FPSACompiler:
             num_chips=num_chips,
             shard_jobs=shard_jobs,
             verify=verify,
+            dedup=dedup,
         )
         if options.partitioned:
             if passes is not None:
@@ -214,8 +235,10 @@ class FPSACompiler:
             config=self.config,
             options=options,
             synthesis_options=self.synthesis_options,
+            dedup_store=self.dedup_store,
         )
         timings = manager.run(ctx, cache=self.cache if use_cache else None)
+        fold_dedup_stats(ctx)
         return DeploymentResult(
             graph=graph,
             coreops=ctx.coreops,
@@ -259,6 +282,7 @@ class FPSACompiler:
             config=self.config,
             options=options,
             synthesis_options=self.synthesis_options,
+            dedup_store=self.dedup_store,
         )
         timings = PassManager(resolve_passes(front)).run(ctx, cache=cache)
         plan = ctx.partition
@@ -276,6 +300,7 @@ class FPSACompiler:
             timings += PassManager(
                 resolve_passes(backend), preloaded=("coreops",)
             ).run(ctx, cache=cache)
+            fold_dedup_stats(ctx)
             return DeploymentResult(
                 graph=graph,
                 coreops=ctx.coreops,
@@ -304,6 +329,7 @@ class FPSACompiler:
             cache=cache,
             pool=self.pool,
         )
+        fold_dedup_stats(ctx)
         cache_stats = ctx.cache_stats
         for result in shard_results:
             for t in result.timings or ():

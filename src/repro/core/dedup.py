@@ -1,0 +1,391 @@
+"""Subgraph-level content-addressed dedup cache.
+
+The stage cache (:mod:`repro.core.cache`) is keyed on whole-model
+fingerprints, so two models that merely *share* structure — VGG11 vs VGG16,
+ResNet stacks, the fuzz generator's repeated layer runs — share zero
+compilation work.  This module adds the tier below it:
+
+* a **canonical subgraph hasher** over the core-op graph: per-group
+  structural digests computed bottom-up from the group's local shape
+  (kind/rows/cols/reuse/density/macs — never its name or source) and the
+  digests of its in-edges, so isomorphic subgraphs collide by construction
+  and the digest is independent of group naming and insertion order;
+* a thread-safe, content-addressed :class:`SubgraphStore` (in-memory LRU
+  tier plus an optional disk tier reusing
+  :class:`~repro.core.shared_cache.SharedStageCache`'s atomic-write /
+  LRU-eviction / corrupt-degrades-to-miss machinery) memoizing per-subgraph
+  synthesis fragments and per-group mapping/allocation fragments.
+
+The synthesis and mapping passes splice stored fragments back in on a hit
+(:mod:`repro.synthesizer.dedup`, :mod:`repro.mapper.replay`), remapping ids
+into the current model's namespace and re-verifying with the IR verifiers
+before install.  **Bit-identity with dedup-off is a hard contract**: for
+the same seed, a compile with the store enabled (cold or warm) produces
+artifacts identical to a compile without it; an entry that fails validation
+is dropped and the lookup degrades to a miss.
+
+``REPRO_DEDUP_STORE`` names a directory for the process-wide default
+store's disk tier (empty/unset = in-memory only), mirroring
+``REPRO_SHARED_CACHE`` for the stage cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..errors import InvalidRequestError
+from .shared_cache import SharedStageCache
+
+__all__ = [
+    "DEDUP_STORE_ENV",
+    "DedupStats",
+    "SubgraphStore",
+    "group_digest",
+    "subgraph_digests",
+    "graph_digest",
+    "default_dedup_store",
+    "clear_default_dedup_store",
+    "resolve_dedup_store",
+    "dedup_context_stats",
+    "fold_dedup_stats",
+]
+
+#: environment variable naming the default store's disk directory.
+DEDUP_STORE_ENV = "REPRO_DEDUP_STORE"
+
+def _sha(parts: tuple) -> str:
+    """SHA-256 of a canonical tuple ``repr`` (ints, floats, strs, tuples)."""
+    return hashlib.sha256(repr(parts).encode("utf-8")).hexdigest()
+
+
+# --------------------------------------------------------------------------
+# canonical subgraph hashing
+# --------------------------------------------------------------------------
+
+
+def group_digest(group: Any) -> str:
+    """Structural digest of one weight group's local shape.
+
+    Deliberately excludes ``name`` and ``source``: two groups lowered from
+    differently-named layers of different models collide exactly when their
+    compiled representation is interchangeable.
+    """
+    return _sha(
+        (
+            "group",
+            group.kind,
+            group.rows,
+            group.cols,
+            group.reuse,
+            group.density,
+            group.macs_per_instance,
+        )
+    )
+
+
+def subgraph_digests(coreops: Any) -> dict[str, str]:
+    """Per-group *cone* digests of a core-op graph, bottom-up.
+
+    A group's digest covers its own local shape plus the sorted multiset of
+    ``(in-edge source digest, values_per_instance)`` tokens, recursively —
+    so it identifies the whole dataflow cone feeding the group.  Boundary
+    edges contribute their pseudo endpoint (a fixed constant) instead of a
+    cone digest.  The result is invariant under group renaming and under
+    permutation of the insertion order of groups and edges.
+
+    ``coreops`` is duck-typed (``groups()`` / ``edges()``), so any
+    group-graph shaped object hashes; a cyclic graph (rejected by the IR
+    verifiers) falls back to local-only digests for the cyclic remainder.
+    """
+    groups = {g.name: g for g in coreops.groups()}
+    incoming: dict[str, list[Any]] = {name: [] for name in groups}
+    dependents: dict[str, list[str]] = {name: [] for name in groups}
+    in_degree = {name: 0 for name in groups}
+    for edge in coreops.edges():
+        if edge.dst in groups:
+            incoming[edge.dst].append(edge)
+            if edge.src in groups:
+                in_degree[edge.dst] += 1
+                dependents[edge.src].append(edge.dst)
+    ready = sorted(name for name, degree in in_degree.items() if degree == 0)
+    digests: dict[str, str] = {}
+    while ready:
+        name = ready.pop()
+        tokens = sorted(
+            (
+                digests[e.src] if e.src in digests else "io:" + e.src,
+                e.values_per_instance,
+            )
+            for e in incoming[name]
+        )
+        digests[name] = _sha(
+            ("cone", group_digest(groups[name]), tuple(tokens))
+        )
+        for succ in dependents[name]:
+            in_degree[succ] -= 1
+            if in_degree[succ] == 0:
+                ready.append(succ)
+    for name, group in groups.items():
+        if name not in digests:  # cyclic remainder: deterministic fallback
+            digests[name] = _sha(("cyclic", group_digest(group)))
+    return digests
+
+
+def graph_digest(coreops: Any) -> str:
+    """Whole-graph digest: the sorted multiset of cone digests plus the
+    sorted multiset of boundary-output tokens.  Two graphs collide exactly
+    when they are isomorphic as labelled dataflow graphs (modulo names)."""
+    digests = subgraph_digests(coreops)
+    outputs = sorted(
+        (digests.get(e.src, "io:" + e.src), e.values_per_instance)
+        for e in coreops.edges()
+        if e.dst not in digests
+    )
+    return _sha(("graph", tuple(sorted(digests.values())), tuple(outputs)))
+
+
+# --------------------------------------------------------------------------
+# stats
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class DedupStats:
+    """Hit/miss/write/error counters of subgraph-dedup lookups.
+
+    ``errors`` counts entries that failed validation or replay and were
+    dropped (each such lookup also counts as a miss: the compile proceeds
+    exactly as if the entry had never existed).
+    """
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    errors: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def merge(self, other: "DedupStats | None") -> "DedupStats":
+        """Accumulate another counter set into this one (returns self)."""
+        if other is not None:
+            self.hits += other.hits
+            self.misses += other.misses
+            self.puts += other.puts
+            self.errors += other.errors
+        return self
+
+
+# --------------------------------------------------------------------------
+# the store
+# --------------------------------------------------------------------------
+
+
+class SubgraphStore:
+    """A bounded, thread-safe, content-addressed store of compile fragments.
+
+    Keys are content-addressed strings built from subgraph digests, the
+    config fingerprint and the relevant options; values are small picklable
+    fragment payloads (see the splice modules).  Entries are immutable once
+    published.
+
+    The in-memory tier is an LRU dict; the optional ``shared`` disk tier is
+    a :class:`~repro.core.shared_cache.SharedStageCache` holding
+    ``{"fragment": value}`` payloads, constructed with ``verify=False``
+    because fragments are not pipeline artifacts — validation is the
+    *caller's* job, via the ``validate`` callback of :meth:`get`, and a
+    failed validation degrades to a miss instead of raising.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 4096,
+        shared: SharedStageCache | None = None,
+    ):
+        if max_entries <= 0:
+            raise InvalidRequestError("max_entries must be positive")
+        self.max_entries = max_entries
+        self.shared = shared
+        self.stats = DedupStats()
+        self._entries: OrderedDict[str, Any] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            if key in self._entries:
+                return True
+        return self.shared is not None and key in self.shared
+
+    def get(
+        self, key: str, validate: Callable[[Any], bool] | None = None
+    ) -> Any | None:
+        """Look up a fragment; ``None`` on a miss.
+
+        ``validate`` vets the fragment's shape before it is returned
+        (memory *and* disk hits — the poisoned-entry contract must hold
+        for both tiers).  An invalid entry is dropped from both tiers,
+        counted in ``stats.errors``, and the lookup returns ``None``:
+        a poisoned store entry can slow a compile down, never break it.
+        """
+        value, found = None, False
+        with self._lock:
+            if key in self._entries:
+                value = self._entries[key]
+                self._entries.move_to_end(key)
+                found = True
+        if not found and self.shared is not None:
+            payload = self.shared.get(key)
+            if isinstance(payload, dict) and "fragment" in payload:
+                value = payload["fragment"]
+                found = True
+        if not found:
+            with self._lock:
+                self.stats.misses += 1
+            return None
+        if validate is not None:
+            try:
+                valid = bool(validate(value))
+            except Exception:  # noqa: BLE001 - a validator crash = invalid
+                valid = False
+            if not valid:
+                self.drop(key)
+                with self._lock:
+                    self.stats.errors += 1
+                    self.stats.misses += 1
+                return None
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+            self.stats.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Publish a fragment (write-through to the disk tier)."""
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+            self.stats.puts += 1
+        if self.shared is not None:
+            self.shared.put(key, {"fragment": value})
+
+    def drop(self, key: str) -> None:
+        """Remove one entry from both tiers (missing entries are fine)."""
+        with self._lock:
+            self._entries.pop(key, None)
+        if self.shared is not None:
+            self.shared.discard(key)
+
+    def clear(self) -> None:
+        """Drop every in-memory entry and reset the stats; the disk tier
+        is left alone (peers may be serving from it)."""
+        with self._lock:
+            self._entries.clear()
+            self.stats = DedupStats()
+
+
+# --------------------------------------------------------------------------
+# the process-wide default store
+# --------------------------------------------------------------------------
+
+_DEFAULT_STORE: SubgraphStore | None = None
+_DEFAULT_STORE_LOCK = threading.Lock()
+
+
+def _make_default_store() -> SubgraphStore:
+    # honour REPRO_DEDUP_STORE in every process that uses the library:
+    # worker processes inherit the environment, so a serving runtime's
+    # workers all share one disk tier with zero plumbing
+    directory = os.environ.get(DEDUP_STORE_ENV, "").strip()
+    shared = SharedStageCache(directory, verify=False) if directory else None
+    return SubgraphStore(shared=shared)
+
+
+def default_dedup_store() -> SubgraphStore:
+    """The process-wide subgraph store shared by all compiles by default.
+
+    Created lazily on first use (so ``REPRO_DEDUP_STORE`` set by the CLI or
+    the serving runtime before the first compile is honoured)."""
+    global _DEFAULT_STORE
+    with _DEFAULT_STORE_LOCK:
+        if _DEFAULT_STORE is None:
+            _DEFAULT_STORE = _make_default_store()
+        return _DEFAULT_STORE
+
+
+def clear_default_dedup_store() -> None:
+    """Forget the process-wide store; the next use re-reads the
+    environment (used by the serving runtime and the tests)."""
+    global _DEFAULT_STORE
+    with _DEFAULT_STORE_LOCK:
+        _DEFAULT_STORE = None
+
+
+# --------------------------------------------------------------------------
+# compile-context plumbing (duck-typed: no pipeline import)
+# --------------------------------------------------------------------------
+
+
+def resolve_dedup_store(ctx: Any) -> SubgraphStore | None:
+    """The store a pass should consult for this compile, or ``None``.
+
+    Dedup is on when ``ctx.options.dedup`` is set; an explicit store
+    installed on the context (by the compiler, from its ``dedup_store``
+    argument) wins, otherwise the process-wide default store is used —
+    which is what lets per-shard worker processes of a partitioned compile
+    share one store through the environment with zero plumbing.
+    """
+    if not getattr(ctx.options, "dedup", False):
+        return None
+    store = getattr(ctx, "dedup_store", None)
+    if store is None:
+        store = default_dedup_store()
+        ctx.dedup_store = store
+    return store
+
+
+def dedup_context_stats(ctx: Any) -> DedupStats:
+    """The per-compile dedup counters on ``ctx``, created lazily.
+
+    Tallied locally per compile (like the stage-cache counters) so
+    concurrent compiles sharing one store cannot contaminate each other's
+    numbers; the compiler folds them into the result's ``cache_stats``.
+    """
+    stats = getattr(ctx, "dedup_stats", None)
+    if stats is None:
+        stats = DedupStats()
+        ctx.dedup_stats = stats
+    return stats
+
+
+def fold_dedup_stats(ctx: Any) -> None:
+    """Fold ``ctx.dedup_stats`` into ``ctx.cache_stats`` (creating the
+    latter if this compile ran without a stage cache but with dedup on),
+    so dedup counters surface on the result exactly like the stage-cache
+    counters do.  A no-op when the compile performed no dedup lookups."""
+    stats = getattr(ctx, "dedup_stats", None)
+    if stats is None or not stats.lookups:
+        return
+    if ctx.cache_stats is None:
+        from .cache import CacheStats
+
+        ctx.cache_stats = CacheStats()
+    ctx.cache_stats.dedup_hits += stats.hits
+    ctx.cache_stats.dedup_misses += stats.misses

@@ -139,6 +139,12 @@ class CompileOptions:
     #: no artifact), so it never enters cache keys or request fingerprints;
     #: ``REPRO_VERIFY=1`` turns it on globally.
     verify: bool = False
+    #: consult the subgraph-level dedup store (:mod:`repro.core.dedup`)
+    #: during synthesis and mapping, compiling repeated structures once and
+    #: splicing the stored fragments back in.  Bit-identity with dedup-off
+    #: is a hard contract, making this a pure execution knob too: it never
+    #: enters cache keys or request fingerprints.
+    dedup: bool = False
 
     def __post_init__(self) -> None:
         from ..errors import InvalidRequestError
@@ -215,6 +221,15 @@ class CompileContext:
     #: cannot contaminate each other's numbers).  ``None`` when no run
     #: consulted a cache.
     cache_stats: Any = field(default=None, compare=False)
+    #: the subgraph dedup store this compile consults (installed by the
+    #: compiler from its ``dedup_store`` argument, or lazily resolved to
+    #: the process-wide default store by the first splicing pass; ``None``
+    #: with ``options.dedup`` unset).
+    dedup_store: Any = field(default=None, compare=False, repr=False)
+    #: per-compile dedup hit/miss counters
+    #: (:class:`repro.core.dedup.DedupStats`), tallied locally by the
+    #: splicing passes and folded into ``cache_stats`` by the compiler.
+    dedup_stats: Any = field(default=None, compare=False, repr=False)
 
     def resolved_synthesis_options(self) -> "SynthesisOptions":
         """The synthesis options in effect (defaults derive from the PE)."""

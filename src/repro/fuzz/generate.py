@@ -134,6 +134,11 @@ class ModelSpec:
     layers: tuple[LayerSpec, ...]
     bits: int = 6
     size_class: str = "small"
+    #: how many times the ``layers`` block is stacked end-to-end — the
+    #: repeated-structure knob the subgraph dedup cache feeds on.  ``1``
+    #: (the default, and what every pre-knob corpus payload parses as)
+    #: means the block appears once.
+    repeat: int = 1
     #: campaign seed the spec was generated from (provenance only; a spec
     #: loaded from a corpus file keeps the seed it was found under).
     seed: int | None = None
@@ -165,12 +170,26 @@ class ModelSpec:
                 f"size_class must be one of {SIZE_CLASSES}, got {self.size_class!r}",
                 details={"size_class": repr(self.size_class)},
             )
+        if (
+            not isinstance(self.repeat, int)
+            or isinstance(self.repeat, bool)
+            or self.repeat < 1
+        ):
+            raise InvalidRequestError(
+                f"repeat must be an integer >= 1, got {self.repeat!r}",
+                details={"repeat": repr(self.repeat)},
+            )
         if self.seed is not None and not isinstance(self.seed, int):
             raise InvalidRequestError(f"seed must be an integer or null, got {self.seed!r}")
 
+    @property
+    def effective_layers(self) -> tuple[LayerSpec, ...]:
+        """The layer sequence with the ``repeat`` stacking applied."""
+        return self.layers * self.repeat
+
     # ------------------------------------------------------------------ wire
     def to_dict(self) -> dict[str, Any]:
-        return {
+        data = {
             "name": self.name,
             "input_shape": list(self.input_shape),
             "layers": [layer.to_dict() for layer in self.layers],
@@ -178,6 +197,11 @@ class ModelSpec:
             "size_class": self.size_class,
             "seed": self.seed,
         }
+        # emitted only when set, so pre-knob payloads (and spec ids)
+        # are byte-for-byte unchanged
+        if self.repeat != 1:
+            data["repeat"] = self.repeat
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ModelSpec":
@@ -199,6 +223,7 @@ class ModelSpec:
             layers=tuple(LayerSpec.from_dict(e) for e in data["layers"]),
             bits=int(data.get("bits", 6)),
             size_class=str(data.get("size_class", "small")),
+            repeat=int(data.get("repeat", 1)),
             seed=data.get("seed"),
         )
 
@@ -282,8 +307,9 @@ def build_graph(spec: ModelSpec) -> ComputationalGraph:
     """
     builder = GraphBuilder(spec.name, spec.input_shape, bits=spec.bits)
     walk = _ShapeWalk(spec.input_shape)
-    last = len(spec.layers) - 1
-    for index, layer in enumerate(spec.layers):
+    layers = spec.effective_layers
+    last = len(layers) - 1
+    for index, layer in enumerate(layers):
         if layer.kind == "conv":
             if walk.is_flat:
                 # convs after the flatten point degrade to dense layers so
@@ -346,7 +372,7 @@ def estimate_pes(spec: ModelSpec) -> int:
     def tiles(rows: int, cols: int) -> int:
         return math.ceil(rows / _PE_ROWS) * math.ceil(cols / _PE_COLS)
 
-    for layer in spec.layers:
+    for layer in spec.effective_layers:
         if layer.kind == "conv":
             if walk.is_flat:
                 total += tiles(walk.size, layer.width)
@@ -497,6 +523,9 @@ def generate_spec(seed: int, index: int, size_class: str | None = None) -> Model
             layers=tuple(layers),
             bits=rng.choice((4, 6, 8)),
             size_class="small",
+            # repeated-block models exercise the subgraph dedup cache's
+            # within-model hits; most specs stay single-block
+            repeat=rng.choice((1, 1, 1, 2, 3)),
             seed=seed,
         )
     if resolved == "near":

@@ -18,6 +18,9 @@ jit on / off        numba kernels (or their fallback) are bit-identical
 ``num_chips=auto``  deterministic; succeeds whenever the classic flow
                     does, and turns the over-capacity ``CapacityError``
                     of ``num_chips=1`` into a sharded compile
+dedup on / off      subgraph splice-on-hit is bit-identical to fresh
+                    lowering, from a cold store and from a fully warm
+                    one (PR 9)
 ==================  ====================================================
 
 Every compile runs with IR verification on (the same checks
@@ -39,6 +42,7 @@ from typing import TYPE_CHECKING, Any, Iterable, Mapping, Sequence
 from ..analysis.verify import verify_artifacts
 from ..core.cache import StageCache
 from ..core.compiler import FPSACompiler
+from ..core.dedup import SubgraphStore
 from ..core.shared_cache import SharedStageCache
 from ..errors import FPSAError, VerificationError
 from ..pnr.options import JIT_ENV_VAR
@@ -59,7 +63,7 @@ __all__ = [
 ]
 
 #: configuration-lattice groups ``check_spec`` can run (``subset=``).
-CONFIG_GROUPS = ("repeat", "warm", "shared", "pnr", "chips")
+CONFIG_GROUPS = ("repeat", "warm", "shared", "pnr", "chips", "dedup")
 
 
 def strip_seconds(summary: Mapping[str, Any] | None) -> dict[str, Any] | None:
@@ -159,6 +163,7 @@ def compile_spec(
     pnr_jobs: int | None = None,
     jit: bool | None = None,
     num_chips: int | str | None = None,
+    dedup_store: SubgraphStore | None = None,
 ) -> Outcome:
     """Compile one spec under one lattice configuration.
 
@@ -173,7 +178,9 @@ def compile_spec(
     try:
         graph = build_graph(spec)
         compiler = FPSACompiler(
-            config=config, cache=cache if cache is not None else StageCache()
+            config=config,
+            cache=cache if cache is not None else StageCache(),
+            dedup_store=dedup_store,
         )
         result = compiler.compile(
             graph,
@@ -182,6 +189,7 @@ def compile_spec(
             pnr_jobs=pnr_jobs,
             num_chips=num_chips,
             verify=True,
+            dedup=dedup_store is not None,
         )
     except FPSAError as exc:
         return Outcome(
@@ -318,6 +326,11 @@ def check_spec(
         )
         expect_same(pnr_base, run("pnr-jit", run_pnr=True, jit=True))
         expect_same(pnr_base, run("pnr-nojit", run_pnr=True, jit=False))
+    if "dedup" in groups:
+        store = SubgraphStore()
+        expect_same(base, run("dedup-cold", dedup_store=store))
+        # the same store, now holding every fragment: splice-on-hit paths
+        expect_same(base, run("dedup-warm", dedup_store=store))
     if "chips" in groups:
         chips_a = run("chips1-a", num_chips=1)
         chips_b = run("chips1-b", num_chips=1)

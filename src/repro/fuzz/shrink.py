@@ -26,11 +26,12 @@ __all__ = ["ShrinkResult", "spec_size", "shrink"]
 
 
 def spec_size(spec: ModelSpec) -> tuple[int, int, int, int]:
-    """Lexicographic size of a spec: fewer layers beat narrower layers
-    beat a smaller input beat fewer bits."""
+    """Lexicographic size of a spec: fewer (effective) layers beat
+    narrower layers beat a smaller input beat fewer bits."""
+    layers = spec.effective_layers
     return (
-        len(spec.layers),
-        sum(layer.width + layer.kernel for layer in spec.layers),
+        len(layers),
+        sum(layer.width + layer.kernel for layer in layers),
         int(math.prod(spec.input_shape)),
         spec.bits,
     )
@@ -65,6 +66,7 @@ def _replace_layers(spec: ModelSpec, layers: list[LayerSpec]) -> ModelSpec | Non
             layers=tuple(layers),
             bits=spec.bits,
             size_class=spec.size_class,
+            repeat=spec.repeat,
             seed=spec.seed,
         )
     except FPSAError:
@@ -77,6 +79,21 @@ def _candidates(spec: ModelSpec) -> Iterator[tuple[str, ModelSpec]]:
     parameter reductions)."""
     layers = list(spec.layers)
     n = len(layers)
+
+    # unroll the repeat knob first: collapsing the whole stacking to one
+    # block is the most aggressive reduction available, then halving it
+    if spec.repeat > 1:
+        for target, step in ((1, "collapse-repeat"), (spec.repeat // 2, "halve-repeat")):
+            if 1 <= target < spec.repeat:
+                yield step, ModelSpec(
+                    name=spec.name,
+                    input_shape=spec.input_shape,
+                    layers=spec.layers,
+                    bits=spec.bits,
+                    size_class=spec.size_class,
+                    repeat=target,
+                    seed=spec.seed,
+                )
 
     # drop contiguous chunks: halves, then quarters, then single layers
     chunk = n // 2
@@ -116,6 +133,7 @@ def _candidates(spec: ModelSpec) -> Iterator[tuple[str, ModelSpec]]:
                     layers=spec.layers,
                     bits=spec.bits,
                     size_class=spec.size_class,
+                    repeat=spec.repeat,
                     seed=spec.seed,
                 )
             except FPSAError:
@@ -129,6 +147,7 @@ def _candidates(spec: ModelSpec) -> Iterator[tuple[str, ModelSpec]]:
             layers=spec.layers,
             bits=4,
             size_class=spec.size_class,
+            repeat=spec.repeat,
             seed=spec.seed,
         )
 

@@ -6,7 +6,7 @@ from .googlenet import build_googlenet
 from .lenet import build_lenet
 from .mlp import build_mlp_500_100
 from .resnet import build_resnet, build_resnet152, build_resnet50
-from .vgg import build_vgg16
+from .vgg import build_vgg11, build_vgg16
 from .zoo import (
     BENCHMARK_MODELS,
     MODEL_BUILDERS,
@@ -21,6 +21,7 @@ __all__ = [
     "build_lenet",
     "build_cifar_vgg17",
     "build_alexnet",
+    "build_vgg11",
     "build_vgg16",
     "build_googlenet",
     "build_resnet",

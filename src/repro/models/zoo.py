@@ -19,7 +19,7 @@ from .googlenet import build_googlenet
 from .lenet import build_lenet
 from .mlp import build_mlp_500_100
 from .resnet import build_resnet152, build_resnet50
-from .vgg import build_vgg16
+from .vgg import build_vgg11, build_vgg16
 
 __all__ = [
     "ModelReference",
@@ -50,6 +50,7 @@ MODEL_BUILDERS: dict[str, Callable[[], ComputationalGraph]] = {
     "LeNet": build_lenet,
     "CIFAR-VGG17": build_cifar_vgg17,
     "AlexNet": build_alexnet,
+    "VGG11": build_vgg11,
     "VGG16": build_vgg16,
     "GoogLeNet": build_googlenet,
     "ResNet152": build_resnet152,

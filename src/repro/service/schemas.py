@@ -127,6 +127,11 @@ class CompileRequest:
     #: ``REPRO_VERIFY=1``).  An execution knob — it changes no artifact —
     #: so it is excluded from :meth:`fingerprint` like ``pnr_jobs``.
     verify: bool = False
+    #: consult the subgraph-level dedup store (:mod:`repro.core.dedup`)
+    #: during synthesis and mapping.  Bit-identical to ``dedup=False`` by
+    #: contract, so it is a pure execution knob excluded from
+    #: :meth:`fingerprint` like ``pnr_jobs`` and ``verify``.
+    dedup: bool = False
     synthesis_options: dict[str, Any] | None = None
     tags: dict[str, str] = field(default_factory=dict)
     schema_version: int = SCHEMA_VERSION
@@ -192,6 +197,11 @@ class CompileRequest:
                 f"verify must be a boolean, got {self.verify!r}",
                 details={"verify": repr(self.verify)},
             )
+        if not isinstance(self.dedup, bool):
+            raise InvalidRequestError(
+                f"dedup must be a boolean, got {self.dedup!r}",
+                details={"dedup": repr(self.dedup)},
+            )
         if self.passes is not None:
             object.__setattr__(self, "passes", tuple(self.passes))
 
@@ -223,15 +233,16 @@ class CompileRequest:
         """Content-addressed identity of this request.
 
         ``tags`` (caller metadata) and the pure execution knobs
-        ``pnr_jobs`` and ``verify`` (every value produces the bit-identical
-        artifact) are excluded, so e.g. coalescing and the artifact store
-        treat requests differing only in those fields as the same
-        compilation.
+        ``pnr_jobs``, ``verify`` and ``dedup`` (every value produces the
+        bit-identical artifact) are excluded, so e.g. coalescing and the
+        artifact store treat requests differing only in those fields as
+        the same compilation.
         """
         data = self.to_dict()
         data.pop("tags")
         data.pop("pnr_jobs")
         data.pop("verify")
+        data.pop("dedup")
         canonical = json.dumps(data, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
@@ -253,6 +264,7 @@ class CompileRequest:
             "passes": self.passes,
             "use_cache": self.use_cache,
             "verify": self.verify,
+            "dedup": self.dedup,
         }
 
 
@@ -292,7 +304,11 @@ class CompileTimings:
     by) the stage cache; ``evictions`` counts in-memory LRU entries this
     compile pushed out, and ``shared_cache_hits``/``shared_cache_misses``
     count the cross-process shared-tier lookups (zero when no shared tier
-    is attached).
+    is attached).  ``dedup_hits``/``dedup_misses`` count subgraph-dedup
+    store lookups (zero unless the compile ran with ``dedup=True``); they
+    live here — not on :class:`ResultSummary` — because the summary is
+    the bit-identity comparison surface of equivalent compiles, and dedup
+    counters legitimately differ between a cold and a warm store.
     """
 
     passes: tuple[PassTimingEntry, ...]
@@ -302,6 +318,8 @@ class CompileTimings:
     evictions: int = 0
     shared_cache_hits: int = 0
     shared_cache_misses: int = 0
+    dedup_hits: int = 0
+    dedup_misses: int = 0
 
     @classmethod
     def from_pass_timings(
@@ -334,12 +352,19 @@ class CompileTimings:
             evictions=getattr(cache_stats, "evictions", 0),
             shared_cache_hits=getattr(cache_stats, "shared_hits", 0),
             shared_cache_misses=getattr(cache_stats, "shared_misses", 0),
+            dedup_hits=getattr(cache_stats, "dedup_hits", 0),
+            dedup_misses=getattr(cache_stats, "dedup_misses", 0),
         )
 
     @property
     def shared_cache_hit_rate(self) -> float:
         lookups = self.shared_cache_hits + self.shared_cache_misses
         return self.shared_cache_hits / lookups if lookups else 0.0
+
+    @property
+    def dedup_hit_rate(self) -> float:
+        lookups = self.dedup_hits + self.dedup_misses
+        return self.dedup_hits / lookups if lookups else 0.0
 
     def seconds_by_stage(self) -> dict[str, float]:
         """Wall-clock seconds keyed by pass name (wire-safe flat mapping)."""
@@ -354,6 +379,8 @@ class CompileTimings:
             "evictions": self.evictions,
             "shared_cache_hits": self.shared_cache_hits,
             "shared_cache_misses": self.shared_cache_misses,
+            "dedup_hits": self.dedup_hits,
+            "dedup_misses": self.dedup_misses,
         }
 
     @classmethod
@@ -367,6 +394,9 @@ class CompileTimings:
             evictions=int(data.get("evictions", 0)),
             shared_cache_hits=int(data.get("shared_cache_hits", 0)),
             shared_cache_misses=int(data.get("shared_cache_misses", 0)),
+            # absent in payloads emitted before the dedup cache existed
+            dedup_hits=int(data.get("dedup_hits", 0)),
+            dedup_misses=int(data.get("dedup_misses", 0)),
         )
 
 

@@ -1,0 +1,320 @@
+"""Synthesis-side splice of the subgraph dedup cache.
+
+:class:`DedupSynthesizer` is a :class:`~repro.synthesizer.synthesizer.
+NeuralSynthesizer` that memoizes the lowering of every weighted node in a
+:class:`~repro.core.dedup.SubgraphStore`.  A node's cache key covers the
+complete dependency footprint of its lowering rule — the operation (every
+field, via the dataclass ``repr``), the output and input tensor shapes, the
+per-input producer counts (which determine the fan-in edge structure of
+``_connect``) and the crossbar geometry — and its *fragment* records, in
+order, every group and edge the rule emitted plus the producer list it
+returned, with all names rewritten into a namespace-free reference form:
+
+* ``("g", i)`` — the ``i``-th group the fragment itself creates,
+* ``("p", j)`` — the ``j``-th producer feeding the node,
+* ``("i",)``  — the graph-input pseudo group.
+
+Replaying a fragment under a different node name therefore reconstructs,
+by construction, exactly the groups/edges the lowering rule would have
+emitted — same suffixes, same order, same values — which is what makes the
+bit-identity contract (dedup-on ≡ dedup-off) hold structurally rather than
+probabilistically.  A fragment that fails validation or cannot be decoded
+in the current context is dropped and the node is lowered afresh; a replay
+that happened never mutates the graph unless it can complete.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from ..core.cache import fingerprint
+from ..errors import VerificationError
+from ..graph.graph import ComputationalGraph, GraphNode
+from ..graph.ops import InputOp
+from .coreop import GRAPH_INPUT, CoreOpGraph, WeightGroup
+from .lowering import LoweringContext
+from .synthesizer import NeuralSynthesizer, SynthesisOptions
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.dedup import DedupStats, SubgraphStore
+
+__all__ = ["DedupSynthesizer", "synthesize_with_dedup"]
+
+
+def _is_ref(ref: Any) -> bool:
+    if not isinstance(ref, tuple) or not ref:
+        return False
+    if ref[0] == "i":
+        return len(ref) == 1
+    return (
+        ref[0] in ("g", "p")
+        and len(ref) == 2
+        and isinstance(ref[1], int)
+        and not isinstance(ref[1], bool)
+        and ref[1] >= 0
+    )
+
+
+def _valid_fragment(value: Any) -> bool:
+    """Shape-check a stored synthesis fragment (context-free invariants).
+
+    Context-dependent checks (reference indices in range, group names free)
+    happen during decoding; this vets everything a poisoned entry could get
+    wrong structurally, so replay can construct real ``WeightGroup``s
+    without tripping their validators mid-mutation.
+    """
+    if not isinstance(value, dict):
+        return False
+    groups = value.get("groups")
+    edges = value.get("edges")
+    returns = value.get("returns")
+    if (
+        not isinstance(groups, list)
+        or not isinstance(edges, list)
+        or not isinstance(returns, list)
+        or not returns
+    ):
+        return False
+    for entry in groups:
+        if not isinstance(entry, tuple) or len(entry) != 7:
+            return False
+        suffix, kind, rows, cols, reuse, density, macs = entry
+        if not isinstance(suffix, str) or not isinstance(kind, str):
+            return False
+        for dim in (rows, cols, reuse):
+            if not isinstance(dim, int) or isinstance(dim, bool) or dim <= 0:
+                return False
+        if not isinstance(density, float) or not 0.0 < density <= 1.0:
+            return False
+        if not isinstance(macs, int) or isinstance(macs, bool) or macs < 0:
+            return False
+    for entry in edges:
+        if not isinstance(entry, tuple) or len(entry) != 3:
+            return False
+        src, dst, values = entry
+        if not _is_ref(src) or not _is_ref(dst):
+            return False
+        if not isinstance(values, int) or isinstance(values, bool) or values < 0:
+            return False
+    return all(_is_ref(ref) for ref in returns)
+
+
+class DedupSynthesizer(NeuralSynthesizer):
+    """A synthesizer that records/replays per-node lowering fragments."""
+
+    def __init__(
+        self,
+        options: SynthesisOptions | None,
+        store: "SubgraphStore",
+        stats: "DedupStats | None" = None,
+    ):
+        super().__init__(options)
+        self.store = store
+        self.stats = stats
+        #: nodes installed from the store in the last ``synthesize`` call.
+        self.replayed = 0
+
+    # -------------------------------------------------------------- keying
+    def _flattened_producers(
+        self, ctx: LoweringContext, node: GraphNode
+    ) -> list[str]:
+        """Every producer feeding ``node``, in input order — the namespace
+        the fragment's ``("p", j)`` references index into."""
+        flattened: list[str] = []
+        for input_name in node.inputs:
+            flattened.extend(ctx.producers.get(input_name, [GRAPH_INPUT]))
+        return flattened
+
+    def _node_key(self, ctx: LoweringContext, node: GraphNode, specs) -> str:
+        producer_counts = tuple(
+            len(ctx.producers.get(input_name, [GRAPH_INPUT]))
+            for input_name in node.inputs
+        )
+        return fingerprint(
+            "synth-node",
+            repr(node.op),
+            (node.output.shape, node.output.bits),
+            tuple((s.shape, s.bits) for s in specs),
+            producer_counts,
+            self.options,
+        )
+
+    # ------------------------------------------------------ record / replay
+    def _capture(
+        self,
+        ctx: LoweringContext,
+        node: GraphNode,
+        flattened: list[str],
+        groups_before: list[WeightGroup],
+        edges_before: int,
+        producers: list[str],
+    ) -> dict[str, list] | None:
+        """Encode what the fresh lowering just emitted, or ``None`` when it
+        cannot be expressed namespace-free (a rule that breaks the
+        ``node.name`` prefix convention is simply not deduplicated)."""
+        new_groups = ctx.graph.groups()[len(groups_before):]
+        new_edges = ctx.graph.edges()[edges_before:]
+        prefix = node.name
+        index_of: dict[str, int] = {}
+        enc_groups: list[tuple] = []
+        for i, group in enumerate(new_groups):
+            if not group.name.startswith(prefix) or group.source != prefix:
+                return None
+            index_of[group.name] = i
+            enc_groups.append(
+                (
+                    group.name[len(prefix):],
+                    group.kind,
+                    group.rows,
+                    group.cols,
+                    group.reuse,
+                    group.density,
+                    group.macs_per_instance,
+                )
+            )
+
+        def encode(name: str) -> tuple | None:
+            if name in index_of:
+                return ("g", index_of[name])
+            if name == GRAPH_INPUT:
+                return ("i",)
+            try:
+                return ("p", flattened.index(name))
+            except ValueError:
+                return None
+
+        enc_edges: list[tuple] = []
+        for edge in new_edges:
+            src, dst = encode(edge.src), encode(edge.dst)
+            if src is None or dst is None:
+                return None
+            enc_edges.append((src, dst, edge.values_per_instance))
+        enc_returns: list[tuple] = []
+        for producer in producers:
+            ref = encode(producer)
+            if ref is None:
+                return None
+            enc_returns.append(ref)
+        return {"groups": enc_groups, "edges": enc_edges, "returns": enc_returns}
+
+    def _replay(
+        self,
+        ctx: LoweringContext,
+        node: GraphNode,
+        fragment: dict[str, list],
+    ) -> list[str] | None:
+        """Splice a fragment in under ``node``'s name; ``None`` when it does
+        not decode in this context (nothing is mutated in that case)."""
+        flattened = self._flattened_producers(ctx, node)
+        names = [node.name + entry[0] for entry in fragment["groups"]]
+        if any(name in ctx.graph for name in names):
+            return None
+
+        def decode(ref: tuple) -> str | None:
+            tag = ref[0]
+            if tag == "g":
+                return names[ref[1]] if ref[1] < len(names) else None
+            if tag == "p":
+                return flattened[ref[1]] if ref[1] < len(flattened) else None
+            return GRAPH_INPUT
+
+        # decode and validate everything *before* the first mutation, so a
+        # fragment that cannot complete leaves the graph untouched
+        try:
+            groups = [
+                WeightGroup(
+                    name=node.name + suffix,
+                    source=node.name,
+                    kind=kind,
+                    rows=rows,
+                    cols=cols,
+                    reuse=reuse,
+                    density=density,
+                    macs_per_instance=macs,
+                )
+                for suffix, kind, rows, cols, reuse, density, macs
+                in fragment["groups"]
+            ]
+        except Exception:  # noqa: BLE001 - a poisoned shape = no replay
+            return None
+        edges: list[tuple[str, str, int]] = []
+        for src_ref, dst_ref, values in fragment["edges"]:
+            src, dst = decode(src_ref), decode(dst_ref)
+            if src is None or dst is None:
+                return None
+            edges.append((src, dst, values))
+        returns: list[str] = []
+        for ref in fragment["returns"]:
+            name = decode(ref)
+            if name is None:
+                return None
+            returns.append(name)
+
+        for group in groups:
+            ctx.graph.add_group(group)
+        for src, dst, values in edges:
+            ctx.graph.add_edge(src, dst, values)
+        return returns
+
+    # ----------------------------------------------------------- the hook
+    def _lower_node(
+        self, ctx: LoweringContext, node: GraphNode, specs
+    ) -> list[str]:
+        op = node.op
+        if isinstance(op, InputOp) or isinstance(op, self._PASSTHROUGH_OPS):
+            # wiring-only nodes: nothing to memoize
+            return super()._lower_node(ctx, node, specs)
+        key = self._node_key(ctx, node, specs)
+        fragment = self.store.get(key, validate=_valid_fragment)
+        if fragment is not None:
+            producers = self._replay(ctx, node, fragment)
+            if producers is not None:
+                self.replayed += 1
+                if self.stats is not None:
+                    self.stats.hits += 1
+                return producers
+            # validated but undecodable under this key: poisoned — drop it
+            self.store.drop(key)
+            if self.stats is not None:
+                self.stats.errors += 1
+        if self.stats is not None:
+            self.stats.misses += 1
+        groups_before = ctx.graph.groups()
+        edges_before = len(ctx.graph.edges())
+        flattened = self._flattened_producers(ctx, node)
+        producers = super()._lower_node(ctx, node, specs)
+        captured = self._capture(
+            ctx, node, flattened, groups_before, edges_before, producers
+        )
+        if captured is not None:
+            self.store.put(key, captured)
+            if self.stats is not None:
+                self.stats.puts += 1
+        return producers
+
+
+def synthesize_with_dedup(
+    graph: ComputationalGraph,
+    options: SynthesisOptions | None,
+    store: "SubgraphStore",
+    stats: "DedupStats | None" = None,
+) -> CoreOpGraph:
+    """Synthesize ``graph`` through the dedup store.
+
+    When any fragment was spliced in, the result is re-checked with the IR
+    verifier before being handed downstream; a violation (which per-fragment
+    decoding should make impossible) falls back to a fresh dedup-off
+    synthesis, upholding the bit-identity contract unconditionally.
+    """
+    synthesizer = DedupSynthesizer(options, store, stats)
+    coreops = synthesizer.synthesize(graph)
+    if synthesizer.replayed:
+        from ..analysis.verify import verify_coreops
+
+        try:
+            verify_coreops(coreops, stage="synthesis-dedup")
+        except VerificationError:
+            if stats is not None:
+                stats.errors += 1
+            return NeuralSynthesizer(options).synthesize(graph)
+    return coreops

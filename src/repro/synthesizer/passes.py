@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from ..core.cache import fingerprint, graph_fingerprint
+from ..core.dedup import dedup_context_stats, resolve_dedup_store
 from ..core.pipeline import CompileContext, CompilePass, register_pass
 from .synthesizer import NeuralSynthesizer
 
@@ -11,15 +12,29 @@ __all__ = ["SynthesisPass"]
 
 @register_pass
 class SynthesisPass(CompilePass):
-    """Lower the computational graph to the grouped core-op graph."""
+    """Lower the computational graph to the grouped core-op graph.
+
+    With ``options.dedup`` set, the lowering of every weighted node is
+    memoized in the subgraph dedup store (:mod:`repro.core.dedup`) and
+    spliced back in on a hit — bit-identical to the plain synthesizer by
+    construction, so the cache key below is deliberately dedup-agnostic.
+    """
 
     name = "synthesis"
     requires = ()
     provides = ("coreops",)
 
     def run(self, ctx: CompileContext) -> None:
-        synthesizer = NeuralSynthesizer(ctx.resolved_synthesis_options())
-        ctx.coreops = synthesizer.synthesize(ctx.graph)
+        options = ctx.resolved_synthesis_options()
+        store = resolve_dedup_store(ctx)
+        if store is not None:
+            from .dedup import synthesize_with_dedup
+
+            ctx.coreops = synthesize_with_dedup(
+                ctx.graph, options, store, stats=dedup_context_stats(ctx)
+            )
+        else:
+            ctx.coreops = NeuralSynthesizer(options).synthesize(ctx.graph)
 
     def cache_key(self, ctx: CompileContext) -> str:
         return fingerprint(

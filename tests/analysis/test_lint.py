@@ -100,6 +100,15 @@ class TestDET003ImpureFingerprint:
         )
         assert rules_of(findings) == ["DET003"]
 
+    def test_flags_entropy_in_digest(self):
+        findings = lint_source(
+            "import os\n"
+            "def subgraph_digest(g):\n"
+            "    return hash((g, os.urandom(8)))\n",
+            path="src/repro/x.py",
+        )
+        assert rules_of(findings) == ["DET003"]
+
     def test_wall_clock_outside_fingerprints_is_fine(self):
         findings = lint_source(
             "import time\n"

@@ -94,3 +94,44 @@ class TestSpecValidation:
         data["surprise"] = 1
         with pytest.raises(InvalidRequestError):
             ModelSpec.from_dict(data)
+
+
+class TestRepeatKnob:
+    def _spec(self, repeat):
+        return ModelSpec(
+            name="x",
+            input_shape=(16,),
+            layers=(LayerSpec("dense", width=8), LayerSpec("dense", width=8)),
+            repeat=repeat,
+        )
+
+    def test_effective_layers_stack_the_block(self):
+        spec = self._spec(3)
+        assert len(spec.effective_layers) == 6
+        graph = build_graph(spec)
+        verify_graph(graph)
+        assert len(graph.nodes()) > len(build_graph(self._spec(1)).nodes())
+
+    def test_round_trips_and_old_payloads_parse(self):
+        spec = self._spec(3)
+        clone = ModelSpec.from_json(spec.to_json())
+        assert clone == spec
+        assert clone.repeat == 3
+        # repeat=1 is omitted from the wire form, so payloads (and spec
+        # ids) written before the knob existed are byte-for-byte unchanged
+        assert "repeat" not in self._spec(1).to_dict()
+        data = self._spec(1).to_dict()
+        assert ModelSpec.from_dict(data).repeat == 1
+        assert self._spec(1).spec_id() == ModelSpec.from_dict(data).spec_id()
+
+    def test_invalid_repeat_rejected(self):
+        for bad in (0, -1, True, "2"):
+            with pytest.raises(InvalidRequestError):
+                self._spec(bad)
+
+    @given(seed=seeds)
+    @settings(max_examples=30)
+    def test_generator_draws_repeat_only_for_small_specs(self, seed):
+        spec = generate_spec(seed, 0, size_class="small")
+        assert spec.repeat >= 1
+        assert generate_spec(seed, 0, size_class="over").repeat == 1

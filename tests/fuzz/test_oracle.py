@@ -54,9 +54,10 @@ class TestCheckSpec:
         check = check_spec(generate_spec(0, 0, size_class="small"))
         assert check.ok
         assert check.compiles == len(check.configs)
-        # every group ran: repeat/warm/shared/pnr/chips all present
+        # every group ran: repeat/warm/shared/pnr/dedup/chips all present
         assert {"base", "repeat", "warm", "shared-cold", "shared-warm",
-                "pnr-base", "chips1-a", "auto-a"} <= set(check.configs)
+                "pnr-base", "dedup-cold", "dedup-warm",
+                "chips1-a", "auto-a"} <= set(check.configs)
 
     def test_over_capacity_spec_skips_pnr_but_checks_chips(self):
         check = check_spec(generate_spec(0, 0, size_class="over"))
@@ -76,7 +77,9 @@ class TestCheckSpec:
             check_spec(generate_spec(0, 0), subset=("repeat", "quantum"))
 
     def test_groups_cover_every_config_name(self):
-        assert set(CONFIG_GROUPS) == {"repeat", "warm", "shared", "pnr", "chips"}
+        assert set(CONFIG_GROUPS) == {
+            "repeat", "warm", "shared", "pnr", "chips", "dedup",
+        }
 
 
 class TestInjectedBug:

@@ -1,6 +1,8 @@
 """Property tests of the delta-debugging shrinker (against synthetic
 oracles — the real differential oracle is exercised in test_campaign)."""
 
+from dataclasses import replace
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -60,6 +62,30 @@ class TestShrink:
         result = shrink(spec, explodes)
         assert result.spec == spec  # never lost the reproducer
         assert result.evaluations > 0
+
+    def test_repeat_collapses_when_the_failure_survives(self):
+        spec = replace(generate_spec(0, 0, size_class="small"), repeat=3)
+        result = shrink(spec, _kind_oracle(spec.layers[0].kind))
+        # the failure does not depend on the stacking, so the shrinker
+        # must unroll it away (collapse-repeat is the first candidate)
+        assert result.spec.repeat == 1
+        assert any("repeat" in step for step in result.steps)
+
+    def test_repeat_survives_layer_mutations_when_load_bearing(self):
+        spec = replace(generate_spec(0, 0, size_class="small"), repeat=3)
+
+        def needs_stacking(candidate):
+            return candidate.repeat >= 3 and bool(candidate.layers)
+
+        result = shrink(spec, needs_stacking)
+        # layer-level candidates must not silently reset repeat to 1
+        assert result.spec.repeat == 3
+        assert needs_stacking(result.spec)
+
+    def test_spec_size_counts_effective_layers(self):
+        spec = generate_spec(0, 0, size_class="small")
+        stacked = replace(spec, repeat=2)
+        assert spec_size(stacked) > spec_size(spec)
 
     def test_steps_replay_monotonically(self):
         spec = generate_spec(7, 3, size_class="small")

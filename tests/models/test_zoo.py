@@ -78,6 +78,18 @@ class TestModelDefinitions:
     def test_resnet50_smaller_than_resnet152(self):
         assert build_resnet50().total_params() < build_model("ResNet152").total_params()
 
+    def test_vgg11_is_registered_but_not_a_benchmark(self):
+        # VGG11 exists for the dedup bench (VGG11 warms VGG16's store);
+        # it is not a paper workload, so the Table-3 zoo stays unchanged
+        graph = build_model("VGG11")
+        graph.validate()
+        assert "VGG11" not in BENCHMARK_MODELS
+        conv_names = [n.name for n in graph.nodes() if n.name.startswith("conv")]
+        assert len(conv_names) == 8
+        # configuration A shares D's classifier head: most parameters match
+        assert graph.total_params() < build_model("VGG16").total_params()
+        assert graph.output_nodes()[0].output.shape == (1000,)
+
     def test_vgg16_layer_structure(self, vgg16_graph):
         conv_names = [n.name for n in vgg16_graph.nodes() if n.name.startswith("conv")]
         assert len(conv_names) == 13

@@ -90,6 +90,17 @@ class TestCompileRequest:
         assert a.fingerprint() == b.fingerprint()
         assert a.fingerprint() != c.fingerprint()
 
+    def test_dedup_is_an_execution_knob_not_a_fingerprint_input(self):
+        # dedup changes how fast artifacts are built, never what they are,
+        # so requests differing only in it must coalesce/cache-hit together
+        a = CompileRequest(model="LeNet")
+        b = CompileRequest(model="LeNet", dedup=True)
+        assert a.fingerprint() == b.fingerprint()
+        assert CompileRequest.from_dict(b.to_dict()) == b
+        assert b.compile_kwargs()["dedup"] is True
+        with pytest.raises(InvalidRequestError):
+            CompileRequest(model="LeNet", dedup="yes")
+
 
 class TestServeAndRoundTrip:
     def test_full_flow_response_round_trips_losslessly(self):
@@ -221,6 +232,33 @@ class TestCompileTimings:
         assert timings.cache_hits == 1
         assert timings.cache_misses == 1
         assert timings.total_seconds == pytest.approx(0.30)
+        assert CompileTimings.from_dict(timings.to_dict()) == timings
+
+    def test_pre_dedup_payload_still_parses(self):
+        # stored responses written before the dedup counters existed lack
+        # the keys entirely; they must rehydrate with zeroed counters
+        payload = {
+            "passes": [],
+            "total_seconds": 0.1,
+            "cache_hits": 2,
+            "cache_misses": 1,
+        }
+        timings = CompileTimings.from_dict(payload)
+        assert timings.dedup_hits == 0
+        assert timings.dedup_misses == 0
+        assert timings.dedup_hit_rate == 0.0
+
+    def test_dedup_counters_round_trip(self):
+        from repro.core.cache import CacheStats
+        from repro.core.pipeline import PassTiming
+
+        stats = CacheStats(dedup_hits=9, dedup_misses=1)
+        timings = CompileTimings.from_pass_timings(
+            [PassTiming("synthesis", 0.25, False, ("coreops",))],
+            cache_stats=stats,
+        )
+        assert timings.dedup_hits == 9
+        assert timings.dedup_hit_rate == pytest.approx(0.9)
         assert CompileTimings.from_dict(timings.to_dict()) == timings
 
     def test_truncated_payload_is_typed(self):
