@@ -89,6 +89,9 @@ _ORDER_INSENSITIVE = frozenset({
 
 _BUILTIN_RAISES = frozenset({
     "ValueError", "TypeError", "KeyError", "RuntimeError", "Exception",
+    # a bare TimeoutError loses the job id / deadline a typed
+    # DeadlineExceededError carries into the wire-level ErrorPayload
+    "TimeoutError",
 })
 
 #: function-name markers of content-address computations (DET003 scope).

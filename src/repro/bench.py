@@ -30,6 +30,17 @@ model rides along to exercise within-model hits.  The dedup section
 shares the report file, so ``--check-regression`` guards its speedup and
 hit-rate floors too.
 
+``run_chaos_bench`` (``repro bench --chaos``) measures the serving
+runtime's *fault tolerance* on the same repeated-model batch workload:
+a deterministic seeded fault plan (worker crashes, a hang, transient IO
+faults and a corrupted shared-cache entry — see :mod:`repro.faults`) is
+installed under the runtime, and the section records availability (every
+job must still be served), whether the responses stayed bit-identical
+(seconds-stripped) to a fault-free reference run of the same seed,
+recovery time after pool breakage, and the retry/displacement counters.
+The chaos section rides the same report file, and ``--check-regression``
+enforces availability = 1.0 and bit-identity under the committed plan.
+
 ``compare_reports`` diffs a fresh report against a committed baseline with
 configurable wall-time and quality thresholds, so CI can fail on perf
 regressions without flaking on machine noise.
@@ -43,6 +54,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import random
 import sys
 import time
 from dataclasses import asdict, dataclass, field
@@ -61,6 +73,7 @@ from .service import CompileRequest, FPSAClient, JobManager, ServingRuntime
 __all__ = [
     "BENCH_SCHEMA_VERSION",
     "DEFAULT_BENCH_MODELS",
+    "DEFAULT_CHAOS_MODELS",
     "DEFAULT_DEDUP_MODELS",
     "DEFAULT_REPORT_PATH",
     "DEFAULT_SERVE_MODELS",
@@ -70,6 +83,7 @@ __all__ = [
     "run_bench",
     "run_serve_bench",
     "run_dedup_bench",
+    "run_chaos_bench",
     "compare_reports",
     "main",
 ]
@@ -100,6 +114,11 @@ DEFAULT_BENCH_MODELS = ("MLP-500-100", "LeNet", "CIFAR-VGG17")
 #: AlexNet anchors the mix with a synthesis heavy enough that re-doing it
 #: every batch (the baseline) visibly hurts.
 DEFAULT_SERVE_MODELS = ("MLP-500-100", "LeNet", "AlexNet")
+
+#: models of the chaos bench: the cheap front-end-dominated pair keeps a
+#: crash-and-retry round affordable while still spanning two distinct
+#: compiles for the fault plan to pick victims from.
+DEFAULT_CHAOS_MODELS = ("MLP-500-100", "LeNet")
 
 #: models of the dedup bench, compiled in order through one shared
 #: subgraph store: every model but the last warms the store, the last is
@@ -254,6 +273,9 @@ class BenchReport:
     #: subgraph-dedup benchmark (see :func:`run_dedup_bench`); ``None``
     #: when the dedup bench did not run.
     dedup: dict[str, Any] | None = None
+    #: fault-tolerance benchmark (see :func:`run_chaos_bench`); ``None``
+    #: when the chaos bench did not run.
+    chaos: dict[str, Any] | None = None
     schema_version: int = BENCH_SCHEMA_VERSION
 
     @property
@@ -283,6 +305,8 @@ class BenchReport:
             data["serve"] = dict(self.serve)
         if self.dedup is not None:
             data["dedup"] = dict(self.dedup)
+        if self.chaos is not None:
+            data["chaos"] = dict(self.chaos)
         return data
 
     def to_json(self, indent: int | None = 2) -> str:
@@ -308,6 +332,8 @@ class BenchReport:
             serve=dict(data["serve"]) if data.get("serve") else None,
             # absent in reports written before the dedup cache existed
             dedup=dict(data["dedup"]) if data.get("dedup") else None,
+            # absent in reports written before the chaos harness existed
+            chaos=dict(data["chaos"]) if data.get("chaos") else None,
         )
 
     @classmethod
@@ -924,6 +950,246 @@ def format_dedup_section(dedup: Mapping[str, Any]) -> str:
     return "\n".join(lines)
 
 
+def _chaos_plan(seed: int, requests: Sequence[CompileRequest]):
+    """The deterministic fault plan of one chaos-bench run.
+
+    Victims are drawn from the unique requests by a generator seeded off
+    the master seed (same seed -> same plan -> same failures, replayable
+    byte for byte): two worker crashes and one transient worker IO fault
+    on distinct requests, one short worker hang on a fourth, plus
+    transient-write, corrupt-write and transient-read faults on the
+    shared stage cache.  Every worker-compile fault matches ``attempt 0``
+    only, so it is self-limiting: the supervised retry of the same
+    request runs clean.
+    """
+    from .faults import (
+        KIND_CORRUPT,
+        KIND_CRASH,
+        KIND_HANG,
+        KIND_IO_ERROR,
+        SITE_SHARED_CACHE_GET,
+        SITE_SHARED_CACHE_PUT,
+        SITE_WORKER_COMPILE,
+        FaultPlan,
+        FaultSpec,
+    )
+
+    rng = random.Random(derive_seed(seed, "chaos-plan"))
+    victims = list(requests)
+    rng.shuffle(victims)
+
+    def compile_fault(index: int, kind: str, seconds: float = 0.1) -> FaultSpec:
+        victim = victims[index % len(victims)]
+        return FaultSpec(
+            site=SITE_WORKER_COMPILE,
+            kind=kind,
+            seconds=seconds,
+            match={
+                "model": victim.model,
+                "duplication_degree": victim.duplication_degree,
+                "attempt": 0,
+            },
+        )
+
+    return FaultPlan(
+        faults=(
+            compile_fault(0, KIND_CRASH),
+            compile_fault(1, KIND_CRASH),
+            compile_fault(2, KIND_IO_ERROR),
+            compile_fault(3, KIND_HANG, seconds=0.25),
+            FaultSpec(site=SITE_SHARED_CACHE_PUT, kind=KIND_IO_ERROR, at=0),
+            FaultSpec(site=SITE_SHARED_CACHE_PUT, kind=KIND_CORRUPT, at=2),
+            FaultSpec(site=SITE_SHARED_CACHE_GET, kind=KIND_IO_ERROR, at=1),
+        ),
+        seed=seed,
+    )
+
+
+def run_chaos_bench(
+    models: Iterable[str] | str | None = None,
+    duplications: Sequence[int] = (1, 2),
+    copies: int = 2,
+    rounds: int = 2,
+    workers: int = 2,
+    seed: int = 0,
+    deadline_s: float = 120.0,
+    max_retries: int = 3,
+    progress=None,
+) -> dict[str, Any]:
+    """Benchmark the serving runtime's fault tolerance under a seeded plan.
+
+    The workload (every (model, duplication) pair, ``copies`` times, served
+    in ``rounds`` sequential batches) runs twice through a
+    :class:`ServingRuntime`: once fault-free (the reference), once with the
+    deterministic :func:`_chaos_plan` installed via the fault-plan
+    environment variable so every worker inherits it.  The section records
+    **availability** (served-ok over total — the floor is 1.0: with
+    supervision and retries, the committed plan must not cost a single
+    response), whether the chaos responses stayed **bit-identical**
+    (seconds-stripped summaries) to the reference, pool-health counters
+    (breakages, respawns, recovery seconds), retry/displacement counters,
+    and the degraded cache writes.
+
+    ``rounds >= 2`` matters for coverage: when the first crash breaks the
+    pool, the second crash victim is usually *displaced* (its in-flight
+    attempt fails with the pool) and retried at attempt 1, where the
+    attempt-0 crash spec no longer matches — the next round resubmits it
+    at attempt 0 on fresh workers, so the plan reliably kills at least
+    two workers across the run.
+    """
+    if copies < 1:
+        raise InvalidRequestError("copies must be >= 1")
+    if rounds < 1:
+        raise InvalidRequestError("rounds must be >= 1")
+    from .faults import FAULT_PLAN_ENV
+
+    # insulate from the user environment: an inherited fault plan would
+    # poison the reference run, and a pre-warmed shared cache/dedup store
+    # would change which injected cache faults ever fire
+    env_saved = {
+        var: os.environ.pop(var, None)
+        for var in (SHARED_CACHE_ENV, DEDUP_STORE_ENV, FAULT_PLAN_ENV)
+    }
+    try:
+        return _run_chaos_bench(
+            models,
+            duplications,
+            copies,
+            rounds,
+            workers,
+            seed,
+            deadline_s,
+            max_retries,
+            progress,
+        )
+    finally:
+        for var, value in env_saved.items():
+            if value is not None:
+                os.environ[var] = value
+
+
+def _run_chaos_bench(
+    models,
+    duplications: Sequence[int],
+    copies: int,
+    rounds: int,
+    workers: int,
+    seed: int,
+    deadline_s: float,
+    max_retries: int,
+    progress,
+) -> dict[str, Any]:
+    from .faults import FAULT_PLAN_ENV
+
+    resolved = resolve_bench_models(
+        models if models is not None else DEFAULT_CHAOS_MODELS
+    )
+    unique_requests = [
+        CompileRequest(
+            model=model,
+            duplication_degree=degree,
+            seed=seed,
+            deadline_s=deadline_s,
+            max_retries=max_retries,
+        )
+        for model in resolved
+        for degree in duplications
+    ]
+    batch = [request for request in unique_requests for _ in range(copies)]
+    total_requests = len(batch) * rounds
+
+    if progress is not None:
+        progress(
+            f"chaos bench: fault-free reference "
+            f"({rounds} x {len(batch)} requests) ..."
+        )
+    reference: list = []
+    with ServingRuntime(max_workers=workers) as runtime:
+        for _ in range(rounds):
+            reference.extend(runtime.serve_batch(batch))
+    for response in reference:
+        response.raise_for_status()
+
+    plan = _chaos_plan(seed, unique_requests)
+    if progress is not None:
+        progress(
+            f"chaos bench: same workload under {len(plan.faults)} seeded "
+            f"faults ..."
+        )
+    # the environment route reaches every (lazily forked and re-forked)
+    # worker, including the ones a pool rebuild spawns mid-run
+    os.environ[FAULT_PLAN_ENV] = plan.to_json()
+    try:
+        chaos: list = []
+        chaos_start = time.perf_counter()
+        with ServingRuntime(max_workers=workers) as runtime:
+            for _ in range(rounds):
+                chaos.extend(runtime.serve_batch(batch))
+            stats = runtime.stats()
+        chaos_seconds = time.perf_counter() - chaos_start
+    finally:
+        del os.environ[FAULT_PLAN_ENV]
+
+    ok = sum(1 for response in chaos if response.ok)
+    summaries_identical = all(
+        _summary_key(a) == _summary_key(b)
+        for a, b in zip(reference, chaos, strict=True)
+    )
+    write_errors = sum(
+        response.timings.write_errors for response in chaos if response.timings
+    )
+    health = stats.get("pool_health") or {}
+    return {
+        "models": list(resolved),
+        "duplications": list(duplications),
+        "copies": copies,
+        "rounds": rounds,
+        "workers": workers,
+        "seed": seed,
+        "deadline_s": deadline_s,
+        "max_retries": max_retries,
+        "fault_plan": plan.to_dict(),
+        "total_requests": total_requests,
+        "ok_requests": ok,
+        "availability": ok / total_requests if total_requests else 0.0,
+        "summaries_identical": summaries_identical,
+        "retried": stats["retried"],
+        "displaced": stats["displaced"],
+        "rejected": stats["rejected"],
+        "deadline_expired": stats["deadline_expired"],
+        "broken_pool_events": int(health.get("broken_pool_events", 0)),
+        "respawns": int(health.get("respawns", 0)),
+        "last_recovery_seconds": float(health.get("last_recovery_seconds", 0.0)),
+        "total_recovery_seconds": float(
+            health.get("total_recovery_seconds", 0.0)
+        ),
+        "cache_write_errors": write_errors,
+        "chaos_seconds": chaos_seconds,
+    }
+
+
+def format_chaos_section(chaos: Mapping[str, Any]) -> str:
+    """Human-readable summary of one chaos-bench section."""
+    lines = [
+        f"chaos bench: {chaos['total_requests']} requests "
+        f"({chaos['rounds']} rounds x {chaos['copies']} copies), "
+        f"{chaos['workers']} workers, "
+        f"{len((chaos.get('fault_plan') or {}).get('faults', ()))} seeded "
+        f"faults (seed {chaos['seed']})",
+        f"  availability: {chaos['ok_requests']}/{chaos['total_requests']} "
+        f"({chaos['availability']:.0%}) in {chaos['chaos_seconds']:.2f}s",
+        f"  pool: {chaos['broken_pool_events']} breakage(s), "
+        f"{chaos['respawns']} respawn(s), last recovery "
+        f"{chaos['last_recovery_seconds'] * 1e3:.1f} ms",
+        f"  retries: {chaos['retried']} retried, {chaos['displaced']} "
+        f"displaced, {chaos['deadline_expired']} deadline-expired, "
+        f"{chaos['cache_write_errors']} degraded cache write(s)",
+        f"  responses identical to fault-free reference: "
+        f"{'yes' if chaos['summaries_identical'] else 'NO'}",
+    ]
+    return "\n".join(lines)
+
+
 def compare_reports(
     current: BenchReport,
     baseline: BenchReport,
@@ -933,6 +1199,7 @@ def compare_reports(
     pnr_min_speedup: float = 3.0,
     dedup_min_speedup: float = 1.3,
     dedup_min_hit_rate: float = 0.5,
+    chaos_min_availability: float = 1.0,
 ) -> list[str]:
     """Regressions of ``current`` against ``baseline``; empty when clean.
 
@@ -964,6 +1231,14 @@ def compare_reports(
     hit rate falls below ``dedup_min_hit_rate``, or when any spliced
     compile's summary differed from its dedup-off reference
     (bit-identity is the dedup cache's hard contract).
+
+    A chaos section regresses when availability under the seeded fault
+    plan falls below ``chaos_min_availability`` (1.0 by default: with
+    supervision, retries and deadlines in place, the committed plan must
+    not cost a single response), when the chaos responses differed from
+    the fault-free reference's seconds-stripped summaries, or when the
+    plan never broke the pool (``broken_pool_events`` of 0 means the run
+    proved nothing — the harness, not the runtime, regressed).
     """
     if time_threshold <= 0:
         raise InvalidRequestError("time_threshold must be positive")
@@ -1029,6 +1304,27 @@ def compare_reports(
             regressions.append(
                 "dedup: spliced compiles produced summaries that differ "
                 "from the dedup-off reference's"
+            )
+    chaos = current.chaos
+    if chaos is not None:
+        availability = float(chaos.get("availability", 0.0))
+        if availability < chaos_min_availability:
+            regressions.append(
+                f"chaos: availability {availability:.1%} under the seeded "
+                f"fault plan is below the {chaos_min_availability:.0%} floor "
+                f"({chaos.get('ok_requests', 0)}/"
+                f"{chaos.get('total_requests', 0)} served)"
+            )
+        if chaos.get("summaries_identical") is False:
+            regressions.append(
+                "chaos: responses under the fault plan differ from the "
+                "fault-free reference's result summaries (retries must be "
+                "bit-identical)"
+            )
+        if int(chaos.get("broken_pool_events", 0)) < 1:
+            regressions.append(
+                "chaos: the fault plan never broke the worker pool "
+                "(0 broken-pool events) — the run exercised nothing"
             )
     for entry in current.entries:
         base = baseline.entry(entry.model, entry.duplication_degree, entry.num_chips)
@@ -1225,6 +1521,50 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
         help="--check-regression fails when the warm-store hit rate "
         "falls below this floor (default: 0.5)",
     )
+    chaos = parser.add_argument_group(
+        "fault-tolerance benchmark (--chaos)",
+        "serve a repeated-model batch workload under a deterministic "
+        "seeded fault plan (worker crashes, a hang, transient/corrupt "
+        "cache IO) and record availability, recovery and bit-identity "
+        "against a fault-free reference; replaces the P&R bench for this "
+        "run (other report sections are carried over)",
+    )
+    chaos.add_argument(
+        "--chaos", action="store_true",
+        help="run the fault-tolerance benchmark instead of the P&R bench",
+    )
+    chaos.add_argument(
+        "--chaos-models", default=None, metavar="LIST",
+        help="models of the chaos workload (comma-separated; default: "
+        f"{','.join(DEFAULT_CHAOS_MODELS)})",
+    )
+    chaos.add_argument(
+        "--chaos-copies", type=int, default=2, metavar="N",
+        help="copies of every unique request per round (default: 2)",
+    )
+    chaos.add_argument(
+        "--chaos-rounds", type=int, default=2, metavar="N",
+        help="sequential rounds of the batch (>= 2 lets a crash victim "
+        "displaced in one round crash for real in the next; default: 2)",
+    )
+    chaos.add_argument(
+        "--chaos-workers", type=int, default=2, metavar="N",
+        help="worker processes for both runs (default: 2)",
+    )
+    chaos.add_argument(
+        "--chaos-deadline", type=float, default=120.0, metavar="S",
+        help="per-request deadline in seconds (default: 120)",
+    )
+    chaos.add_argument(
+        "--chaos-max-retries", type=int, default=3, metavar="N",
+        help="per-request retry budget for retriable faults (default: 3)",
+    )
+    chaos.add_argument(
+        "--chaos-min-availability", type=float, default=1.0, metavar="X",
+        help="--check-regression fails when availability under the fault "
+        "plan falls below this floor (default: 1.0 — no request may be "
+        "lost)",
+    )
 
 
 def _load_report_if_any(path: str | None) -> BenchReport | None:
@@ -1264,8 +1604,12 @@ def run_from_args(args: argparse.Namespace) -> int:
     previous = _load_report_if_any(args.output)
     serve_mode = getattr(args, "serve", False)
     dedup_mode = getattr(args, "dedup", False)
-    if serve_mode and dedup_mode:
-        print("bench: --serve and --dedup are mutually exclusive", file=sys.stderr)
+    chaos_mode = getattr(args, "chaos", False)
+    if sum((serve_mode, dedup_mode, chaos_mode)) > 1:
+        print(
+            "bench: --serve, --dedup and --chaos are mutually exclusive",
+            file=sys.stderr,
+        )
         return 2
     if serve_mode:
         try:
@@ -1285,6 +1629,7 @@ def run_from_args(args: argparse.Namespace) -> int:
             created_at=time.time(),
             serve=serve,
             dedup=previous.dedup if previous is not None else None,
+            chaos=previous.chaos if previous is not None else None,
         )
     elif dedup_mode:
         try:
@@ -1302,6 +1647,29 @@ def run_from_args(args: argparse.Namespace) -> int:
             created_at=time.time(),
             serve=previous.serve if previous is not None else None,
             dedup=dedup_section,
+            chaos=previous.chaos if previous is not None else None,
+        )
+    elif chaos_mode:
+        try:
+            chaos_section = run_chaos_bench(
+                models=getattr(args, "chaos_models", None),
+                copies=getattr(args, "chaos_copies", 2),
+                rounds=getattr(args, "chaos_rounds", 2),
+                workers=getattr(args, "chaos_workers", 2),
+                seed=args.seed,
+                deadline_s=getattr(args, "chaos_deadline", 120.0),
+                max_retries=getattr(args, "chaos_max_retries", 3),
+                progress=progress,
+            )
+        except InvalidRequestError as exc:
+            print(f"bench: {exc}", file=sys.stderr)
+            return 2
+        report = BenchReport(
+            entries=list(previous.entries) if previous is not None else [],
+            created_at=time.time(),
+            serve=previous.serve if previous is not None else None,
+            dedup=previous.dedup if previous is not None else None,
+            chaos=chaos_section,
         )
     else:
         spec = getattr(args, "partition_chips", "") or ""
@@ -1323,6 +1691,8 @@ def run_from_args(args: argparse.Namespace) -> int:
             report.serve = previous.serve
         if previous is not None and previous.dedup is not None:
             report.dedup = previous.dedup
+        if previous is not None and previous.chaos is not None:
+            report.chaos = previous.chaos
     if args.output:
         report.save(args.output)
     if args.json:
@@ -1332,6 +1702,8 @@ def run_from_args(args: argparse.Namespace) -> int:
             print(format_serve_section(report.serve))
         elif dedup_mode:
             print(format_dedup_section(report.dedup))
+        elif chaos_mode:
+            print(format_chaos_section(report.chaos))
         else:
             print(format_table(report))
         if args.output:
@@ -1347,6 +1719,10 @@ def run_from_args(args: argparse.Namespace) -> int:
             current = BenchReport(
                 entries=[], created_at=report.created_at, dedup=report.dedup
             )
+        elif chaos_mode:
+            current = BenchReport(
+                entries=[], created_at=report.created_at, chaos=report.chaos
+            )
         else:
             current = BenchReport(
                 entries=report.entries, created_at=report.created_at
@@ -1360,6 +1736,7 @@ def run_from_args(args: argparse.Namespace) -> int:
             pnr_min_speedup=getattr(args, "pnr_min_speedup", 3.0),
             dedup_min_speedup=getattr(args, "dedup_min_speedup", 1.3),
             dedup_min_hit_rate=getattr(args, "dedup_min_hit_rate", 0.5),
+            chaos_min_availability=getattr(args, "chaos_min_availability", 1.0),
         )
         if regressions:
             for line in regressions:

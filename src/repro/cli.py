@@ -33,6 +33,7 @@ tools (or back into ``serve-batch``).
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 import time
@@ -264,6 +265,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve_batch.add_argument(
         "--jobs", type=_positive_int, default=None,
         help="worker processes (default: auto)",
+    )
+    serve_batch.add_argument(
+        "--deadline", type=float, default=None, metavar="S",
+        help="per-request deadline in seconds (overrides every request; "
+        "an expired job fails with a typed deadline_exceeded error)",
+    )
+    serve_batch.add_argument(
+        "--max-retries", type=int, default=None, metavar="N",
+        help="per-request retry budget for retriable faults — worker "
+        "death, transient IO (overrides every request; default: the job "
+        "manager's)",
     )
     _add_json_flag(serve_batch)
     _add_store_flag(serve_batch)
@@ -595,6 +607,23 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
         raise InvalidRequestError(
             "serve-batch needs a requests FILE or --model/--duplication"
         )
+    if args.deadline is not None or args.max_retries is not None:
+        requests = [
+            dataclasses.replace(
+                request,
+                deadline_s=(
+                    args.deadline
+                    if args.deadline is not None
+                    else request.deadline_s
+                ),
+                max_retries=(
+                    args.max_retries
+                    if args.max_retries is not None
+                    else request.max_retries
+                ),
+            )
+            for request in requests
+        ]
     store = _open_store(args.store) if args.store else None
     with JobManager(max_workers=args.jobs, store=store) as manager:
         job_ids = manager.submit_batch(requests)

@@ -18,6 +18,7 @@ cost drops from "spawn a pool + cold caches" to "pickle the payloads".
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import Executor, ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
@@ -126,31 +127,51 @@ class WorkerPool:
             shared_cache_dir = env.directory if env is not None else None
         self.max_workers = max_workers
         self.shared_cache_dir = shared_cache_dir or None
-        self._executor = ProcessPoolExecutor(
-            max_workers=max_workers,
+        self._disable_shared = disable_shared
+        self._lock = threading.Lock()
+        self._executor = self._build_executor()
+
+    def _build_executor(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.max_workers,
             initializer=_warm_worker,
-            initargs=(self.shared_cache_dir, disable_shared),
+            initargs=(self.shared_cache_dir, self._disable_shared),
         )
 
     @property
     def executor(self) -> Executor:
         """The underlying executor (for :class:`JobManager` and friends)."""
-        return self._executor
+        with self._lock:
+            return self._executor
+
+    def rebuild(self) -> None:
+        """Replace a (typically broken) executor with a fresh warm pool.
+
+        The new pool runs the same :func:`_warm_worker` initializer with the
+        same arguments, so respawned workers re-import the pipeline and
+        re-attach the shared cache tier exactly like the originals.  The old
+        executor is shut down without waiting — its workers are dead or
+        dying, and its futures have already been failed by the breakage.
+        """
+        with self._lock:
+            old = self._executor
+            self._executor = self._build_executor()
+        old.shutdown(wait=False)
 
     def map(self, worker, payloads) -> list:
         """Map ``worker`` over ``payloads`` on the warm pool, in order."""
-        return list(self._executor.map(worker, payloads))
+        return list(self.executor.map(worker, payloads))
 
     def submit(self, worker, *args, **kwargs):
-        return self._executor.submit(worker, *args, **kwargs)
+        return self.executor.submit(worker, *args, **kwargs)
 
     def worker_pids(self) -> list[int]:
         """PIDs of the currently live worker processes (spawned-so-far)."""
-        processes = getattr(self._executor, "_processes", None) or {}
+        processes = getattr(self.executor, "_processes", None) or {}
         return sorted(processes)
 
     def shutdown(self, wait: bool = True) -> None:
-        self._executor.shutdown(wait=wait)
+        self.executor.shutdown(wait=wait)
 
     def __enter__(self) -> "WorkerPool":
         return self

@@ -153,7 +153,10 @@ class CacheStats:
     ``dedup_hits``/``dedup_misses`` count subgraph-dedup-store lookups
     (:mod:`repro.core.dedup`) folded in by the compiler — a separate
     population from the stage-cache lookups above (per lowered node /
-    weight group, not per pass).
+    weight group, not per pass).  ``write_errors`` counts writes a cache
+    or store tier degraded to a counted miss instead of letting an
+    ``OSError`` (disk full, permissions, injected fault) escape into the
+    compile.
     """
 
     hits: int = 0
@@ -163,6 +166,7 @@ class CacheStats:
     shared_misses: int = 0
     dedup_hits: int = 0
     dedup_misses: int = 0
+    write_errors: int = 0
 
     @property
     def lookups(self) -> int:
@@ -206,6 +210,7 @@ class CacheStats:
             shared_misses=self.shared_misses - before.shared_misses,
             dedup_hits=self.dedup_hits - before.dedup_hits,
             dedup_misses=self.dedup_misses - before.dedup_misses,
+            write_errors=self.write_errors - before.write_errors,
         )
 
     def merge(self, other: "CacheStats | None") -> "CacheStats":
@@ -219,6 +224,7 @@ class CacheStats:
             # rehydrated payloads predating the dedup counters lack them
             self.dedup_hits += getattr(other, "dedup_hits", 0)
             self.dedup_misses += getattr(other, "dedup_misses", 0)
+            self.write_errors += getattr(other, "write_errors", 0)
         return self
 
     def record_lookup(self, tier: str) -> None:
@@ -329,12 +335,23 @@ class StageCache:
                 evicted += 1
         return evicted
 
-    def put(self, key: str, artifacts: dict[str, Any]) -> int:
+    def put(
+        self, key: str, artifacts: dict[str, Any], stats: CacheStats | None = None
+    ) -> int:
         """Store an entry (write-through to the shared tier); returns the
-        number of in-memory evictions this put caused."""
+        number of in-memory evictions this put caused.
+
+        A shared-tier write that fails (disk full, permissions) degrades
+        to a counted miss: it lands in this cache's ``write_errors`` and,
+        when a per-compile ``stats`` object is given, in that too.
+        """
         evicted = self._install(key, artifacts)
         if self.shared is not None:
-            self.shared.put(key, artifacts)
+            if not self.shared.put(key, artifacts):
+                with self._lock:
+                    self.stats.write_errors += 1
+                if stats is not None:
+                    stats.write_errors += 1
         return evicted
 
     def clear(self, clear_shared: bool = False) -> None:

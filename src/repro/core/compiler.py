@@ -111,6 +111,7 @@ class FPSACompiler:
         use_cache: bool = True,
         verify: bool = False,
         dedup: bool = False,
+        fault_plan: str | None = None,
     ) -> DeploymentResult:
         """Compile a model and evaluate the resulting deployment.
 
@@ -192,6 +193,13 @@ class FPSACompiler:
             knob that enters neither cache keys nor request
             fingerprints.  Hit/miss counters land on the result's
             ``cache_stats`` (``dedup_hits`` / ``dedup_misses``).
+        fault_plan:
+            Deterministic fault-injection plan (inline JSON or a file
+            path, see :mod:`repro.faults`), installed process-wide before
+            the pipeline runs so chaos tests can replay worker crashes,
+            hangs, transient IO errors and corrupt cache entries.  Faults
+            never change a successful artifact, so this is a pure
+            execution knob outside cache keys and request fingerprints.
 
         Notes
         -----
@@ -203,6 +211,10 @@ class FPSACompiler:
         """
         if passes is not None and "pipeline_sim" in passes:
             detailed_schedule = True
+        if fault_plan:
+            from ..faults import install_plan
+
+            install_plan(fault_plan)
         options = CompileOptions(
             duplication_degree=duplication_degree,
             pe_budget=pe_budget,
@@ -218,6 +230,7 @@ class FPSACompiler:
             shard_jobs=shard_jobs,
             verify=verify,
             dedup=dedup,
+            fault_plan=fault_plan,
         )
         if options.partitioned:
             if passes is not None:

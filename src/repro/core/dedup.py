@@ -39,6 +39,7 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from ..errors import InvalidRequestError
+from ..faults import SITE_DEDUP_PUT, fire
 from .shared_cache import SharedStageCache
 
 __all__ = [
@@ -160,13 +161,16 @@ class DedupStats:
 
     ``errors`` counts entries that failed validation or replay and were
     dropped (each such lookup also counts as a miss: the compile proceeds
-    exactly as if the entry had never existed).
+    exactly as if the entry had never existed).  ``write_errors`` counts
+    disk-tier writes that failed (disk full, permissions, injected fault)
+    and degraded to an in-memory-only publish.
     """
 
     hits: int = 0
     misses: int = 0
     puts: int = 0
     errors: int = 0
+    write_errors: int = 0
 
     @property
     def lookups(self) -> int:
@@ -183,6 +187,7 @@ class DedupStats:
             self.misses += other.misses
             self.puts += other.puts
             self.errors += other.errors
+            self.write_errors += getattr(other, "write_errors", 0)
         return self
 
 
@@ -276,7 +281,13 @@ class SubgraphStore:
         return value
 
     def put(self, key: str, value: Any) -> None:
-        """Publish a fragment (write-through to the disk tier)."""
+        """Publish a fragment (write-through to the disk tier).
+
+        A disk-tier write that fails (disk full, permissions, injected
+        fault) degrades to an in-memory-only publish, counted in
+        ``stats.write_errors`` — the store is an accelerator, never a
+        correctness dependency.
+        """
         with self._lock:
             self._entries[key] = value
             self._entries.move_to_end(key)
@@ -284,7 +295,14 @@ class SubgraphStore:
                 self._entries.popitem(last=False)
             self.stats.puts += 1
         if self.shared is not None:
-            self.shared.put(key, {"fragment": value})
+            try:
+                fire(SITE_DEDUP_PUT, key=key)
+                stuck = self.shared.put(key, {"fragment": value})
+            except OSError:
+                stuck = False
+            if not stuck:
+                with self._lock:
+                    self.stats.write_errors += 1
 
     def drop(self, key: str) -> None:
         """Remove one entry from both tiers (missing entries are fine)."""
@@ -381,7 +399,7 @@ def fold_dedup_stats(ctx: Any) -> None:
     so dedup counters surface on the result exactly like the stage-cache
     counters do.  A no-op when the compile performed no dedup lookups."""
     stats = getattr(ctx, "dedup_stats", None)
-    if stats is None or not stats.lookups:
+    if stats is None or not (stats.lookups or stats.write_errors):
         return
     if ctx.cache_stats is None:
         from .cache import CacheStats
@@ -389,3 +407,4 @@ def fold_dedup_stats(ctx: Any) -> None:
         ctx.cache_stats = CacheStats()
     ctx.cache_stats.dedup_hits += stats.hits
     ctx.cache_stats.dedup_misses += stats.misses
+    ctx.cache_stats.write_errors += stats.write_errors

@@ -145,6 +145,11 @@ class CompileOptions:
     #: is a hard contract, making this a pure execution knob too: it never
     #: enters cache keys or request fingerprints.
     dedup: bool = False
+    #: deterministic fault-injection plan (inline JSON or a file path, see
+    #: :mod:`repro.faults`), installed by the compiler before the pipeline
+    #: runs.  Faults never change a successful artifact, so this is a pure
+    #: execution knob: it never enters cache keys or request fingerprints.
+    fault_plan: str | None = None
 
     def __post_init__(self) -> None:
         from ..errors import InvalidRequestError
@@ -399,7 +404,7 @@ class PassManager:
                 p.run(ctx)
                 if key is not None:
                     stats.evictions += cache.put(
-                        key, {a: ctx.get(a) for a in p.provides}
+                        key, {a: ctx.get(a) for a in p.provides}, stats=stats
                     )
             timings.append(
                 PassTiming(

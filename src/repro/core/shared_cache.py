@@ -39,6 +39,12 @@ from typing import Any
 
 from ..analysis.verify import verification_enabled, verify_artifacts
 from ..errors import InvalidRequestError, VerificationError
+from ..faults import (
+    KIND_CORRUPT,
+    SITE_SHARED_CACHE_GET,
+    SITE_SHARED_CACHE_PUT,
+    fire,
+)
 
 __all__ = [
     "SHARED_CACHE_ENV",
@@ -162,6 +168,9 @@ class SharedStageCache:
         """Load the artifacts stored under ``key``, or ``None`` on a miss."""
         path = self._path(key)
         try:
+            # injected transient read faults degrade exactly like a real
+            # unreadable entry: counted miss, entry dropped, pass re-runs
+            fire(SITE_SHARED_CACHE_GET, key=key)
             with open(path, "rb") as handle:
                 artifacts = pickle.load(handle)
         except FileNotFoundError:
@@ -219,6 +228,12 @@ class SharedStageCache:
         path = self._path(key)
         shard_dir = os.path.dirname(path)
         try:
+            # injected write faults: io_error degrades to a counted failed
+            # put below; a corrupt spec swaps the payload for garbage bytes
+            # so the read side's damage tolerance gets exercised
+            spec = fire(SITE_SHARED_CACHE_PUT, key=key)
+            if spec is not None and spec.kind == KIND_CORRUPT:
+                payload = b"\x00repro-injected-corrupt-entry"
             os.makedirs(shard_dir, exist_ok=True)
             fd, tmp_path = tempfile.mkstemp(
                 dir=shard_dir, prefix=".tmp-", suffix=_SUFFIX

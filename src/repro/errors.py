@@ -16,11 +16,22 @@ The hierarchy is flat under the base class::
       +-- PnRError              placement & routing failure   (code pnr_error)
       +-- CapacityError         design does not fit a budget  (code capacity_error)
       +-- VerificationError     IR invariant violated         (code verification_error)
+      +-- WorkerCrashError      worker process died           (code worker_crash)    [retriable]
+      +-- TransientIOError      transient cache/store IO      (code transient_io)    [retriable]
+      +-- OverloadedError       admission control rejected    (code overloaded)      [retriable]
+      +-- DeadlineExceededError per-job deadline expired      (code deadline_exceeded)
 
 For backward compatibility each subclass also derives from the builtin
 exception the toolchain historically raised at the same sites
-(``ValueError``, ``TypeError``, ``KeyError``, ``RuntimeError``), so
-pre-existing ``except ValueError`` call sites keep working.
+(``ValueError``, ``TypeError``, ``KeyError``, ``RuntimeError``,
+``OSError``, ``TimeoutError``), so pre-existing ``except ValueError`` /
+``except OSError`` call sites keep working.
+
+Errors whose class sets ``retriable = True`` describe conditions the
+serving runtime may transparently retry (a dead worker, a transient IO
+fault, a momentarily full admission queue); everything else is terminal —
+resubmitting the identical request would fail the identical way.
+:data:`RETRIABLE_CODES` is the wire-level view of that split.
 """
 
 from __future__ import annotations
@@ -36,7 +47,12 @@ __all__ = [
     "PnRError",
     "CapacityError",
     "VerificationError",
+    "WorkerCrashError",
+    "TransientIOError",
+    "OverloadedError",
+    "DeadlineExceededError",
     "ERROR_CODES",
+    "RETRIABLE_CODES",
     "error_from_payload",
 ]
 
@@ -55,6 +71,9 @@ class FPSAError(Exception):
 
     #: stable machine-readable identifier, also the payload ``code`` field.
     code: str = "fpsa_error"
+
+    #: whether the serving runtime may transparently retry this error.
+    retriable: bool = False
 
     def __init__(self, message: str, *, details: Mapping[str, Any] | None = None):
         super().__init__(message)
@@ -145,6 +164,50 @@ class VerificationError(FPSAError):
         self.ids = tuple(merged.get("ids", ()))
 
 
+class WorkerCrashError(FPSAError):
+    """A worker process died (or the pool broke) while running a job.
+
+    The crash says nothing about the request itself, so the job is safe to
+    retry on a healthy pool — the supervision layer does exactly that.
+    """
+
+    code = "worker_crash"
+    retriable = True
+
+
+class TransientIOError(FPSAError, OSError):
+    """A transient IO fault (disk full, EPERM, torn read) on a cache tier.
+
+    Cache and store tiers degrade these to counted misses where they can;
+    when one does escape into a job result it is retriable — the request
+    is well-formed and a later attempt may find the IO healthy again.
+    """
+
+    code = "transient_io"
+    retriable = True
+
+
+class OverloadedError(FPSAError):
+    """Admission control rejected a job: the queue is at its depth cap.
+
+    Retriable by construction — the caller should back off and resubmit
+    once in-flight jobs drain.
+    """
+
+    code = "overloaded"
+    retriable = True
+
+
+class DeadlineExceededError(FPSAError, TimeoutError):
+    """A job's per-request deadline expired before a result was published.
+
+    Not retriable: a retry would spend the same wall-clock budget again.
+    ``details`` carries the ``job_id`` and the deadline that expired.
+    """
+
+    code = "deadline_exceeded"
+
+
 #: payload ``code`` -> exception class, for rehydrating wire errors.
 ERROR_CODES: dict[str, type[FPSAError]] = {
     cls.code: cls
@@ -157,8 +220,17 @@ ERROR_CODES: dict[str, type[FPSAError]] = {
         PnRError,
         CapacityError,
         VerificationError,
+        WorkerCrashError,
+        TransientIOError,
+        OverloadedError,
+        DeadlineExceededError,
     )
 }
+
+#: payload codes the serving runtime treats as retriable faults.
+RETRIABLE_CODES: frozenset[str] = frozenset(
+    code for code, cls in ERROR_CODES.items() if cls.retriable
+)
 
 
 def error_from_payload(payload: Mapping[str, Any]) -> FPSAError:

@@ -13,6 +13,10 @@ the experiment harnesses, and any future HTTP/queue service:
 * :mod:`~repro.service.runtime` — the :class:`ServingRuntime`: persistent
   warm worker pool + cross-process shared stage cache + coalescing, the
   high-throughput front door for serving traffic.
+* :mod:`~repro.service.supervision` — the :class:`PoolSupervisor` that
+  rebuilds a broken worker pool and tracks :class:`PoolHealth` (the
+  JobManager pairs it with bounded deterministic-backoff retries,
+  per-job deadlines, and admission control).
 * :mod:`~repro.service.store` — the content-addressed :class:`ArtifactStore`
   for durable, comparable run results.
 
@@ -21,18 +25,24 @@ The typed error hierarchy the service maps to structured payloads lives in
 """
 
 from ..errors import (
+    RETRIABLE_CODES,
     CapacityError,
+    DeadlineExceededError,
     FPSAError,
     InvalidRequestError,
     MappingError,
+    OverloadedError,
     PnRError,
     SynthesisError,
+    TransientIOError,
     UnknownModelError,
+    WorkerCrashError,
     error_from_payload,
 )
 from .client import FPSAClient, ServedCompile, serve_request
 from .jobs import JobInfo, JobManager, JobManagerStats, JobState
 from .runtime import ServingRuntime
+from .supervision import PoolHealth, PoolSupervisor
 from .schemas import (
     SCHEMA_VERSION,
     CompileRequest,
@@ -60,6 +70,8 @@ __all__ = [
     "JobState",
     "JobInfo",
     "ServingRuntime",
+    "PoolHealth",
+    "PoolSupervisor",
     "ArtifactStore",
     "RunRecord",
     "FPSAError",
@@ -69,5 +81,10 @@ __all__ = [
     "MappingError",
     "PnRError",
     "CapacityError",
+    "WorkerCrashError",
+    "TransientIOError",
+    "OverloadedError",
+    "DeadlineExceededError",
+    "RETRIABLE_CODES",
     "error_from_payload",
 ]

@@ -11,7 +11,7 @@ structured error payloads — a FAILED job never raises unless asked to).
 Requests and responses cross the worker boundary as plain dicts, so the
 pool exercises exactly the wire schemas an out-of-process front-end would.
 
-Two serving-runtime behaviours live here:
+Serving-runtime behaviours that live here:
 
 * **Warm-pool reuse** — pass a persistent
   :class:`~repro.core.api.WorkerPool` via ``pool=`` and the manager runs
@@ -22,6 +22,21 @@ Two serving-runtime behaviours live here:
   compile: followers attach to the primary job's future and the response
   is fanned out to each with its own request object.  Disable per manager
   with ``coalesce=False``.
+* **Supervision and bounded retries** — a dead worker poisons a
+  ``ProcessPoolExecutor`` (every in-flight and future job fails with
+  ``BrokenProcessPool``); the manager reports the breakage to a
+  :class:`~repro.service.supervision.PoolSupervisor`, which rebuilds the
+  pool once per breakage, and resubmits displaced jobs with exponential
+  backoff and full jitter *derived deterministically from the request
+  seed*.  Only *retriable* faults (worker death, transient IO, overload —
+  see :data:`repro.errors.RETRIABLE_CODES`) are retried; typed compile
+  errors never are.  Retried jobs produce responses bit-identical to
+  first-try jobs — determinism makes retries safe.
+* **Deadlines and admission control** — ``CompileRequest.deadline_s``
+  bounds each job's wall clock (a typed ``deadline_exceeded`` error is
+  published when it expires), and ``max_queue_depth`` caps the number of
+  uncoalesced in-flight jobs, rejecting the excess with a retriable
+  :class:`~repro.errors.OverloadedError` instead of queueing unboundedly.
 """
 
 from __future__ import annotations
@@ -29,10 +44,12 @@ from __future__ import annotations
 import dataclasses
 import itertools
 import os
+import random
 import sys
 import threading
 import time
 from concurrent.futures import (
+    BrokenExecutor,
     CancelledError,
     Executor,
     Future,
@@ -46,14 +63,28 @@ from typing import TYPE_CHECKING, Any, Iterable
 from ..arch.params import FPSAConfig
 from ..core.api import _MAX_AUTO_JOBS, WorkerPool, _worker_private_cache
 from ..core.cache import StageCache
-from ..errors import InvalidRequestError
+from ..errors import (
+    RETRIABLE_CODES,
+    DeadlineExceededError,
+    FPSAError,
+    InvalidRequestError,
+    OverloadedError,
+    TransientIOError,
+    WorkerCrashError,
+)
+from ..seeding import derive_seed
 from .client import serve_request
 from .schemas import CompileRequest, CompileResponse, ErrorPayload
+from .supervision import PoolSupervisor
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .store import ArtifactStore
 
 __all__ = ["JobState", "JobInfo", "JobManager", "JobManagerStats"]
+
+#: manager-level default for transparent retries of retriable faults
+#: (``CompileRequest.max_retries`` overrides per job).
+DEFAULT_MAX_RETRIES = 2
 
 
 class JobState(str, Enum):
@@ -105,12 +136,21 @@ class JobManagerStats:
     coalesced: int = 0
     completed: int = 0
     failed: int = 0
+    #: attempts transparently resubmitted after a retriable fault.
+    retried: int = 0
+    #: attempts that failed because the worker pool broke under them.
+    displaced: int = 0
+    #: submissions rejected by admission control (``max_queue_depth``).
+    rejected: int = 0
+    #: jobs whose per-request deadline expired before a result landed.
+    deadline_expired: int = 0
 
 
 def _execute_job(
     request_dict: dict[str, Any],
     config: FPSAConfig | None,
     cache: StageCache | bool | str | None,
+    attempt: int = 0,
 ) -> tuple[dict[str, Any], str | None]:
     """Worker entry point (module-level so process pools can pickle it).
 
@@ -119,10 +159,28 @@ def _execute_job(
     the manager's setting; the ``"__private__"`` sentinel (a private
     StageCache cannot cross a process boundary) becomes one per-worker
     private cache, exactly as in :func:`repro.core.api.deploy_many`.
+
+    ``attempt`` is the retry ordinal (0 = first try); it reaches the
+    fault-injection site so a chaos plan can target "the first attempt
+    only", which keeps crash faults self-limiting across retries.
     """
+    from .. import faults
+
     if cache == "__private__":
         cache = _worker_private_cache()
     request = CompileRequest.from_dict(request_dict)
+    if request.fault_plan:
+        faults.install_plan(request.fault_plan)
+    # crash/hang/io_error faults fire *before* the compile so an injected
+    # OSError propagates raw through the future (the retriable path);
+    # serve_request would otherwise wrap it into an error response
+    faults.fire(
+        faults.SITE_WORKER_COMPILE,
+        model=request.model,
+        duplication_degree=request.duplication_degree,
+        num_chips=request.num_chips,
+        attempt=attempt,
+    )
     served = serve_request(request, config=config, cache=cache)
     bitstream = None
     if served.result is not None and served.result.bitstream is not None:
@@ -151,6 +209,19 @@ class _Job:
         self.retired = False
         self.submitted_at = time.monotonic()
         self.finished_at: float | None = None
+        #: completed retry attempts (0 while the first try is in flight).
+        self.attempts = 0
+        #: resolved retry budget for this job (request override or default).
+        self.max_retries = 0
+        #: absolute monotonic deadline, or ``None`` for no deadline.
+        self.deadline_at: float | None = None
+        self.deadline_timer: threading.Timer | None = None
+        #: pending backoff timer between a retriable failure and resubmit.
+        self.retry_timer: threading.Timer | None = None
+        #: pool generation the current attempt was submitted against.
+        self.generation = 0
+        #: whether this (primary) job occupies an admission-control slot.
+        self.counted = False
 
     @property
     def seconds(self) -> float | None:
@@ -193,6 +264,23 @@ class JobManager:
         whose canonical fingerprint matches a submitted-but-unfinished
         job rides that job's compile and receives a fanned-out copy of
         its response.
+    max_retries:
+        Default transparent-retry budget per job for *retriable* faults
+        (worker death, transient IO — see
+        :data:`repro.errors.RETRIABLE_CODES`); typed compile errors are
+        never retried.  ``None`` uses :data:`DEFAULT_MAX_RETRIES`;
+        ``CompileRequest.max_retries`` overrides per job.  Backoff between
+        attempts is exponential with full jitter drawn from a generator
+        seeded off the request seed — deterministic and replayable.
+    max_queue_depth:
+        Admission-control cap on uncoalesced in-flight jobs; submissions
+        past the cap raise a retriable
+        :class:`~repro.errors.OverloadedError` instead of queueing
+        unboundedly.  Followers of an in-flight compile always coalesce
+        (they occupy no worker).  ``None`` (default) disables the cap.
+    retry_backoff_s / retry_backoff_cap_s:
+        Base and cap of the exponential backoff window (attempt ``n``
+        draws uniformly from ``[0, min(cap, base * 2**(n-1))]``).
 
     The manager is a context manager; leaving the ``with`` block shuts the
     pool down after the submitted jobs finish (owned pools only).
@@ -207,14 +295,42 @@ class JobManager:
         use_processes: bool = True,
         pool: "WorkerPool | Executor | None" = None,
         coalesce: bool = True,
+        max_retries: int | None = None,
+        max_queue_depth: int | None = None,
+        retry_backoff_s: float = 0.05,
+        retry_backoff_cap_s: float = 2.0,
     ):
         if max_workers is not None and max_workers < 1:
             raise InvalidRequestError(
                 f"max_workers must be >= 1, got {max_workers}",
                 details={"max_workers": max_workers},
             )
+        if max_retries is not None and (
+            not isinstance(max_retries, int)
+            or isinstance(max_retries, bool)
+            or max_retries < 0
+        ):
+            raise InvalidRequestError(
+                f"max_retries must be an integer >= 0, got {max_retries!r}",
+                details={"max_retries": repr(max_retries)},
+            )
+        if max_queue_depth is not None and (
+            not isinstance(max_queue_depth, int)
+            or isinstance(max_queue_depth, bool)
+            or max_queue_depth < 1
+        ):
+            raise InvalidRequestError(
+                f"max_queue_depth must be an integer >= 1, "
+                f"got {max_queue_depth!r}",
+                details={"max_queue_depth": repr(max_queue_depth)},
+            )
+        self._worker_pool: WorkerPool | None = None
         if pool is not None:
-            self._pool = pool.executor if isinstance(pool, WorkerPool) else pool
+            if isinstance(pool, WorkerPool):
+                self._worker_pool = pool
+                self._pool: Executor = pool.executor
+            else:
+                self._pool = pool
             self._owns_pool = False
         else:
             if max_workers is None:
@@ -225,6 +341,7 @@ class JobManager:
             )
             self._pool = pool_cls(max_workers=max_workers)
             self._owns_pool = True
+        self._max_workers = max_workers
         self.config = config
         # a StageCache instance cannot cross a process boundary; preserve the
         # isolation a private cache asks for with one private cache per worker
@@ -236,11 +353,42 @@ class JobManager:
         )
         self.store = store
         self.coalesce = coalesce
+        self.max_retries = (
+            max_retries if max_retries is not None else DEFAULT_MAX_RETRIES
+        )
+        self.max_queue_depth = max_queue_depth
+        self.retry_backoff_s = retry_backoff_s
+        self.retry_backoff_cap_s = retry_backoff_cap_s
         self.stats = JobManagerStats()
+        self.supervisor = self._make_supervisor()
         self._jobs: dict[str, _Job] = {}
         self._inflight: dict[str, _Job] = {}
+        self._active = 0
+        self._closing = False
         self._lock = threading.Lock()
         self._counter = itertools.count(1)
+
+    def _make_supervisor(self) -> PoolSupervisor | None:
+        """Supervision applies wherever a broken pool can be rebuilt."""
+        if self._worker_pool is not None:
+            return PoolSupervisor(self._worker_pool.rebuild)
+        if self._owns_pool and isinstance(self._pool, ProcessPoolExecutor):
+            return PoolSupervisor(self._rebuild_owned_pool)
+        # thread pools don't break like process pools, and an external bare
+        # executor is not ours to rebuild
+        return None
+
+    def _rebuild_owned_pool(self) -> None:
+        old = self._pool
+        self._pool = ProcessPoolExecutor(max_workers=self._max_workers)
+        old.shutdown(wait=False)
+
+    def _live_executor(self) -> Executor:
+        """The executor submissions should land on *right now* (a rebuilt
+        WorkerPool swaps its executor underneath us)."""
+        if self._worker_pool is not None:
+            return self._worker_pool.executor
+        return self._pool
 
     # ------------------------------------------------------------------
     # submission
@@ -252,7 +400,9 @@ class JobManager:
         With coalescing enabled, a request identical to one already in
         flight (same canonical fingerprint) does not reach the pool at
         all: it becomes a follower of the in-flight job and finishes when
-        that compile does, with its own copy of the response.
+        that compile does, with its own copy of the response.  Followers
+        bypass admission control; a fresh request past ``max_queue_depth``
+        raises :class:`~repro.errors.OverloadedError` without queueing.
         """
         if isinstance(request, str):
             request = CompileRequest(model=request)
@@ -261,23 +411,47 @@ class JobManager:
         with self._lock:
             job_id = f"job-{next(self._counter):04d}"
             job = _Job(job_id, request)
-            self._jobs[job_id] = job
-            self.stats.submitted += 1
+            job.max_retries = (
+                request.max_retries
+                if request.max_retries is not None
+                else self.max_retries
+            )
+            if request.deadline_s is not None:
+                job.deadline_at = job.submitted_at + request.deadline_s
             if self.coalesce:
                 primary = self._inflight.get(job.fingerprint)
                 if primary is not None:
                     # attach under the lock: _finish pops the in-flight
                     # entry under the same lock, so the primary cannot fan
                     # out between our check and the attach
+                    self._jobs[job_id] = job
+                    self.stats.submitted += 1
                     job.primary = primary
                     primary.followers.append(job)
                     self.stats.coalesced += 1
+                    self._arm_deadline(job)
                     return job_id
-            self._inflight[job.fingerprint] = job
+            if (
+                self.max_queue_depth is not None
+                and self._active >= self.max_queue_depth
+            ):
+                self.stats.rejected += 1
+                raise OverloadedError(
+                    f"queue depth {self._active} is at the cap "
+                    f"{self.max_queue_depth}; back off and resubmit",
+                    details={
+                        "queue_depth": self._active,
+                        "max_queue_depth": self.max_queue_depth,
+                    },
+                )
+            self._jobs[job_id] = job
+            self.stats.submitted += 1
+            job.counted = True
+            self._active += 1
+            if self.coalesce:
+                self._inflight[job.fingerprint] = job
         try:
-            future = self._pool.submit(
-                _execute_job, request.to_dict(), self.config, self._worker_cache
-            )
+            self._submit_attempt(job)
         except Exception as exc:
             # e.g. submit after shutdown: don't leave an orphan job that
             # wait_all()/result() would block on forever — and release any
@@ -286,6 +460,9 @@ class JobManager:
                 self._jobs.pop(job_id, None)
                 if self._inflight.get(job.fingerprint) is job:
                     del self._inflight[job.fingerprint]
+                if job.counted:
+                    job.counted = False
+                    self._active -= 1
                 followers = list(job.followers)
             now = time.monotonic()
             for follower in followers:
@@ -300,15 +477,79 @@ class JobManager:
                     now,
                 )
             raise
-        job.future = future
-        future.add_done_callback(lambda f, j=job: self._finish(j, f))
+        self._arm_deadline(job)
         return job_id
 
     def submit_batch(self, requests: Iterable[CompileRequest | str | dict]) -> list[str]:
         """Queue a batch of requests; returns their job ids in order."""
         return [self.submit(request) for request in requests]
 
+    def _submit_attempt(self, job: _Job) -> None:
+        """Hand the job's current attempt to the live executor.
+
+        A submission that hits an already-broken pool heals it through the
+        supervisor and tries once more on the fresh pool; without a
+        supervisor the breakage propagates to the caller.
+        """
+        last_exc: BaseException | None = None
+        for _ in range(2):
+            supervisor = self.supervisor
+            generation = supervisor.generation if supervisor is not None else 0
+            try:
+                future = self._live_executor().submit(
+                    _execute_job,
+                    job.request.to_dict(),
+                    self.config,
+                    self._worker_cache,
+                    job.attempts,
+                )
+            except BrokenExecutor as exc:
+                last_exc = exc
+                if supervisor is None:
+                    raise
+                supervisor.note_breakage(generation)
+                continue
+            job.generation = generation
+            job.future = future
+            future.add_done_callback(lambda f, j=job: self._finish(j, f))
+            return
+        assert last_exc is not None
+        raise last_exc
+
+    # ------------------------------------------------------------------
+    # completion, retries, deadlines
+    # ------------------------------------------------------------------
+
+    def _error_payload_for(self, exc: BaseException, job: _Job) -> ErrorPayload:
+        """Map a future exception to a typed payload.
+
+        Pool breakage becomes a retriable ``worker_crash``; a bare
+        ``OSError`` escaping a worker becomes a retriable ``transient_io``;
+        typed FPSA errors keep their own codes.
+        """
+        if isinstance(exc, BrokenExecutor):
+            return ErrorPayload(
+                code=WorkerCrashError.code,
+                type=WorkerCrashError.__name__,
+                message=(
+                    f"worker process died while compiling "
+                    f"{job.request.model!r} (attempt {job.attempts})"
+                ),
+                details={"model": job.request.model, "attempt": job.attempts},
+            )
+        if isinstance(exc, FPSAError):
+            return ErrorPayload.from_exception(exc)
+        if isinstance(exc, OSError):
+            return ErrorPayload(
+                code=TransientIOError.code,
+                type=type(exc).__name__,
+                message=str(exc) or type(exc).__name__,
+                details={"model": job.request.model, "attempt": job.attempts},
+            )
+        return ErrorPayload.from_exception(exc)
+
     def _finish(self, job: _Job, future: Future) -> None:
+        broken = False
         try:
             response_dict, bitstream = future.result()
             response = CompileResponse.from_dict(response_dict)
@@ -324,12 +565,34 @@ class JobManager:
             )
             bitstream = None
         except Exception as exc:  # noqa: BLE001 - worker crashed; report, don't hang
+            broken = isinstance(exc, BrokenExecutor)
             response = CompileResponse(
                 request=job.request,
                 status="error",
-                error=ErrorPayload.from_exception(exc),
+                error=self._error_payload_for(exc, job),
             )
             bitstream = None
+        if broken:
+            with self._lock:
+                self.stats.displaced += 1
+            if self.supervisor is not None:
+                # heal once per breakage (concurrent reports coalesce on
+                # the generation), whether or not this job retries
+                self.supervisor.note_displaced()
+                self.supervisor.note_breakage(job.generation)
+        retriable = (
+            response.error is not None
+            and response.error.code in RETRIABLE_CODES
+            and not job.cancelled
+        )
+        if retriable and self._maybe_retry(job):
+            return  # keep the in-flight entry: followers still coalesce
+        self._conclude(job, response, bitstream)
+
+    def _conclude(
+        self, job: _Job, response: CompileResponse, bitstream: str | None
+    ) -> None:
+        """Retire a primary job and fan its response out to followers."""
         # stop accepting followers before publishing: a submit that misses
         # the in-flight entry starts a fresh compile instead of racing us
         with self._lock:
@@ -337,6 +600,9 @@ class JobManager:
                 del self._inflight[job.fingerprint]
             job.retired = True
             followers = list(job.followers)
+            if job.counted:
+                job.counted = False
+                self._active -= 1
         now = time.monotonic()
         self._publish(job, response, bitstream, now)
         for follower in followers:
@@ -349,21 +615,121 @@ class JobManager:
                 now,
             )
 
+    def _maybe_retry(self, job: _Job) -> bool:
+        """Schedule a deterministic-backoff resubmit; False when out of
+        budget, past the deadline, shutting down, or nobody is waiting."""
+        with self._lock:
+            if self._closing or job.retired:
+                return False
+            if job.attempts >= job.max_retries:
+                return False
+            now = time.monotonic()
+            if job.deadline_at is not None and now >= job.deadline_at:
+                return False
+            # if the primary and every follower were already published
+            # (deadline expiry), a retry would compile for nobody
+            waiting = job.response is None or any(
+                f.response is None for f in job.followers
+            )
+            if not waiting:
+                return False
+            job.attempts += 1
+            attempt = job.attempts
+            self.stats.retried += 1
+        delay = self._backoff_delay(job, attempt)
+        timer = threading.Timer(delay, self._resubmit, args=(job,))
+        timer.daemon = True
+        job.retry_timer = timer
+        timer.start()
+        return True
+
+    def _backoff_delay(self, job: _Job, attempt: int) -> float:
+        """Exponential backoff with full jitter, deterministic per
+        (request seed, fingerprint, attempt) — replayable like every other
+        stochastic stage (see :mod:`repro.seeding`)."""
+        master = job.request.seed if job.request.seed is not None else 0
+        rng = random.Random(
+            derive_seed(master, f"retry:{job.fingerprint}:{attempt}")
+        )
+        window = min(
+            self.retry_backoff_cap_s,
+            self.retry_backoff_s * (2 ** (attempt - 1)),
+        )
+        return rng.uniform(0.0, window)
+
+    def _resubmit(self, job: _Job) -> None:
+        job.retry_timer = None
+        try:
+            self._submit_attempt(job)
+        except Exception as exc:  # noqa: BLE001 - conclude, never hang waiters
+            self._conclude(
+                job,
+                CompileResponse(
+                    request=job.request,
+                    status="error",
+                    error=self._error_payload_for(exc, job),
+                ),
+                None,
+            )
+
+    def _arm_deadline(self, job: _Job) -> None:
+        if job.deadline_at is None:
+            return
+        delay = max(0.0, job.deadline_at - time.monotonic())
+        timer = threading.Timer(delay, self._expire, args=(job,))
+        timer.daemon = True
+        job.deadline_timer = timer
+        timer.start()
+
+    def _expire(self, job: _Job) -> None:
+        """Publish a typed deadline error for one job (and only that job:
+        a coalesced sibling with a longer deadline keeps waiting, and the
+        underlying compile keeps running for whoever still wants it)."""
+        assert job.request.deadline_s is not None
+        response = CompileResponse(
+            request=job.request,
+            status="error",
+            error=ErrorPayload(
+                code=DeadlineExceededError.code,
+                type=DeadlineExceededError.__name__,
+                message=(
+                    f"job {job.job_id!r} missed its deadline of "
+                    f"{job.request.deadline_s} s"
+                ),
+                details={
+                    "job_id": job.job_id,
+                    "deadline_s": job.request.deadline_s,
+                },
+            ),
+        )
+        if self._publish(job, response, None, time.monotonic()):
+            with self._lock:
+                self.stats.deadline_expired += 1
+
     def _publish(
         self,
         job: _Job,
         response: CompileResponse,
         bitstream: str | None,
         finished_at: float,
-    ) -> None:
-        """Finalize one job: record, persist, and wake its waiters."""
-        job.response = response
-        job.finished_at = finished_at
+    ) -> bool:
+        """Finalize one job: record, persist, and wake its waiters.
+
+        First publish wins (idempotent): a deadline expiry and a late
+        compile result race benignly — whichever lands second is dropped.
+        Returns whether this call published.
+        """
         with self._lock:
+            if job.response is not None:
+                return False
+            job.response = response
+            job.finished_at = finished_at
             if response.ok:
                 self.stats.completed += 1
             else:
                 self.stats.failed += 1
+        if job.deadline_timer is not None:
+            job.deadline_timer.cancel()
         try:
             if self.store is not None:
                 self.store.save(response, bitstream_json=bitstream)
@@ -374,6 +740,7 @@ class JobManager:
             )
         finally:
             job.finished.set()
+        return True
 
     # ------------------------------------------------------------------
     # inspection
@@ -405,6 +772,7 @@ class JobManager:
         future = job.future if job.primary is None else job.primary.future
         # a completed future whose done callback has not filled in the
         # response yet must still read RUNNING, never regress to QUEUED
+        # (this also covers a job waiting out a retry backoff)
         if future is not None and (future.running() or future.done()):
             return JobInfo(
                 job_id, job.request.model, JobState.RUNNING, coalesced=coalesced
@@ -424,25 +792,20 @@ class JobManager:
 
         FAILED jobs return normally with the structured error payload on
         the response; call ``response.raise_for_status()`` for the typed
-        exception.
+        exception.  An expired ``timeout`` raises
+        :class:`~repro.errors.DeadlineExceededError` (a ``TimeoutError``
+        subclass, so pre-existing ``except TimeoutError`` callers keep
+        working) carrying the job id and the timeout in ``details``.
         """
         job = self._get(job_id)
-        deadline = None if timeout is None else time.monotonic() + timeout
-        if job.response is None and job.future is not None:
-            try:
-                job.future.result(timeout=timeout)
-            except CancelledError:
-                pass  # _finish synthesizes the cancelled response
-            except Exception:  # noqa: BLE001 - surfaced via the error payload
-                pass
-        # the future can complete a hair before its done callback has filled
-        # in job.response; wait on the callback against the same deadline
-        remaining = (
-            None if deadline is None else max(0.0, deadline - time.monotonic())
-        )
-        if not job.finished.wait(timeout=remaining):
-            raise TimeoutError(
-                f"job {job_id!r} did not finish within {timeout} s"
+        # the job's future can complete a hair before its done callback
+        # fills in the response; ``finished`` is set only once the response
+        # is published, so the event is the single wait surface (it also
+        # spans retries, where the future is replaced per attempt)
+        if not job.finished.wait(timeout=timeout):
+            raise DeadlineExceededError(
+                f"job {job_id!r} did not finish within {timeout} s",
+                details={"job_id": job_id, "timeout": timeout},
             )
         assert job.response is not None
         return job.response
@@ -498,7 +861,25 @@ class JobManager:
 
     def shutdown(self, wait: bool = True) -> None:
         """Shut the pool down — owned pools only; an external
-        :class:`WorkerPool` stays warm for the next manager."""
+        :class:`WorkerPool` stays warm for the next manager.
+
+        New retries stop being scheduled once shutdown begins (an attempt
+        failing mid-drain concludes with its retriable error instead of
+        respawning); with ``wait=True``, jobs already waiting out a retry
+        backoff are drained first — they hold no pool future, so the
+        executor's own shutdown would not wait for them.
+        """
+        self._closing = True
+        if wait:
+            with self._lock:
+                jobs = list(self._jobs.values())
+            for job in jobs:
+                if job.primary is not None:
+                    continue  # finishes with its primary
+                if job.finished.is_set():
+                    continue
+                if job.retry_timer is not None or job.future is not None:
+                    job.finished.wait()
         if self._owns_pool:
             self._pool.shutdown(wait=wait)
 

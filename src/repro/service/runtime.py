@@ -83,6 +83,16 @@ class ServingRuntime:
         ``None`` leaves the environment alone (an inherited
         ``REPRO_DEDUP_STORE`` still applies; without one each process
         keeps a private in-memory store).
+    max_retries:
+        Default transparent-retry budget for retriable faults (worker
+        death, transient IO); forwarded to the
+        :class:`~repro.service.jobs.JobManager`.  ``None`` uses the
+        manager's default; ``CompileRequest.max_retries`` overrides per
+        job.
+    max_queue_depth:
+        Admission-control cap on uncoalesced in-flight jobs; submissions
+        past it raise a retriable
+        :class:`~repro.errors.OverloadedError`.  ``None`` disables.
     """
 
     def __init__(
@@ -94,6 +104,8 @@ class ServingRuntime:
         store: "ArtifactStore | None" = None,
         use_processes: bool = True,
         dedup_store_dir: str | None = None,
+        max_retries: int | None = None,
+        max_queue_depth: int | None = None,
     ):
         self.config = config
         self.dedup_store_dir = dedup_store_dir or None
@@ -136,6 +148,8 @@ class ServingRuntime:
             use_processes=use_processes,
             pool=self.pool,
             coalesce=coalesce,
+            max_retries=max_retries,
+            max_queue_depth=max_queue_depth,
         )
         self._closed = False
 
@@ -176,17 +190,29 @@ class ServingRuntime:
     # ------------------------------------------------------------------
 
     def stats(self) -> dict[str, Any]:
-        """Serving counters: jobs, coalescing, pool and shared-cache state."""
+        """Serving counters: jobs, coalescing, fault handling, pool and
+        shared-cache state."""
         manager_stats = self.manager.stats
         return {
             "submitted": manager_stats.submitted,
             "coalesced": manager_stats.coalesced,
             "completed": manager_stats.completed,
             "failed": manager_stats.failed,
+            "retried": manager_stats.retried,
+            "displaced": manager_stats.displaced,
+            "rejected": manager_stats.rejected,
+            "deadline_expired": manager_stats.deadline_expired,
+            "pool_health": self.health(),
             "worker_pids": self.pool.worker_pids() if self.pool else [],
             "shared_cache_dir": self.shared_cache_dir,
             "dedup_store_dir": self.dedup_store_dir,
         }
+
+    def health(self) -> dict[str, Any] | None:
+        """Supervision counters of the worker pool (respawns, breakages,
+        recovery time), or ``None`` when the pool is unsupervised."""
+        supervisor = self.manager.supervisor
+        return supervisor.health.to_dict() if supervisor is not None else None
 
     def latencies(self) -> list[float]:
         """Submit-to-finish seconds of every finished job so far."""

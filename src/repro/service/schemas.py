@@ -20,7 +20,12 @@ import json
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Mapping
 
-from ..errors import FPSAError, InvalidRequestError, error_from_payload
+from ..errors import (
+    RETRIABLE_CODES,
+    FPSAError,
+    InvalidRequestError,
+    error_from_payload,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..arch.params import FPSAConfig
@@ -132,6 +137,21 @@ class CompileRequest:
     #: contract, so it is a pure execution knob excluded from
     #: :meth:`fingerprint` like ``pnr_jobs`` and ``verify``.
     dedup: bool = False
+    #: serving deadline in seconds: the job layer publishes a typed
+    #: ``deadline_exceeded`` error if no result lands in time.  A pure
+    #: serving knob (the artifact is unchanged when the job does finish),
+    #: so it is excluded from :meth:`fingerprint`.
+    deadline_s: float | None = None
+    #: maximum transparent retries on *retriable* faults (worker death,
+    #: transient IO); ``None`` uses the job manager's default.  A serving
+    #: knob excluded from :meth:`fingerprint` — retried jobs are proven
+    #: bit-identical to first-try jobs.
+    max_retries: int | None = None
+    #: deterministic fault-injection plan (inline JSON or a file path, see
+    #: :mod:`repro.faults`) threaded through ``CompileOptions`` so every
+    #: injected fault is replayable.  Faults never change a *successful*
+    #: artifact, so this too stays out of :meth:`fingerprint`.
+    fault_plan: str | None = None
     synthesis_options: dict[str, Any] | None = None
     tags: dict[str, str] = field(default_factory=dict)
     schema_version: int = SCHEMA_VERSION
@@ -202,6 +222,30 @@ class CompileRequest:
                 f"dedup must be a boolean, got {self.dedup!r}",
                 details={"dedup": repr(self.dedup)},
             )
+        if self.deadline_s is not None and (
+            not isinstance(self.deadline_s, (int, float))
+            or isinstance(self.deadline_s, bool)
+            or self.deadline_s <= 0
+        ):
+            raise InvalidRequestError(
+                f"deadline_s must be a number > 0, got {self.deadline_s!r}",
+                details={"deadline_s": repr(self.deadline_s)},
+            )
+        if self.max_retries is not None and (
+            not isinstance(self.max_retries, int)
+            or isinstance(self.max_retries, bool)
+            or self.max_retries < 0
+        ):
+            raise InvalidRequestError(
+                f"max_retries must be an integer >= 0, got {self.max_retries!r}",
+                details={"max_retries": repr(self.max_retries)},
+            )
+        if self.fault_plan is not None and not isinstance(self.fault_plan, str):
+            raise InvalidRequestError(
+                f"fault_plan must be a JSON string or file path, "
+                f"got {self.fault_plan!r}",
+                details={"fault_plan": repr(self.fault_plan)},
+            )
         if self.passes is not None:
             object.__setattr__(self, "passes", tuple(self.passes))
 
@@ -232,17 +276,22 @@ class CompileRequest:
     def fingerprint(self) -> str:
         """Content-addressed identity of this request.
 
-        ``tags`` (caller metadata) and the pure execution knobs
-        ``pnr_jobs``, ``verify`` and ``dedup`` (every value produces the
-        bit-identical artifact) are excluded, so e.g. coalescing and the
-        artifact store treat requests differing only in those fields as
-        the same compilation.
+        ``tags`` (caller metadata), the pure execution knobs ``pnr_jobs``,
+        ``verify`` and ``dedup`` (every value produces the bit-identical
+        artifact) and the serving knobs ``deadline_s`` / ``max_retries`` /
+        ``fault_plan`` (they shape *whether and when* a result is served,
+        never its bits) are excluded, so e.g. coalescing and the artifact
+        store treat requests differing only in those fields as the same
+        compilation.
         """
         data = self.to_dict()
         data.pop("tags")
         data.pop("pnr_jobs")
         data.pop("verify")
         data.pop("dedup")
+        data.pop("deadline_s")
+        data.pop("max_retries")
+        data.pop("fault_plan")
         canonical = json.dumps(data, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
@@ -265,6 +314,7 @@ class CompileRequest:
             "use_cache": self.use_cache,
             "verify": self.verify,
             "dedup": self.dedup,
+            "fault_plan": self.fault_plan,
         }
 
 
@@ -309,6 +359,9 @@ class CompileTimings:
     live here — not on :class:`ResultSummary` — because the summary is
     the bit-identity comparison surface of equivalent compiles, and dedup
     counters legitimately differ between a cold and a warm store.
+    ``write_errors`` counts cache/store writes that degraded to a counted
+    miss instead of propagating an ``OSError`` into the compile (disk
+    full, permissions, injected faults).
     """
 
     passes: tuple[PassTimingEntry, ...]
@@ -320,6 +373,7 @@ class CompileTimings:
     shared_cache_misses: int = 0
     dedup_hits: int = 0
     dedup_misses: int = 0
+    write_errors: int = 0
 
     @classmethod
     def from_pass_timings(
@@ -354,6 +408,7 @@ class CompileTimings:
             shared_cache_misses=getattr(cache_stats, "shared_misses", 0),
             dedup_hits=getattr(cache_stats, "dedup_hits", 0),
             dedup_misses=getattr(cache_stats, "dedup_misses", 0),
+            write_errors=getattr(cache_stats, "write_errors", 0),
         )
 
     @property
@@ -381,6 +436,7 @@ class CompileTimings:
             "shared_cache_misses": self.shared_cache_misses,
             "dedup_hits": self.dedup_hits,
             "dedup_misses": self.dedup_misses,
+            "write_errors": self.write_errors,
         }
 
     @classmethod
@@ -397,6 +453,8 @@ class CompileTimings:
             # absent in payloads emitted before the dedup cache existed
             dedup_hits=int(data.get("dedup_hits", 0)),
             dedup_misses=int(data.get("dedup_misses", 0)),
+            # absent before degraded-write accounting existed
+            write_errors=int(data.get("write_errors", 0)),
         )
 
 
@@ -577,6 +635,11 @@ class ErrorPayload:
             message=str(exc) or type(exc).__name__,
             details={},
         )
+
+    @property
+    def retriable(self) -> bool:
+        """Whether the serving runtime may transparently retry this error."""
+        return self.code in RETRIABLE_CODES
 
     def to_exception(self) -> FPSAError:
         """Rehydrate the typed exception this payload describes."""

@@ -171,6 +171,23 @@ class TestERR001BuiltinRaise:
         )
         assert findings == []
 
+    def test_flags_bare_timeout_error(self):
+        # a bare TimeoutError loses the job id/deadline that the typed
+        # DeadlineExceededError carries into the wire-level ErrorPayload
+        findings = lint_source(
+            "raise TimeoutError('too slow')\n",
+            path="src/repro/x.py",
+        )
+        assert rules_of(findings) == ["ERR001"]
+
+    def test_deadline_exceeded_error_is_fine(self):
+        findings = lint_source(
+            "from repro.errors import DeadlineExceededError\n"
+            "raise DeadlineExceededError('too slow')\n",
+            path="src/repro/x.py",
+        )
+        assert findings == []
+
 
 class TestSuppression:
     def test_same_line_suppression(self):

@@ -4,14 +4,19 @@ import pytest
 
 from repro.errors import (
     ERROR_CODES,
+    RETRIABLE_CODES,
     CapacityError,
+    DeadlineExceededError,
     FPSAError,
     InvalidRequestError,
     MappingError,
+    OverloadedError,
     PnRError,
     SynthesisError,
+    TransientIOError,
     UnknownModelError,
     VerificationError,
+    WorkerCrashError,
     error_from_payload,
 )
 
@@ -24,6 +29,10 @@ ALL_ERRORS = [
     PnRError,
     CapacityError,
     VerificationError,
+    WorkerCrashError,
+    TransientIOError,
+    OverloadedError,
+    DeadlineExceededError,
 ]
 
 
@@ -48,6 +57,23 @@ class TestHierarchy:
         assert issubclass(MappingError, ValueError)
         assert issubclass(PnRError, RuntimeError)
         assert issubclass(CapacityError, ValueError)
+        # the serving-fault errors keep the same convention: callers
+        # catching the stdlib types still see them
+        assert issubclass(TransientIOError, OSError)
+        assert issubclass(DeadlineExceededError, TimeoutError)
+
+    def test_retriable_codes_match_class_attributes(self):
+        assert RETRIABLE_CODES == {
+            cls.code for cls in ALL_ERRORS if cls.retriable
+        }
+        # worker death, transient IO and overload may be retried; a
+        # deadline expiry and every typed compile error are terminal
+        assert WorkerCrashError.retriable
+        assert TransientIOError.retriable
+        assert OverloadedError.retriable
+        assert not DeadlineExceededError.retriable
+        assert not SynthesisError.retriable
+        assert not InvalidRequestError.retriable
 
     def test_verification_error_carries_stage_invariant_ids(self):
         error = VerificationError(
